@@ -1,0 +1,152 @@
+package taskvine
+
+// Benchmarks regenerating every figure of the paper's evaluation (§4).
+// Each benchmark runs the corresponding experiment through the simulator
+// (which drives the production scheduling policy) at a reduced scale and
+// reports the figure's headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation table.
+//
+// Run `go run ./cmd/vine-bench -scale 1.0` for the paper-scale numbers
+// recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"taskvine/internal/experiments"
+	"taskvine/internal/policy"
+	"taskvine/internal/sim"
+	"taskvine/internal/workloads"
+)
+
+// benchScale keeps each iteration under a second while preserving shape.
+const benchScale = experiments.Scale(0.1)
+
+func reportShape(b *testing.B, rep experiments.Report) {
+	b.Helper()
+	if !rep.OK {
+		b.Fatalf("%s did not reproduce the paper's shape: %s", rep.ID, rep.Observed)
+	}
+}
+
+// BenchmarkFig9BlastColdHot regenerates Figure 9: BLAST with cold and hot
+// worker caches.
+func BenchmarkFig9BlastColdHot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Fig9(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkFig10MiniTaskSharing regenerates Figure 10: independent tasks vs
+// shared MiniTasks.
+func BenchmarkFig10MiniTaskSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Fig10(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkFig11TransferMethods regenerates Figure 11: URL vs unsupervised
+// vs managed worker-to-worker distribution of a 200MB file to 500 workers.
+func BenchmarkFig11TransferMethods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Fig11(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkFig11LimitSweep regenerates the §4.1 ablation: the per-source
+// transfer limit sweep showing a moderate limit is optimal.
+func BenchmarkFig11LimitSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Fig11Ablation(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkFig12TopEFT regenerates Figures 12a/d: the TopEFT physics
+// analysis with gradually arriving workers and the data→MC stall.
+func BenchmarkFig12TopEFT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Fig12TopEFT(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkFig12Colmena regenerates Figures 12b/e: worker-to-worker
+// software distribution cutting shared-FS fetches from one-per-worker to 3.
+func BenchmarkFig12Colmena(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Fig12Colmena(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkFig12BGD regenerates Figures 12c/f: the serverless library
+// deployment ramp.
+func BenchmarkFig12BGD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Fig12BGD(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkFig13TopEFTStorage regenerates Figure 13: shared-storage vs
+// in-cluster storage execution of TopEFT.
+func BenchmarkFig13TopEFTStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Fig13(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkAblationPlacement regenerates the DESIGN.md placement ablation:
+// data-aware vs cache-blind task placement on the BLAST workload.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.AblationPlacement(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkFig9Real runs the cold/hot cache comparison on the real system
+// (loopback manager, workers, archive) rather than the simulator.
+func BenchmarkFig9Real(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Fig9Real(benchScale)
+		reportShape(b, rep)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator performance: events
+// processed per second for a mid-sized workload, to size paper-scale runs.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := workloads.DefaultBlast()
+	cfg.Tasks = 200
+	cfg.Workers = 20
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sim.NewCluster(workloads.Blast(cfg), sim.DefaultParams(), policy.Limits{})
+		c.Run()
+		if c.CompletedTasks() != cfg.Tasks {
+			b.Fatalf("completed %d of %d", c.CompletedTasks(), cfg.Tasks)
+		}
+	}
+}
+
+// BenchmarkSchedulerPass measures one policy planning decision, the hot
+// path of both the real manager and the simulator (the "millisecond per
+// task" budget discussed in §6).
+func BenchmarkSchedulerPass(b *testing.B) {
+	w := workloads.Blast(workloads.BlastConfig{
+		Tasks: 1000, Workers: 100, CoresPerWorker: 4,
+		SoftwareTarMB: 100, DatabaseTarMB: 500, QueryRuntime: 30, UnpackRate: 100e6,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := sim.NewCluster(w, sim.DefaultParams(), policy.Limits{})
+		// One scheduling round over 1000 waiting tasks.
+		c.Engine().Run(1.0)
+	}
+}

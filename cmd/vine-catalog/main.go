@@ -1,0 +1,36 @@
+// Command vine-catalog runs a standalone catalog server: managers advertise
+// themselves to it, and vine-status -catalog lists them.
+//
+// Usage:
+//
+//	vine-catalog [-listen ADDR] [-ttl DURATION]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"taskvine/internal/catalog"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9097", "address to serve on")
+		ttl    = flag.Duration("ttl", time.Minute, "entry expiry without updates")
+	)
+	flag.Parse()
+	s, err := catalog.NewServer(*listen, *ttl)
+	if err != nil {
+		log.Fatalf("vine-catalog: %v", err)
+	}
+	fmt.Printf("catalog serving on %s (ttl %s)\n", s.Addr(), *ttl)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	s.Close()
+}

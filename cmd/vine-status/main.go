@@ -1,0 +1,105 @@
+// Command vine-status queries a manager's monitoring endpoint and renders
+// the cluster state: workers, their committed resources and cache contents,
+// and the task pipeline — the operator's view of the manager's "detailed
+// picture of the distributed state" (§2.2).
+//
+// Usage:
+//
+//	vine-status [-json] http://MANAGER-STATUS-ADDR
+//
+// The manager exposes the endpoint via Manager.ServeStatus (the examples
+// and vine-run print it at startup when enabled).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"taskvine/internal/catalog"
+	"taskvine/internal/core"
+	"taskvine/internal/resources"
+)
+
+// listCatalog renders the managers advertised at a catalog server.
+func listCatalog(addr, name string) error {
+	entries, err := catalog.Query(addr, name)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PROJECT\tADDRESS\tWORKERS\tWAITING\tRUNNING\tLAST HEARD")
+	for _, e := range entries {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\n",
+			e.Name, e.Addr, e.Workers, e.TasksWaiting, e.TasksRunning,
+			e.LastHeard.Format("15:04:05"))
+	}
+	return tw.Flush()
+}
+
+func main() {
+	raw := flag.Bool("json", false, "print the raw status JSON")
+	cat := flag.String("catalog", "", "list managers advertised at this catalog server instead")
+	name := flag.String("name", "", "filter catalog listing by project name")
+	flag.Parse()
+	if *cat != "" {
+		if err := listCatalog(*cat, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "vine-status: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if err := run(url+"/status", *raw); err != nil {
+		fmt.Fprintf(os.Stderr, "vine-status: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, raw bool) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var s core.Status
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&s); err != nil {
+		return fmt.Errorf("decoding status: %w", err)
+	}
+	if raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	}
+	fmt.Printf("manager %s  up %.0fs\n", s.Addr, s.UptimeSeconds)
+	fmt.Printf("tasks: %d waiting / %d staging / %d running / %d done / %d failed\n",
+		s.TasksWaiting, s.TasksStaging, s.TasksRunning, s.TasksDone, s.TasksFailed)
+	fmt.Printf("files declared: %d   transfers in flight: %d   workers: %d\n\n",
+		s.FilesDeclared, s.TransfersInFlight, len(s.Workers))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKER\tCORES\tMEMORY\tDISK\tTASKS\tCACHED\tLIBRARIES")
+	for _, w := range s.Workers {
+		fmt.Fprintf(tw, "%s\t%d/%d\t%s/%s\t%s/%s\t%d\t%d\t%s\n",
+			w.ID,
+			w.Committed.Cores, w.Capacity.Cores,
+			resources.FormatBytes(w.Committed.Memory), resources.FormatBytes(w.Capacity.Memory),
+			resources.FormatBytes(w.Committed.Disk), resources.FormatBytes(w.Capacity.Disk),
+			w.RunningTasks, w.CachedFiles, strings.Join(w.Libraries, ","))
+	}
+	return tw.Flush()
+}

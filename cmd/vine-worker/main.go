@@ -1,0 +1,90 @@
+// Command vine-worker runs a standalone TaskVine worker: it connects to a
+// manager, offers the node's resources, and serves until released.
+//
+// Usage:
+//
+//	vine-worker -manager HOST:PORT [-workdir DIR] [-cores N]
+//	            [-memory BYTES] [-disk BYTES] [-id NAME]
+//
+// Workers may join and leave dynamically; on restart a worker re-adopts
+// the worker-lifetime objects in its persistent cache directory (§2.2).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"taskvine"
+)
+
+func main() {
+	var (
+		manager = flag.String("manager", "", "manager address host:port (required)")
+		workdir = flag.String("workdir", "vine-worker-dir", "cache and sandbox directory")
+		cores   = flag.Int("cores", runtime.NumCPU(), "cores to offer")
+		memory  = flag.Int64("memory", 4*taskvine.GB, "memory bytes to offer")
+		disk    = flag.Int64("disk", 10*taskvine.GB, "disk bytes to offer")
+		id      = flag.String("id", "", "worker identity (default hostname-pid)")
+	)
+	flag.Parse()
+	if *manager == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w, err := taskvine.NewWorker(taskvine.WorkerConfig{
+		ManagerAddr: *manager,
+		WorkDir:     *workdir,
+		Capacity:    taskvine.Resources{Cores: *cores, Memory: *memory, Disk: *disk},
+		ID:          *id,
+		Libraries:   []*taskvine.Library{builtinLibrary()},
+		Logger:      log.New(os.Stderr, "", log.LstdFlags),
+	})
+	if err != nil {
+		log.Fatalf("vine-worker: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+	log.Printf("vine-worker %s connecting to %s", w.ID(), *manager)
+	if err := w.Run(ctx); err != nil {
+		log.Fatalf("vine-worker: %v", err)
+	}
+}
+
+// builtinLibrary provides basic serverless functions so FunctionCall tasks
+// can be exercised against stock workers.
+func builtinLibrary() *taskvine.Library {
+	return &taskvine.Library{
+		Name: "builtin",
+		Functions: map[string]taskvine.Function{
+			// echo returns its arguments verbatim.
+			"echo": func(args []byte) ([]byte, error) { return args, nil },
+			// sleep pauses for {"seconds": N} and reports the host.
+			"sleep": func(args []byte) ([]byte, error) {
+				var req struct {
+					Seconds float64 `json:"seconds"`
+				}
+				if err := json.Unmarshal(args, &req); err != nil {
+					return nil, err
+				}
+				time.Sleep(time.Duration(req.Seconds * float64(time.Second)))
+				host, _ := os.Hostname()
+				return json.Marshal(fmt.Sprintf("slept %.2fs on %s", req.Seconds, host))
+			},
+		},
+	}
+}

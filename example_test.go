@@ -1,0 +1,127 @@
+package taskvine_test
+
+// Runnable documentation examples: each starts a real manager and worker
+// in-process and executes real tasks.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"taskvine"
+)
+
+// startExampleCluster is shared plumbing for the examples below.
+func startExampleCluster(libs []*taskvine.Library) (*taskvine.Manager, func()) {
+	m, err := taskvine.NewManager(taskvine.ManagerConfig{})
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	tmp, err := os.MkdirTemp("", "vine-example-*")
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan struct{})
+	w, err := taskvine.NewWorker(taskvine.WorkerConfig{
+		ManagerAddr: m.Addr(),
+		WorkDir:     filepath.Join(tmp, "w0"),
+		Capacity:    taskvine.Resources{Cores: 4, Memory: taskvine.GB, Disk: taskvine.GB},
+		ID:          "example-worker",
+		Libraries:   libs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	return m, func() {
+		m.Close()
+		cancel()
+		<-done
+		os.RemoveAll(tmp)
+	}
+}
+
+// Example demonstrates the basic declare-submit-wait cycle of Figure 3.
+func Example() {
+	m, stop := startExampleCluster(nil)
+	defer stop()
+
+	words := m.DeclareBuffer([]byte("managing in-cluster storage"), taskvine.CacheWorkflow)
+	for i := 0; i < 3; i++ {
+		t := taskvine.NewTask("wc -w < input")
+		t.AddInput(words, "input")
+		if _, err := m.Submit(t); err != nil {
+			panic(err)
+		}
+	}
+	var outputs []string
+	for i := 0; i < 3; i++ {
+		r, err := m.Wait(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		outputs = append(outputs, strings.TrimSpace(string(r.Output)))
+	}
+	sort.Strings(outputs)
+	fmt.Println(outputs)
+	// Output: [3 3 3]
+}
+
+// ExampleGraph wires tasks together through in-cluster temp files.
+func ExampleGraph() {
+	m, stop := startExampleCluster(nil)
+	defer stop()
+
+	g := taskvine.NewGraph(m)
+	hello := g.Command("printf hello > out", taskvine.WithOutput("out"))
+	upper := g.Command("tr a-z A-Z < in > out",
+		taskvine.WithInput(hello.Output("out"), "in"),
+		taskvine.WithOutput("out"))
+	if err := g.Run(context.Background()); err != nil {
+		panic(err)
+	}
+	data, err := g.Fetch(context.Background(), upper.Output("out"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(data))
+	// Output: HELLO
+}
+
+// ExampleManager_InstallLibrary shows the serverless model of §3.4: the
+// library boots once per worker and serves FunctionCall tasks.
+func ExampleManager_InstallLibrary() {
+	lib := &taskvine.Library{
+		Name: "strings",
+		Functions: map[string]taskvine.Function{
+			"reverse": func(args []byte) ([]byte, error) {
+				b := []byte(string(args))
+				for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+					b[i], b[j] = b[j], b[i]
+				}
+				return b, nil
+			},
+		},
+	}
+	m, stop := startExampleCluster([]*taskvine.Library{lib})
+	defer stop()
+
+	m.InstallLibrary("strings", taskvine.Resources{Cores: 1})
+	fc := taskvine.NewFunctionCall("strings", "reverse", []byte("taskvine"))
+	if _, err := m.Submit(fc); err != nil {
+		panic(err)
+	}
+	r, err := m.Wait(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(r.Output))
+	// Output: enivksat
+}

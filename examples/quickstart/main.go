@@ -1,0 +1,79 @@
+// Quickstart: a self-contained TaskVine workflow on one machine.
+//
+// A manager and two workers start in-process, ten command tasks run with a
+// shared buffer input, and results stream back as they complete.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"taskvine"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	m, err := taskvine.NewManager(taskvine.ManagerConfig{})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	fmt.Printf("manager on %s\n", m.Addr())
+
+	// Spawn two local workers. In a cluster deployment these are
+	// `vine-worker` processes submitted as batch jobs (§4).
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer func() { cancel(); wg.Wait() }()
+	tmp, err := os.MkdirTemp("", "quickstart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	for i := 0; i < 2; i++ {
+		w, err := taskvine.NewWorker(taskvine.WorkerConfig{
+			ManagerAddr: m.Addr(),
+			WorkDir:     filepath.Join(tmp, fmt.Sprintf("worker%d", i)),
+			Capacity:    taskvine.Resources{Cores: 4, Memory: 2 * taskvine.GB, Disk: taskvine.GB},
+			ID:          fmt.Sprintf("worker%d", i),
+		})
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(ctx) }()
+	}
+
+	// One shared input, declared once, cached at every worker that needs
+	// it; ten tasks consume it.
+	shared := m.DeclareBuffer([]byte("the quick brown fox"), taskvine.CacheWorkflow)
+	const n = 10
+	for i := 0; i < n; i++ {
+		t := taskvine.NewTask(fmt.Sprintf("echo task %d: $(wc -w < words) words", i))
+		t.AddInput(shared, "words")
+		t.SetResources(taskvine.Resources{Cores: 1})
+		if _, err := m.Submit(t); err != nil {
+			return err
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		r, err := m.Wait(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s -> %s", taskvine.ResultString(r), r.Output)
+	}
+	return nil
+}

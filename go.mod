@@ -1,0 +1,3 @@
+module taskvine
+
+go 1.22

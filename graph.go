@@ -1,0 +1,294 @@
+package taskvine
+
+// Graph is a higher-level, dataflow-style interface layered on the Manager,
+// in the spirit of the Parsl and Dask integrations discussed in §6 of the
+// paper: each node is one TaskVine task, edges are files, and the graph
+// wires producers to consumers through in-cluster temp files automatically,
+// so intermediate data never moves through the application.
+//
+// Nodes are declared before running; Run submits every node whose
+// dependencies are met and streams completions until the graph drains.
+//
+//	g := taskvine.NewGraph(m)
+//	a := g.Command("make part A > out", taskvine.WithOutput("out"))
+//	b := g.Command("make part B > out", taskvine.WithOutput("out"))
+//	c := g.Command("cat a b > merged",
+//		taskvine.WithInput(a.Output("out"), "a"),
+//		taskvine.WithInput(b.Output("out"), "b"),
+//		taskvine.WithOutput("merged"))
+//	err := g.Run(ctx)
+//	data, _ := g.Fetch(ctx, c.Output("merged"))
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Node is one task in a Graph.
+type Node struct {
+	g       *Graph
+	id      int // graph-local index
+	task    *Task
+	outputs map[string]File
+	deps    map[int]bool
+
+	submitted bool
+	done      bool
+	result    *Result
+}
+
+// NodeOption configures a node at declaration.
+type NodeOption func(*Node)
+
+// WithInput mounts a file (typically another node's Output) under name.
+// Dependencies on producing nodes are inferred automatically.
+func WithInput(f File, name string) NodeOption {
+	return func(n *Node) {
+		n.task.AddInput(f, name)
+		if producer, ok := n.g.producers[f.ID()]; ok {
+			n.deps[producer] = true
+		}
+	}
+}
+
+// WithOutput declares that the node produces the sandbox file name; it is
+// stored as an in-cluster temp and retrievable via Node.Output(name).
+func WithOutput(name string) NodeOption {
+	return func(n *Node) {
+		f := n.g.m.DeclareTemp()
+		n.task.AddOutput(f, name)
+		n.outputs[name] = f
+		n.g.producers[f.ID()] = n.id
+	}
+}
+
+// WithLocalOutput declares an output that the manager writes back to the
+// given shared-filesystem path when the node completes (a workflow's final
+// output, Figure 2).
+func WithLocalOutput(name, path string) NodeOption {
+	return func(n *Node) {
+		f, err := n.g.m.DeclareFile(path, CacheWorkflow)
+		if err != nil {
+			n.g.deferErr(fmt.Errorf("graph: local output %s: %w", path, err))
+			return
+		}
+		n.task.AddOutput(f, name)
+		n.outputs[name] = f
+	}
+}
+
+// WithEnv sets an environment variable on the node's task.
+func WithEnv(key, value string) NodeOption {
+	return func(n *Node) { n.task.SetEnv(key, value) }
+}
+
+// WithResources sets the node's resource allocation.
+func WithResources(r Resources) NodeOption {
+	return func(n *Node) { n.task.SetResources(r) }
+}
+
+// WithRetries sets the node's retry budget.
+func WithRetries(k int) NodeOption {
+	return func(n *Node) { n.task.SetRetries(k) }
+}
+
+// After adds an explicit ordering dependency without a data edge.
+func After(deps ...*Node) NodeOption {
+	return func(n *Node) {
+		for _, d := range deps {
+			n.deps[d.id] = true
+		}
+	}
+}
+
+// Graph is a DAG of tasks executed through a Manager.
+type Graph struct {
+	m         *Manager
+	nodes     []*Node
+	producers map[string]int // temp file ID -> producing node
+	errs      []error
+	ran       bool
+}
+
+// NewGraph creates an empty graph over the manager.
+func NewGraph(m *Manager) *Graph {
+	return &Graph{m: m, producers: make(map[string]int)}
+}
+
+func (g *Graph) deferErr(err error) { g.errs = append(g.errs, err) }
+
+// Command adds a command-line task node.
+func (g *Graph) Command(cmd string, opts ...NodeOption) *Node {
+	return g.add(NewTask(cmd), opts)
+}
+
+// FunctionCall adds a serverless function-call node (§3.4).
+func (g *Graph) FunctionCall(library, function string, args []byte, opts ...NodeOption) *Node {
+	return g.add(NewFunctionCall(library, function, args), opts)
+}
+
+func (g *Graph) add(t *Task, opts []NodeOption) *Node {
+	n := &Node{
+		g:       g,
+		id:      len(g.nodes),
+		task:    t,
+		outputs: make(map[string]File),
+		deps:    make(map[int]bool),
+	}
+	g.nodes = append(g.nodes, n)
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// Output returns the file handle a node produces under the given sandbox
+// name. It panics on unknown names: referencing an undeclared output is a
+// programming error caught at graph construction.
+func (n *Node) Output(name string) File {
+	f, ok := n.outputs[name]
+	if !ok {
+		panic(fmt.Sprintf("graph: node %d has no output %q", n.id, name))
+	}
+	return f
+}
+
+// Result returns the node's completion result, valid after Run.
+func (n *Node) Result() *Result { return n.result }
+
+// validate rejects cycles and collects deferred construction errors.
+func (g *Graph) validate() error {
+	if len(g.errs) > 0 {
+		return g.errs[0]
+	}
+	// Kahn's algorithm to confirm acyclicity.
+	indeg := make([]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n.id] = len(n.deps)
+	}
+	var queue []int
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	seen := 0
+	adj := make(map[int][]int)
+	for _, n := range g.nodes {
+		for dep := range n.deps {
+			adj[dep] = append(adj[dep], n.id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		seen++
+		next := adj[id]
+		sort.Ints(next)
+		for _, succ := range next {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				queue = append(queue, succ)
+			}
+		}
+	}
+	if seen != len(g.nodes) {
+		return fmt.Errorf("graph: dependency cycle among %d node(s)", len(g.nodes)-seen)
+	}
+	return nil
+}
+
+// Run executes the graph to completion: nodes are submitted as their
+// dependencies finish, and failures propagate (a node whose dependency
+// failed is not run). Run returns the first failure, after draining
+// whatever could still complete.
+func (g *Graph) Run(ctx context.Context) error {
+	if g.ran {
+		return fmt.Errorf("graph: already run")
+	}
+	g.ran = true
+	if err := g.validate(); err != nil {
+		return err
+	}
+	byTaskID := make(map[int]*Node)
+	pending := 0
+	var firstErr error
+
+	submitReady := func() error {
+		for _, n := range g.nodes {
+			if n.submitted || n.done {
+				continue
+			}
+			ready := true
+			for dep := range n.deps {
+				d := g.nodes[dep]
+				if !d.done {
+					ready = false
+					break
+				}
+				if d.result == nil || !d.result.OK {
+					// Dependency failed: this node can never run.
+					n.done = true
+					n.result = &Result{OK: false, Error: fmt.Sprintf("graph: dependency node %d failed", dep)}
+					if firstErr == nil {
+						firstErr = fmt.Errorf("graph: node %d skipped: dependency failed", n.id)
+					}
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			id, err := g.m.Submit(n.task)
+			if err != nil {
+				return fmt.Errorf("graph: submitting node %d: %w", n.id, err)
+			}
+			n.submitted = true
+			byTaskID[id] = n
+			pending++
+		}
+		return nil
+	}
+
+	if err := submitReady(); err != nil {
+		return err
+	}
+	for pending > 0 {
+		r, err := g.m.Wait(ctx)
+		if err != nil {
+			return err
+		}
+		n, ok := byTaskID[r.TaskID]
+		if !ok {
+			continue // a non-graph task sharing the manager
+		}
+		delete(byTaskID, r.TaskID)
+		pending--
+		n.done = true
+		n.result = r
+		if !r.OK && firstErr == nil {
+			firstErr = fmt.Errorf("graph: node %d failed: %s", n.id, r.Error)
+		}
+		if err := submitReady(); err != nil {
+			return err
+		}
+	}
+	// Mark never-submitted nodes (all ancestors failed) as done-failed.
+	for _, n := range g.nodes {
+		if !n.done && !n.submitted {
+			n.done = true
+			n.result = &Result{OK: false, Error: "graph: not run (dependency failure)"}
+		}
+	}
+	return firstErr
+}
+
+// Fetch retrieves a node output's content back to the application.
+func (g *Graph) Fetch(ctx context.Context, f File) ([]byte, error) {
+	return g.m.FetchFile(ctx, f)
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }

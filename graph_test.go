@@ -1,0 +1,202 @@
+package taskvine
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGraphLinearPipeline(t *testing.T) {
+	c := startCluster(t, 2, nil)
+	g := NewGraph(c.m)
+	a := g.Command("printf 'stage-a' > out", WithOutput("out"))
+	b := g.Command("sed 's/-a/-b/' < in > out",
+		WithInput(a.Output("out"), "in"), WithOutput("out"))
+	cNode := g.Command("sed 's/-b/-c/' < in > out",
+		WithInput(b.Output("out"), "in"), WithOutput("out"))
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.Fetch(context.Background(), cNode.Output("out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "stage-c" {
+		t.Fatalf("final = %q", data)
+	}
+	for _, n := range []*Node{a, b, cNode} {
+		if n.Result() == nil || !n.Result().OK {
+			t.Fatalf("node %d result = %+v", n.id, n.Result())
+		}
+	}
+}
+
+func TestGraphDiamond(t *testing.T) {
+	c := startCluster(t, 2, nil)
+	g := NewGraph(c.m)
+	src := g.Command("printf '5' > n", WithOutput("n"))
+	left := g.Command("echo $(($(cat n) * 2)) > out",
+		WithInput(src.Output("n"), "n"), WithOutput("out"))
+	right := g.Command("echo $(($(cat n) + 3)) > out",
+		WithInput(src.Output("n"), "n"), WithOutput("out"))
+	merge := g.Command("echo $(($(cat l) + $(cat r))) > sum",
+		WithInput(left.Output("out"), "l"),
+		WithInput(right.Output("out"), "r"),
+		WithOutput("sum"))
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.Fetch(context.Background(), merge.Output("sum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "18" { // 5*2 + 5+3
+		t.Fatalf("sum = %q", data)
+	}
+}
+
+func TestGraphFanOutFanIn(t *testing.T) {
+	c := startCluster(t, 3, nil)
+	g := NewGraph(c.m)
+	const width = 12
+	parts := make([]*Node, width)
+	merge := g.Command("cat p* | sort -n > all", WithOutput("all"))
+	for i := range parts {
+		parts[i] = g.Command("echo $VAL > out", WithOutput("out"), WithEnv("VAL", itoa(i)))
+		WithInput(parts[i].Output("out"), "p"+pad(i))(merge)
+	}
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := g.Fetch(context.Background(), merge.Output("all"))
+	lines := strings.Fields(string(data))
+	if len(lines) != width || lines[0] != "0" || lines[width-1] != itoa(width-1) {
+		t.Fatalf("merged = %q", data)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func pad(n int) string {
+	s := itoa(n)
+	for len(s) < 2 {
+		s = "0" + s
+	}
+	return s
+}
+
+func TestGraphExplicitOrdering(t *testing.T) {
+	c := startCluster(t, 1, nil)
+	g := NewGraph(c.m)
+	// No data edge, but b must run after a (verified via a host-side file).
+	marker := t.TempDir() + "/marker"
+	a := g.Command("sleep 0.2; touch " + marker)
+	b := g.Command("test -f "+marker+" && echo ordered", After(a))
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b.Result().Output), "ordered") {
+		t.Fatalf("ordering violated: %+v", b.Result())
+	}
+}
+
+func TestGraphDependencyFailureSkipsDescendants(t *testing.T) {
+	c := startCluster(t, 1, nil)
+	g := NewGraph(c.m)
+	bad := g.Command("exit 3", WithOutput("never"))
+	// The command does not create "never", but it exits non-zero first.
+	child := g.Command("cat in", WithInput(bad.Output("never"), "in"))
+	grandchild := g.Command("echo should-not-run", After(child))
+	err := g.Run(context.Background())
+	if err == nil {
+		t.Fatal("graph with failing node reported success")
+	}
+	if child.Result().OK || grandchild.Result().OK {
+		t.Fatal("descendants of failed node ran")
+	}
+	if bad.Result().ExitCode != 3 {
+		t.Fatalf("bad result = %+v", bad.Result())
+	}
+}
+
+func TestGraphCycleRejected(t *testing.T) {
+	c := startCluster(t, 1, nil)
+	g := NewGraph(c.m)
+	a := g.Command("true")
+	b := g.Command("true", After(a))
+	// Manually close the cycle (the public API cannot, since After takes
+	// already-created nodes; this simulates a future construction bug).
+	a.deps[b.id] = true
+	if err := g.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not rejected: %v", err)
+	}
+}
+
+func TestGraphRunTwiceRejected(t *testing.T) {
+	c := startCluster(t, 1, nil)
+	g := NewGraph(c.m)
+	g.Command("true")
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(context.Background()); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestGraphUnknownOutputPanics(t *testing.T) {
+	c := startCluster(t, 1, nil)
+	g := NewGraph(c.m)
+	n := g.Command("true")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown output did not panic")
+		}
+	}()
+	n.Output("nope")
+}
+
+func TestGraphLocalOutput(t *testing.T) {
+	c := startCluster(t, 1, nil)
+	dest := t.TempDir() + "/final.txt"
+	if err := writeFile(dest, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(c.m)
+	g.Command("printf 'to shared fs' > out", WithLocalOutput("out", dest))
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitForContent(t, dest, "to shared fs")
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func waitForContent(t *testing.T, path, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, _ := os.ReadFile(path)
+		if string(b) == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("content of %s = %q, want %q", path, b, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,274 @@
+// Package batch is the mini batch-system substrate standing in for the
+// paper's HTCondor deployment (§4: "Workflows are executed by submitting
+// TaskVine workers of the desired size as batch jobs").
+//
+// A Pool supervises a set of worker "jobs": it submits them, restarts them
+// if they exit unexpectedly (shared clusters preempt jobs), supports
+// resizing, and drains cleanly. Jobs here are in-process workers — the
+// local analogue of condor_submit_workers — created through an injectable
+// factory so tests and tools can substitute external processes.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"taskvine/internal/resources"
+	"taskvine/internal/worker"
+)
+
+// JobState describes one supervised worker job.
+type JobState int
+
+const (
+	// Starting means the job has been submitted but is not yet serving.
+	Starting JobState = iota
+	// Running means the job's worker is connected and serving.
+	Running
+	// Exited means the job finished (released or failed) and will not be
+	// restarted.
+	Exited
+)
+
+// String returns a readable name for the state.
+func (s JobState) String() string {
+	switch s {
+	case Starting:
+		return "starting"
+	case Running:
+		return "running"
+	case Exited:
+		return "exited"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Job is a Runner plus its supervision metadata.
+type Job struct {
+	ID       string
+	State    JobState
+	Restarts int
+}
+
+// Runner is the unit the pool supervises: anything with a blocking Run.
+type Runner interface {
+	Run(ctx context.Context) error
+}
+
+// Factory creates the i-th worker job. Returning an error aborts the
+// submission (the pool retries on its next reconcile pass).
+type Factory func(i int) (Runner, error)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Size is the desired number of worker jobs.
+	Size int
+	// Factory creates jobs; WorkerFactory covers the common case.
+	Factory Factory
+	// MaxRestarts bounds per-job restarts after unexpected exits
+	// (default 3; preempted batch jobs are resubmitted, crashing ones
+	// eventually abandoned).
+	MaxRestarts int
+	// RestartDelay throttles restart storms (default 100ms).
+	RestartDelay time.Duration
+	// Logger receives supervision messages; nil silences them.
+	Logger *log.Logger
+}
+
+// WorkerFactory returns a Factory producing real TaskVine workers that
+// connect to managerAddr, each with its own subdirectory of baseDir.
+func WorkerFactory(managerAddr, baseDir string, capacity resources.R) Factory {
+	return func(i int) (Runner, error) {
+		return worker.New(worker.Config{
+			ManagerAddr: managerAddr,
+			WorkDir:     fmt.Sprintf("%s/job%d", baseDir, i),
+			Capacity:    capacity,
+			ID:          fmt.Sprintf("batch-%d", i),
+		})
+	}
+}
+
+// Pool supervises worker jobs.
+type Pool struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	jobs map[int]*jobRecord
+	next int
+
+	wg sync.WaitGroup
+}
+
+type jobRecord struct {
+	job    Job
+	cancel context.CancelFunc
+	wanted bool
+}
+
+// NewPool creates a pool; Start launches the initial jobs.
+func NewPool(cfg Config) *Pool {
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.RestartDelay == 0 {
+		cfg.RestartDelay = 100 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Pool{cfg: cfg, ctx: ctx, cancel: cancel, jobs: make(map[int]*jobRecord)}
+}
+
+func (p *Pool) logf(format string, args ...any) {
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Printf("batch: "+format, args...)
+	}
+}
+
+// Start submits the configured number of jobs.
+func (p *Pool) Start() error {
+	return p.Resize(p.cfg.Size)
+}
+
+// Resize grows or shrinks the pool to n jobs. Shrinking cancels the
+// highest-numbered jobs first.
+func (p *Pool) Resize(n int) error {
+	if n < 0 {
+		return fmt.Errorf("batch: negative pool size %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	live := p.liveLocked()
+	for live > n {
+		// Cancel the newest live job.
+		var victim *jobRecord
+		vIdx := -1
+		for idx, rec := range p.jobs {
+			if rec.wanted && idx > vIdx {
+				victim, vIdx = rec, idx
+			}
+		}
+		if victim == nil {
+			break
+		}
+		victim.wanted = false
+		victim.cancel()
+		live--
+	}
+	for live < n {
+		if err := p.submitLocked(); err != nil {
+			return err
+		}
+		live++
+	}
+	return nil
+}
+
+func (p *Pool) liveLocked() int {
+	n := 0
+	for _, rec := range p.jobs {
+		if rec.wanted && rec.job.State != Exited {
+			n++
+		}
+	}
+	return n
+}
+
+// submitLocked launches one supervised job.
+func (p *Pool) submitLocked() error {
+	idx := p.next
+	p.next++
+	r, err := p.cfg.Factory(idx)
+	if err != nil {
+		return fmt.Errorf("batch: creating job %d: %w", idx, err)
+	}
+	jctx, jcancel := context.WithCancel(p.ctx)
+	rec := &jobRecord{
+		job:    Job{ID: fmt.Sprintf("job%d", idx), State: Starting},
+		cancel: jcancel,
+		wanted: true,
+	}
+	p.jobs[idx] = rec
+	p.wg.Add(1)
+	go p.supervise(jctx, idx, r)
+	return nil
+}
+
+// supervise runs a job and restarts it on unexpected exit.
+func (p *Pool) supervise(ctx context.Context, idx int, r Runner) {
+	defer p.wg.Done()
+	for {
+		p.setState(idx, Running)
+		err := r.Run(ctx)
+		p.mu.Lock()
+		rec := p.jobs[idx]
+		wanted := rec.wanted && ctx.Err() == nil
+		restarts := rec.job.Restarts
+		p.mu.Unlock()
+		if !wanted {
+			p.setState(idx, Exited)
+			return
+		}
+		if restarts >= p.cfg.MaxRestarts {
+			p.logf("job%d exceeded %d restarts; abandoning (last err: %v)", idx, p.cfg.MaxRestarts, err)
+			p.setState(idx, Exited)
+			return
+		}
+		p.logf("job%d exited (%v); restarting", idx, err)
+		p.mu.Lock()
+		rec.job.Restarts++
+		p.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			p.setState(idx, Exited)
+			return
+		case <-time.After(p.cfg.RestartDelay):
+		}
+		// A fresh Runner for the restart: workers cannot be re-run.
+		nr, ferr := p.cfg.Factory(idx)
+		if ferr != nil {
+			p.logf("job%d recreate failed: %v", idx, ferr)
+			p.setState(idx, Exited)
+			return
+		}
+		r = nr
+	}
+}
+
+func (p *Pool) setState(idx int, s JobState) {
+	p.mu.Lock()
+	if rec, ok := p.jobs[idx]; ok {
+		rec.job.State = s
+	}
+	p.mu.Unlock()
+}
+
+// Jobs returns a snapshot of all jobs ever submitted.
+func (p *Pool) Jobs() []Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Job, 0, len(p.jobs))
+	for i := 0; i < p.next; i++ {
+		if rec, ok := p.jobs[i]; ok {
+			out = append(out, rec.job)
+		}
+	}
+	return out
+}
+
+// Live returns the number of jobs currently wanted and not exited.
+func (p *Pool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.liveLocked()
+}
+
+// Stop cancels every job and waits for them to drain.
+func (p *Pool) Stop() {
+	p.cancel()
+	p.wg.Wait()
+}

@@ -1,0 +1,165 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"taskvine/internal/core"
+	"taskvine/internal/resources"
+	"taskvine/internal/taskspec"
+)
+
+// fakeRunner blocks until cancelled, or exits immediately with err when
+// crash is set, counting its runs.
+type fakeRunner struct {
+	runs  *atomic.Int64
+	crash bool
+}
+
+func (f *fakeRunner) Run(ctx context.Context) error {
+	f.runs.Add(1)
+	if f.crash {
+		return errors.New("synthetic crash")
+	}
+	<-ctx.Done()
+	return nil
+}
+
+func TestPoolStartAndStop(t *testing.T) {
+	var runs atomic.Int64
+	p := NewPool(Config{
+		Size:    4,
+		Factory: func(i int) (Runner, error) { return &fakeRunner{runs: &runs}, nil },
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Live() == 4 })
+	p.Stop()
+	for _, j := range p.Jobs() {
+		if j.State != Exited {
+			t.Fatalf("job %s state %v after stop", j.ID, j.State)
+		}
+	}
+	if runs.Load() != 4 {
+		t.Fatalf("runs = %d", runs.Load())
+	}
+}
+
+func TestPoolRestartsCrashedJobs(t *testing.T) {
+	var runs atomic.Int64
+	p := NewPool(Config{
+		Size:         1,
+		MaxRestarts:  2,
+		RestartDelay: 5 * time.Millisecond,
+		Factory:      func(i int) (Runner, error) { return &fakeRunner{runs: &runs, crash: true}, nil },
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Initial run + 2 restarts = 3 runs, then abandoned.
+	waitFor(t, func() bool { return runs.Load() == 3 })
+	waitFor(t, func() bool { return p.Live() == 0 })
+	jobs := p.Jobs()
+	if len(jobs) != 1 || jobs[0].Restarts != 2 || jobs[0].State != Exited {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+	p.Stop()
+}
+
+func TestPoolResize(t *testing.T) {
+	var runs atomic.Int64
+	p := NewPool(Config{
+		Size:    2,
+		Factory: func(i int) (Runner, error) { return &fakeRunner{runs: &runs}, nil },
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Live() == 2 })
+	if err := p.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Live() == 5 })
+	if err := p.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Live() == 1 })
+	if err := p.Resize(-1); err == nil {
+		t.Fatal("negative resize accepted")
+	}
+	p.Stop()
+}
+
+func TestPoolFactoryError(t *testing.T) {
+	p := NewPool(Config{
+		Size:    1,
+		Factory: func(i int) (Runner, error) { return nil, errors.New("no capacity") },
+	})
+	if err := p.Start(); err == nil {
+		t.Fatal("factory error swallowed")
+	}
+	p.Stop()
+}
+
+func TestWorkerFactoryAgainstRealManager(t *testing.T) {
+	// End to end: a pool of real workers serves a real manager.
+	m, err := core.NewManager(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	p := NewPool(Config{
+		Size:    3,
+		Factory: WorkerFactory(m.Addr(), t.TempDir(), resources.R{Cores: 2, Memory: resources.GB, Disk: 100 * resources.MB}),
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	const n = 9
+	for i := 0; i < n; i++ {
+		spec := &taskspec.Spec{Kind: taskspec.KindCommand, Command: fmt.Sprintf("echo batch-%d", i)}
+		if _, err := m.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	workers := map[string]bool{}
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		r, err := m.Wait(ctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK {
+			t.Fatalf("task failed: %+v", r)
+		}
+		workers[r.Worker] = true
+	}
+	if len(workers) < 2 {
+		t.Fatalf("work not spread across the pool: %v", workers)
+	}
+}
+
+func TestJobStateString(t *testing.T) {
+	if Starting.String() != "starting" || Running.String() != "running" || Exited.String() != "exited" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never met")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,440 @@
+// Package cache implements worker storage management (§2.1, §3.2, Figure 4).
+//
+// A worker's local storage is organized as a flat cache of data objects,
+// each stored under a unique cache name assigned by the manager. The cache
+// tracks the size and state of every object, accounts disk consumption
+// against a capacity, and distinguishes objects by declared lifetime so
+// that workflow conclusion can evict ephemeral data while worker-lifetime
+// software packages and reference datasets persist for future workflows.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Lifetime mirrors files.Lifetime without importing it, keeping the worker
+// side free of manager-side packages. The integer values are identical and
+// travel in protocol messages.
+type Lifetime int
+
+// Lifetime values, ordered by eviction preference: lower values are evicted
+// first.
+const (
+	LifetimeTask Lifetime = iota
+	LifetimeWorkflow
+	LifetimeWorker
+)
+
+// State tracks an object's presence in the cache.
+type State int
+
+const (
+	// StatePending means the object has been reserved (a transfer or
+	// MiniTask is materializing it) but is not yet usable.
+	StatePending State = iota
+	// StateReady means the object is fully present and immutable.
+	StateReady
+	// StateFailed means materialization failed; the entry holds the error.
+	StateFailed
+)
+
+// Entry describes one cached object.
+type Entry struct {
+	Name     string
+	Size     int64
+	State    State
+	Lifetime Lifetime
+	// LastUse orders ready entries for least-recently-used eviction.
+	LastUse time.Time
+	// Dir marks directory objects (unpacked trees).
+	Dir bool
+	// Err records why materialization failed.
+	Err error
+	// pins counts tasks currently using the object; pinned objects are
+	// never evicted.
+	pins int
+}
+
+// ErrNoSpace is returned when an object cannot be admitted even after
+// evicting every unpinned ephemeral object.
+var ErrNoSpace = errors.New("cache: insufficient storage")
+
+// Cache is a disk-backed object store. All methods are safe for concurrent
+// use.
+type Cache struct {
+	mu       sync.Mutex
+	dir      string
+	capacity int64
+	used     int64
+	entries  map[string]*Entry
+	clock    func() time.Time
+	// evicted records names evicted since the last DrainEvicted call, so
+	// the worker can send cache-invalid messages to the manager.
+	evicted []string
+}
+
+// New creates a cache rooted at dir with the given capacity in bytes. The
+// directory is created if missing. Objects already present on disk (from a
+// previous worker lifetime) are adopted as ready worker-lifetime entries:
+// their content-addressed names make them valid across runs.
+func New(dir string, capacity int64) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: creating %s: %w", dir, err)
+	}
+	c := &Cache{
+		dir:      dir,
+		capacity: capacity,
+		entries:  make(map[string]*Entry),
+		clock:    time.Now,
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, ".") {
+			continue
+		}
+		size, isDir := diskUsage(filepath.Join(dir, name))
+		c.entries[name] = &Entry{
+			Name:     name,
+			Size:     size,
+			State:    StateReady,
+			Lifetime: LifetimeWorker,
+			LastUse:  c.clock(),
+			Dir:      isDir,
+		}
+		c.used += size
+	}
+	return c, nil
+}
+
+// SetClock substitutes the time source, for deterministic tests.
+func (c *Cache) SetClock(clock func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clock
+}
+
+func diskUsage(path string) (int64, bool) {
+	info, err := os.Lstat(path)
+	if err != nil {
+		return 0, false
+	}
+	if !info.IsDir() {
+		return info.Size(), false
+	}
+	var total int64
+	filepath.WalkDir(path, func(_ string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil {
+			total += fi.Size()
+		}
+		return nil
+	})
+	return total, true
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Capacity returns the configured storage capacity in bytes.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently accounted to cached objects.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Path returns the on-disk location of an object, whether or not it exists.
+func (c *Cache) Path(name string) string {
+	return filepath.Join(c.dir, name)
+}
+
+// Contains reports whether an object is present and ready.
+func (c *Cache) Contains(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	return ok && e.State == StateReady
+}
+
+// Lookup returns a copy of the entry for name.
+func (c *Cache) Lookup(name string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Reserve admits an object of the given expected size into the cache in
+// pending state, evicting unpinned ephemeral objects if needed to make
+// room. Size may be -1 when unknown; unknown sizes reserve no space up
+// front and are accounted at Commit. Reserving an already-ready object is
+// an error (immutability); reserving an already-pending object is
+// idempotent and reports alreadyPending.
+func (c *Cache) Reserve(name string, size int64, lifetime Lifetime) (alreadyPending bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[name]; ok {
+		switch e.State {
+		case StateReady:
+			return false, fmt.Errorf("cache: %s already present; objects are immutable", name)
+		case StatePending:
+			return true, nil
+		case StateFailed:
+			// Retry after failure: fall through and re-reserve.
+			c.used -= e.Size
+			delete(c.entries, name)
+		}
+	}
+	reserve := size
+	if reserve < 0 {
+		reserve = 0
+	}
+	if err := c.ensureSpaceLocked(reserve); err != nil {
+		return false, err
+	}
+	c.entries[name] = &Entry{
+		Name:     name,
+		Size:     reserve,
+		State:    StatePending,
+		Lifetime: lifetime,
+		LastUse:  c.clock(),
+	}
+	c.used += reserve
+	return false, nil
+}
+
+// ensureSpaceLocked evicts unpinned, non-pending objects (cheapest lifetime
+// first, LRU within a lifetime) until need bytes fit under capacity.
+func (c *Cache) ensureSpaceLocked(need int64) error {
+	if c.used+need <= c.capacity {
+		return nil
+	}
+	victims := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		if e.State == StateReady && e.pins == 0 {
+			victims = append(victims, e)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].Lifetime != victims[j].Lifetime {
+			return victims[i].Lifetime < victims[j].Lifetime
+		}
+		return victims[i].LastUse.Before(victims[j].LastUse)
+	})
+	for _, v := range victims {
+		if c.used+need <= c.capacity {
+			break
+		}
+		c.removeLocked(v.Name, true)
+	}
+	if c.used+need > c.capacity {
+		return fmt.Errorf("%w: need %d, used %d of %d", ErrNoSpace, need, c.used, c.capacity)
+	}
+	return nil
+}
+
+// Commit marks a pending object ready, adjusting accounting to its actual
+// on-disk size. The object's bytes must already be at Path(name).
+func (c *Cache) Commit(name string) error {
+	actual, isDir := diskUsage(c.Path(name))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return fmt.Errorf("cache: commit of unreserved object %s", name)
+	}
+	if e.State == StateReady {
+		return fmt.Errorf("cache: double commit of %s", name)
+	}
+	c.used += actual - e.Size
+	e.Size = actual
+	e.Dir = isDir
+	e.State = StateReady
+	e.Err = nil
+	e.LastUse = c.clock()
+	if c.used > c.capacity {
+		// The object turned out larger than reserved; evict others to
+		// restore the invariant, but never the object just committed.
+		e.pins++
+		err := c.ensureSpaceLocked(0)
+		e.pins--
+		if err != nil {
+			c.removeLocked(name, false)
+			return fmt.Errorf("cache: %s exceeded remaining capacity: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Fail marks a pending object as failed and releases its reservation.
+func (c *Cache) Fail(name string, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok || e.State == StateReady {
+		return
+	}
+	c.used -= e.Size
+	e.Size = 0
+	e.State = StateFailed
+	e.Err = cause
+	os.RemoveAll(c.Path(name))
+}
+
+// Put stores an object read from r (size bytes) directly into the cache,
+// reserving, writing, and committing in one step.
+func (c *Cache) Put(name string, size int64, lifetime Lifetime, r io.Reader) error {
+	already, err := c.Reserve(name, size, lifetime)
+	if err != nil {
+		return err
+	}
+	if already {
+		return fmt.Errorf("cache: %s is already being materialized", name)
+	}
+	f, err := os.Create(c.Path(name))
+	if err != nil {
+		c.Fail(name, err)
+		return err
+	}
+	n, err := io.Copy(f, io.LimitReader(r, size))
+	closeErr := f.Close()
+	if err == nil {
+		err = closeErr
+	}
+	if err == nil && n != size {
+		err = fmt.Errorf("cache: short write for %s: %d of %d bytes", name, n, size)
+	}
+	if err != nil {
+		c.Fail(name, err)
+		return err
+	}
+	return c.Commit(name)
+}
+
+// Open returns a reader over a ready plain-file object and its size.
+func (c *Cache) Open(name string) (io.ReadCloser, int64, error) {
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if !ok || e.State != StateReady {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("cache: %s not present", name)
+	}
+	if e.Dir {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("cache: %s is a directory; transfer as archive", name)
+	}
+	e.LastUse = c.clock()
+	size := e.Size
+	c.mu.Unlock()
+	f, err := os.Open(c.Path(name))
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, size, nil
+}
+
+// Pin marks an object in use by a task, protecting it from eviction, and
+// refreshes its LRU position. Pinning a non-ready object is an error.
+func (c *Cache) Pin(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok || e.State != StateReady {
+		return fmt.Errorf("cache: pinning absent object %s", name)
+	}
+	e.pins++
+	e.LastUse = c.clock()
+	return nil
+}
+
+// Unpin releases a task's use of an object.
+func (c *Cache) Unpin(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[name]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// Delete removes an object at the manager's direction. Pinned objects are
+// not deleted; the deletion is a no-op in that case (the manager will
+// retry after the task completes).
+func (c *Cache) Delete(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[name]; ok && e.pins > 0 {
+		return
+	}
+	c.removeLocked(name, false)
+}
+
+func (c *Cache) removeLocked(name string, recordEviction bool) {
+	e, ok := c.entries[name]
+	if !ok {
+		return
+	}
+	c.used -= e.Size
+	delete(c.entries, name)
+	os.RemoveAll(c.Path(name))
+	if recordEviction {
+		c.evicted = append(c.evicted, name)
+	}
+}
+
+// DrainEvicted returns and clears the list of objects evicted for space
+// since the last call. The worker reports these to the manager as
+// cache-invalid messages so the replica table stays accurate.
+func (c *Cache) DrainEvicted() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.evicted
+	c.evicted = nil
+	return out
+}
+
+// EndWorkflow deletes all task- and workflow-lifetime objects, implementing
+// the automatic cleanup at workflow conclusion (§3.2). Returns the names
+// removed.
+func (c *Cache) EndWorkflow() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var removed []string
+	for name, e := range c.entries {
+		if e.Lifetime != LifetimeWorker && e.pins == 0 {
+			removed = append(removed, name)
+			c.removeLocked(name, false)
+		}
+	}
+	return removed
+}
+
+// List returns a snapshot of all entries, ordered by name.
+func (c *Cache) List() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,347 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newCache(t *testing.T, capacity int64) *Cache {
+	t.Helper()
+	c, err := New(t.TempDir(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func put(t *testing.T, c *Cache, name string, content string, lt Lifetime) {
+	t.Helper()
+	if err := c.Put(name, int64(len(content)), lt, strings.NewReader(content)); err != nil {
+		t.Fatalf("put %s: %v", name, err)
+	}
+}
+
+func TestPutOpenRoundTrip(t *testing.T) {
+	c := newCache(t, 1<<20)
+	put(t, c, "file-abc", "hello cache", LifetimeWorkflow)
+	if !c.Contains("file-abc") {
+		t.Fatal("object not present after put")
+	}
+	r, size, err := c.Open("file-abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if size != 11 {
+		t.Fatalf("size = %d", size)
+	}
+	b, _ := io.ReadAll(r)
+	if string(b) != "hello cache" {
+		t.Fatalf("content = %q", b)
+	}
+	if c.Used() != 11 {
+		t.Fatalf("used = %d", c.Used())
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	c := newCache(t, 1<<20)
+	put(t, c, "file-abc", "v1", LifetimeWorker)
+	if err := c.Put("file-abc", 2, LifetimeWorker, strings.NewReader("v2")); err == nil {
+		t.Fatal("overwrite of ready object accepted")
+	}
+}
+
+func TestReservePendingIdempotent(t *testing.T) {
+	c := newCache(t, 1<<20)
+	already, err := c.Reserve("url-x", 100, LifetimeWorkflow)
+	if err != nil || already {
+		t.Fatalf("first reserve: already=%v err=%v", already, err)
+	}
+	already, err = c.Reserve("url-x", 100, LifetimeWorkflow)
+	if err != nil || !already {
+		t.Fatalf("second reserve: already=%v err=%v", already, err)
+	}
+	if c.Contains("url-x") {
+		t.Fatal("pending object reported ready")
+	}
+}
+
+func TestFailThenRetry(t *testing.T) {
+	c := newCache(t, 1<<20)
+	if _, err := c.Reserve("url-x", 100, LifetimeWorkflow); err != nil {
+		t.Fatal(err)
+	}
+	c.Fail("url-x", errors.New("network down"))
+	e, ok := c.Lookup("url-x")
+	if !ok || e.State != StateFailed || e.Err == nil {
+		t.Fatalf("entry after fail = %+v", e)
+	}
+	if c.Used() != 0 {
+		t.Fatalf("failed reservation still accounted: used=%d", c.Used())
+	}
+	// A later retry can re-reserve.
+	already, err := c.Reserve("url-x", 100, LifetimeWorkflow)
+	if err != nil || already {
+		t.Fatalf("retry reserve: already=%v err=%v", already, err)
+	}
+}
+
+func TestCommitAdjustsToActualSize(t *testing.T) {
+	c := newCache(t, 1<<20)
+	if _, err := c.Reserve("task-out", 10, LifetimeWorkflow); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.Path("task-out"), bytes.Repeat([]byte("x"), 999), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit("task-out"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Used() != 999 {
+		t.Fatalf("used = %d want 999", c.Used())
+	}
+}
+
+func TestEvictionOrderByLifetimeThenLRU(t *testing.T) {
+	c := newCache(t, 100)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+
+	put(t, c, "worker-old", strings.Repeat("w", 30), LifetimeWorker)
+	now = now.Add(time.Second)
+	put(t, c, "wf-old", strings.Repeat("a", 30), LifetimeWorkflow)
+	now = now.Add(time.Second)
+	put(t, c, "wf-new", strings.Repeat("b", 30), LifetimeWorkflow)
+	now = now.Add(time.Second)
+
+	// Need 50 bytes with 10 free: should evict wf-old first (oldest
+	// workflow-lifetime), then wf-new, leaving the worker-lifetime object
+	// alone.
+	put(t, c, "incoming", strings.Repeat("c", 50), LifetimeWorkflow)
+
+	if c.Contains("wf-old") {
+		t.Fatal("oldest workflow object survived eviction")
+	}
+	if c.Contains("wf-new") {
+		t.Fatal("second workflow object survived eviction (needed 50 bytes)")
+	}
+	if !c.Contains("worker-old") {
+		t.Fatal("worker-lifetime object evicted before ephemeral ones")
+	}
+	if !c.Contains("incoming") {
+		t.Fatal("incoming object missing")
+	}
+	ev := c.DrainEvicted()
+	if len(ev) != 2 {
+		t.Fatalf("evicted = %v", ev)
+	}
+	if len(c.DrainEvicted()) != 0 {
+		t.Fatal("DrainEvicted did not clear")
+	}
+}
+
+func TestPinnedObjectsSurviveEviction(t *testing.T) {
+	c := newCache(t, 100)
+	put(t, c, "pinned", strings.Repeat("p", 60), LifetimeTask)
+	if err := c.Pin("pinned"); err != nil {
+		t.Fatal(err)
+	}
+	// 60 used, need 60 more: without eviction capacity is exceeded.
+	err := c.Put("big", 60, LifetimeWorkflow, strings.NewReader(strings.Repeat("b", 60)))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("expected ErrNoSpace, got %v", err)
+	}
+	if !c.Contains("pinned") {
+		t.Fatal("pinned object evicted")
+	}
+	c.Unpin("pinned")
+	put(t, c, "big2", strings.Repeat("b", 60), LifetimeWorkflow)
+	if c.Contains("pinned") {
+		t.Fatal("unpinned object not evictable")
+	}
+}
+
+func TestDeleteRespectsPins(t *testing.T) {
+	c := newCache(t, 1000)
+	put(t, c, "obj", "data", LifetimeWorkflow)
+	c.Pin("obj")
+	c.Delete("obj")
+	if !c.Contains("obj") {
+		t.Fatal("pinned object deleted")
+	}
+	c.Unpin("obj")
+	c.Delete("obj")
+	if c.Contains("obj") {
+		t.Fatal("object survived delete")
+	}
+	if _, err := os.Stat(c.Path("obj")); !os.IsNotExist(err) {
+		t.Fatal("deleted object still on disk")
+	}
+}
+
+func TestEndWorkflow(t *testing.T) {
+	c := newCache(t, 1000)
+	put(t, c, "task-a", "1", LifetimeTask)
+	put(t, c, "wf-b", "22", LifetimeWorkflow)
+	put(t, c, "worker-c", "333", LifetimeWorker)
+	removed := c.EndWorkflow()
+	if len(removed) != 2 {
+		t.Fatalf("removed = %v", removed)
+	}
+	if c.Contains("task-a") || c.Contains("wf-b") {
+		t.Fatal("ephemeral objects survived end of workflow")
+	}
+	if !c.Contains("worker-c") {
+		t.Fatal("worker-lifetime object removed at end of workflow")
+	}
+	if c.Used() != 3 {
+		t.Fatalf("used = %d", c.Used())
+	}
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("file-persist", 9, LifetimeWorker, strings.NewReader("keep this")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate worker restart: a fresh cache over the same directory
+	// adopts worker-lifetime objects (their names are content-addressed).
+	c2, err := New(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Contains("file-persist") {
+		t.Fatal("object lost across restart")
+	}
+	e, _ := c2.Lookup("file-persist")
+	if e.Lifetime != LifetimeWorker || e.Size != 9 {
+		t.Fatalf("adopted entry = %+v", e)
+	}
+	if c2.Used() != 9 {
+		t.Fatalf("used = %d", c2.Used())
+	}
+}
+
+func TestDirectoryObjects(t *testing.T) {
+	c := newCache(t, 1000)
+	if _, err := c.Reserve("dir-tree", -1, LifetimeWorker); err != nil {
+		t.Fatal(err)
+	}
+	root := c.Path("dir-tree")
+	if err := os.MkdirAll(filepath.Join(root, "bin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(root, "bin", "tool"), []byte("12345"), 0o755)
+	os.WriteFile(filepath.Join(root, "README"), []byte("123"), 0o644)
+	if err := c.Commit("dir-tree"); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.Lookup("dir-tree")
+	if !e.Dir || e.Size != 8 {
+		t.Fatalf("dir entry = %+v", e)
+	}
+	if _, _, err := c.Open("dir-tree"); err == nil {
+		t.Fatal("Open of directory object should fail")
+	}
+}
+
+func TestCommitOversizedObjectEvictsOthers(t *testing.T) {
+	c := newCache(t, 100)
+	put(t, c, "victim", strings.Repeat("v", 80), LifetimeWorkflow)
+	if _, err := c.Reserve("unknown-size", -1, LifetimeWorkflow); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(c.Path("unknown-size"), bytes.Repeat([]byte("x"), 90), 0o644)
+	if err := c.Commit("unknown-size"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains("victim") {
+		t.Fatal("victim survived; cache must be over capacity")
+	}
+	if !c.Contains("unknown-size") {
+		t.Fatal("committed object evicted itself")
+	}
+	if c.Used() > c.Capacity() {
+		t.Fatalf("capacity invariant violated: used=%d cap=%d", c.Used(), c.Capacity())
+	}
+}
+
+func TestCommitHugeObjectFails(t *testing.T) {
+	c := newCache(t, 50)
+	if _, err := c.Reserve("huge", -1, LifetimeWorkflow); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(c.Path("huge"), bytes.Repeat([]byte("x"), 200), 0o644)
+	if err := c.Commit("huge"); err == nil {
+		t.Fatal("object larger than whole cache committed")
+	}
+	if c.Used() != 0 {
+		t.Fatalf("used = %d after failed commit", c.Used())
+	}
+}
+
+func TestShortWriteFailsPut(t *testing.T) {
+	c := newCache(t, 1000)
+	err := c.Put("trunc", 100, LifetimeWorkflow, strings.NewReader("only ten b"))
+	if err == nil {
+		t.Fatal("short payload committed")
+	}
+	if c.Contains("trunc") {
+		t.Fatal("truncated object present")
+	}
+}
+
+// Property: under arbitrary put/delete sequences the cache never exceeds
+// capacity and never loses accounting.
+func TestQuickCapacityInvariant(t *testing.T) {
+	c := newCache(t, 500)
+	i := 0
+	f := func(sizes []uint16, deletes []bool) bool {
+		for k, sz := range sizes {
+			size := int64(sz % 300)
+			name := "obj-" + string(rune('a'+i%26)) + "-" + time.Now().Format("150405") + "-" + itoa(i)
+			i++
+			lt := Lifetime(k % 3)
+			content := strings.Repeat("z", int(size))
+			err := c.Put(name, size, lt, strings.NewReader(content))
+			if err != nil && !errors.Is(err, ErrNoSpace) {
+				t.Logf("unexpected error: %v", err)
+				return false
+			}
+			if c.Used() > c.Capacity() {
+				return false
+			}
+			if k < len(deletes) && deletes[k] {
+				c.Delete(name)
+			}
+		}
+		return c.Used() <= c.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

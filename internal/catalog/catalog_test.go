@@ -1,0 +1,129 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUpdateAndQuery(t *testing.T) {
+	s, err := NewServer("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := Update(s.Addr(), Entry{Name: "physics", Addr: "10.0.0.1:9123", Workers: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Update(s.Addr(), Entry{Name: "genomics", Addr: "10.0.0.2:9123", TasksRunning: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	all, err := Query(s.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].Name != "genomics" || all[1].Name != "physics" {
+		t.Fatalf("all = %+v", all)
+	}
+	if all[1].Workers != 12 || all[1].LastHeard.IsZero() {
+		t.Fatalf("entry = %+v", all[1])
+	}
+
+	phys, err := Query(s.Addr(), "physics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phys) != 1 || phys[0].Addr != "10.0.0.1:9123" {
+		t.Fatalf("filtered = %+v", phys)
+	}
+}
+
+func TestUpdateReplacesEntry(t *testing.T) {
+	s, err := NewServer("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	Update(s.Addr(), Entry{Name: "p", Addr: "a:1", Workers: 1})
+	Update(s.Addr(), Entry{Name: "p", Addr: "a:1", Workers: 9})
+	got := s.List("")
+	if len(got) != 1 || got[0].Workers != 9 {
+		t.Fatalf("list = %+v", got)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	s, err := NewServer("", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	Update(s.Addr(), Entry{Name: "stale", Addr: "x:1"})
+	now = now.Add(5 * time.Second)
+	Update(s.Addr(), Entry{Name: "fresh", Addr: "y:1"})
+	now = now.Add(6 * time.Second) // stale is 11s old, fresh 6s
+	got := s.List("")
+	if len(got) != 1 || got[0].Name != "fresh" {
+		t.Fatalf("list = %+v", got)
+	}
+}
+
+func TestRejectsMalformedUpdates(t *testing.T) {
+	s, err := NewServer("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := Update(s.Addr(), Entry{Name: "", Addr: "x"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Update(s.Addr(), Entry{Name: "x", Addr: ""}); err == nil {
+		t.Fatal("empty addr accepted")
+	}
+}
+
+func TestAdvertiser(t *testing.T) {
+	s, err := NewServer("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	calls := 0
+	a := NewAdvertiser(s.Addr(), "adv", 10*time.Millisecond, func() Entry {
+		calls++
+		return Entry{Addr: "m:1", Workers: calls}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := s.List("adv")
+		if len(got) == 1 && got[0].Workers >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("advertiser never refreshed: %+v", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	a.Stop()
+	// No more updates after stop.
+	last := s.List("adv")[0].Workers
+	time.Sleep(50 * time.Millisecond)
+	if got := s.List("adv")[0].Workers; got != last {
+		t.Fatalf("advertiser kept publishing after Stop: %d -> %d", last, got)
+	}
+}
+
+func TestQueryDeadCatalog(t *testing.T) {
+	s, _ := NewServer("", 0)
+	addr := s.Addr()
+	s.Close()
+	if _, err := Query(addr, ""); err == nil {
+		t.Fatal("dead catalog answered")
+	}
+	if err := Update(addr, Entry{Name: "x", Addr: "y"}); err == nil {
+		t.Fatal("dead catalog accepted update")
+	}
+}

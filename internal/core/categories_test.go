@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCategoryStatsAggregation(t *testing.T) {
+	h := newHarness(t, 1, Config{})
+	// Two categories: "write" tasks produce sandbox residue; "fail" tasks
+	// exit non-zero.
+	for i := 0; i < 3; i++ {
+		spec := command("head -c 4096 /dev/zero > residue; sleep 0.05")
+		spec.Category = "write"
+		if _, err := h.m.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := command("exit 2")
+	bad.Category = "flaky"
+	if _, err := h.m.Submit(bad); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		waitResult(t, h.m)
+	}
+
+	stats := h.m.Categories()
+	byName := map[string]CategoryStats{}
+	for _, s := range stats {
+		byName[s.Category] = s
+	}
+	w, ok := byName["write"]
+	if !ok || w.Done != 3 || w.Failed != 0 {
+		t.Fatalf("write stats = %+v", w)
+	}
+	if w.MaxDisk < 4096 {
+		t.Fatalf("measured disk = %d, want >= 4096", w.MaxDisk)
+	}
+	if w.TotalRunMS <= 0 || w.MeanRunMS() <= 0 {
+		t.Fatalf("run time not recorded: %+v", w)
+	}
+	f, ok := byName["flaky"]
+	if !ok || f.Failed != 1 || f.Done != 0 {
+		t.Fatalf("flaky stats = %+v", f)
+	}
+}
+
+func TestCategoriesEmptyAndAfterClose(t *testing.T) {
+	m, err := NewManager(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Categories(); len(got) != 0 {
+		t.Fatalf("fresh categories = %+v", got)
+	}
+	m.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Categories() != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Categories after close should return nil")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMeanRunMS(t *testing.T) {
+	s := CategoryStats{Done: 2, Failed: 2, TotalRunMS: 400}
+	if s.MeanRunMS() != 100 {
+		t.Fatalf("mean = %d", s.MeanRunMS())
+	}
+	if (CategoryStats{}).MeanRunMS() != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestAutoSizeResourcesFromHistory(t *testing.T) {
+	h := newHarness(t, 1, Config{AutoSizeResources: true})
+	// Seed the category with a small task (~4KB of sandbox residue).
+	seed := command("head -c 4096 /dev/zero > blob")
+	seed.Category = "etl"
+	if _, err := h.m.Submit(seed); err != nil {
+		t.Fatal(err)
+	}
+	if r := waitResult(t, h.m); !r.OK {
+		t.Fatalf("seed failed: %+v", r)
+	}
+
+	// A later task in the same category declares nothing, inherits the
+	// auto-sized budget (2x ~4KB), and blows it by writing 64KB: the
+	// enforcement must catch it, proving the budget was applied.
+	hog := command("head -c 65536 /dev/zero > blob")
+	hog.Category = "etl"
+	if _, err := h.m.Submit(hog); err != nil {
+		t.Fatal(err)
+	}
+	r := waitResult(t, h.m)
+	if r.OK {
+		t.Fatalf("hog succeeded; auto-sizing not applied: %+v", r)
+	}
+	if !isResourceExhaustion(r.Error) {
+		t.Fatalf("error = %q", r.Error)
+	}
+
+	// A well-behaved successor passes under the same inherited budget.
+	okTask := command("head -c 1024 /dev/zero > blob")
+	okTask.Category = "etl"
+	if _, err := h.m.Submit(okTask); err != nil {
+		t.Fatal(err)
+	}
+	if r := waitResult(t, h.m); !r.OK {
+		t.Fatalf("modest successor failed: %+v", r)
+	}
+}
+
+func TestAutoSizeDisabledByDefault(t *testing.T) {
+	h := newHarness(t, 1, Config{})
+	seed := command("head -c 4096 /dev/zero > blob")
+	seed.Category = "etl"
+	h.m.Submit(seed)
+	waitResult(t, h.m)
+	// Without auto-sizing, an undeclared hog is unconstrained and passes.
+	hog := command("head -c 65536 /dev/zero > blob")
+	hog.Category = "etl"
+	h.m.Submit(hog)
+	if r := waitResult(t, h.m); !r.OK {
+		t.Fatalf("hog constrained despite AutoSizeResources=false: %+v", r)
+	}
+}

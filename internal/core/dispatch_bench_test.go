@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"taskvine/internal/resources"
+	"taskvine/internal/taskspec"
+	"taskvine/internal/worker"
+)
+
+// BenchmarkManagerDispatch measures end-to-end task throughput of the real
+// manager over loopback sockets with trivial tasks — the production
+// counterpart of the §6 discussion that dispatch cost bounds how fast
+// millions of short tasks can run. Reports tasks/second.
+func BenchmarkManagerDispatch(b *testing.B) {
+	m, err := NewManager(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		w, err := worker.New(worker.Config{
+			ManagerAddr: m.Addr(),
+			WorkDir:     b.TempDir(),
+			Capacity:    resources.R{Cores: 8, Memory: resources.GB, Disk: resources.GB},
+			ID:          fmt.Sprintf("bench-w%d", i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go w.Run(ctx)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		spec := &taskspec.Spec{Kind: taskspec.KindCommand, Command: "true"}
+		if _, err := m.Submit(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		wctx, wcancel := context.WithTimeout(ctx, 60*time.Second)
+		r, err := m.Wait(wctx)
+		wcancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.OK {
+			b.Fatalf("task failed: %+v", r)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "tasks/s")
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"taskvine/internal/files"
+	"taskvine/internal/protocol"
+	"taskvine/internal/resources"
+	"taskvine/internal/taskspec"
+	"taskvine/internal/trace"
+)
+
+// handleMessage processes one message from a worker inside the event loop.
+func (m *Manager) handleMessage(ev event) {
+	msg := ev.msg
+	if w := m.workers[ev.workerID]; w != nil {
+		w.lastHeard = time.Now()
+	} else if w := m.workers[msg.WorkerID]; w != nil {
+		w.lastHeard = time.Now()
+	}
+	switch msg.Type {
+	case protocol.TypeRegister:
+		m.registerWorker(ev.conn, msg)
+	case protocol.TypeCacheUpdate:
+		m.handleCacheUpdate(msg)
+	case protocol.TypeCacheInvalid:
+		m.reps.Remove(msg.CacheName, msg.WorkerID)
+		m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.FileEvicted, Worker: msg.WorkerID, File: msg.CacheName})
+	case protocol.TypeComplete:
+		m.handleComplete(ev.workerID, msg)
+	case protocol.TypeData:
+		m.deliverFetch(msg.CacheName, fetchResult{data: ev.data})
+	case protocol.TypeError:
+		if msg.CacheName != "" {
+			m.deliverFetch(msg.CacheName, fetchResult{err: fmt.Errorf("%s", msg.Error)})
+		}
+	case protocol.TypeHeartbeat:
+		// Liveness only.
+	default:
+		m.logf("unexpected message type %q from %s", msg.Type, ev.workerID)
+	}
+}
+
+// checkLiveness pings quiet workers and drops ones that have been silent
+// past the timeout — the defense against half-open connections that TCP
+// alone never notices (§2.2: workers may leave the system at any time).
+func (m *Manager) checkLiveness() {
+	if m.cfg.HeartbeatTimeout <= 0 {
+		return
+	}
+	now := time.Now()
+	for _, w := range m.workers {
+		if w.gone {
+			continue
+		}
+		silent := now.Sub(w.lastHeard)
+		if silent > m.cfg.HeartbeatTimeout {
+			m.logf("worker %s silent for %v; dropping", w.id, silent.Round(time.Second))
+			m.workerGone(w.id)
+			continue
+		}
+		if silent > m.cfg.HeartbeatInterval && now.Sub(w.lastPinged) > m.cfg.HeartbeatInterval {
+			w.lastPinged = now
+			w.conn.Send(&protocol.Message{Type: protocol.TypeHeartbeat})
+		}
+	}
+}
+
+func (m *Manager) registerWorker(conn *protocol.Conn, msg *protocol.Message) {
+	if _, dup := m.workers[msg.WorkerID]; dup {
+		m.logf("duplicate worker id %s; rejecting", msg.WorkerID)
+		conn.Close()
+		return
+	}
+	cap := resources.R{Cores: 1}
+	if msg.Capacity != nil {
+		cap = *msg.Capacity
+	}
+	w := &workerConn{
+		id:           msg.WorkerID,
+		conn:         conn,
+		transferAddr: msg.TransferAddr,
+		capacity:     cap,
+		pool:         resources.NewPool(cap),
+		running:      make(map[int]bool),
+		joinOrder:    m.joinSeq,
+		libsReady:    make(map[string]bool),
+	}
+	w.lastHeard = time.Now()
+	m.joinSeq++
+	m.workers[w.id] = w
+	m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.WorkerJoined, Worker: w.id})
+	m.logf("worker %s joined with %v", w.id, cap)
+	// Deploy every installed library to the newcomer.
+	for _, lib := range m.libs {
+		m.deployLibraryTo(w, lib)
+	}
+}
+
+// handleCacheUpdate processes the asynchronous report that an object became
+// (or failed to become) present at a worker (§2.3, §3.3).
+func (m *Manager) handleCacheUpdate(msg *protocol.Message) {
+	if msg.TransferID != "" {
+		if tr, ok := m.trs.Complete(msg.TransferID); ok && msg.Status == protocol.StatusOK {
+			m.tlog.Add(trace.Event{
+				Time: m.now(), Kind: trace.TransferEnd, Worker: msg.WorkerID,
+				File: msg.CacheName, Bytes: msg.Size, Source: sourceLabel(tr.Source),
+			})
+		} else if ok {
+			m.tlog.Add(trace.Event{
+				Time: m.now(), Kind: trace.TransferFailed, Worker: msg.WorkerID,
+				File: msg.CacheName, Source: sourceLabel(tr.Source), Detail: msg.Error,
+			})
+		}
+	} else if msg.Status == protocol.StatusOK {
+		// Materialization (MiniTask) or adopted cache content.
+		if f, known := m.reg.Lookup(msg.CacheName); known && f.Type == files.Mini {
+			m.tlog.Add(trace.Event{
+				Time: m.now(), Kind: trace.StageEnd, Worker: msg.WorkerID,
+				File: msg.CacheName, Bytes: msg.Size,
+			})
+		}
+	}
+	if msg.Status == protocol.StatusOK {
+		m.reps.Commit(msg.CacheName, msg.WorkerID)
+		m.reg.SetSize(msg.CacheName, msg.Size)
+	} else {
+		m.logf("object %s failed at %s: %s", msg.CacheName, msg.WorkerID, msg.Error)
+		m.reps.Remove(msg.CacheName, msg.WorkerID)
+	}
+}
+
+// handleComplete processes a task completion report.
+func (m *Manager) handleComplete(workerID string, msg *protocol.Message) {
+	t := m.tasks[msg.TaskID]
+	if t == nil || t.state != taskspec.StateRunning || t.worker != workerID {
+		m.logf("stale completion for task %d from %s", msg.TaskID, workerID)
+		return
+	}
+	if msg.Status == "library-ready" {
+		if w := m.workers[workerID]; w != nil {
+			w.libsReady[t.spec.Library] = true
+		}
+		m.tlog.Add(trace.Event{
+			Time: m.now(), Kind: trace.LibraryReady, Worker: workerID,
+			Detail: t.spec.Library, TaskID: msg.TaskID,
+		})
+		// The library instance keeps running and keeps its allocation;
+		// the task is not finished.
+		return
+	}
+
+	ok := msg.Status == protocol.StatusOK && msg.ExitCode == 0
+	if !ok && isResourceExhaustion(msg.Error) {
+		// §2.1: the task exceeded its declared allocation; depending on
+		// configuration, execute it elsewhere with a larger allocation.
+		if t.retries < t.spec.MaxRetries {
+			m.tlog.Add(trace.Event{
+				Time: m.now(), Kind: trace.TaskFailed, Worker: workerID,
+				TaskID: msg.TaskID, Detail: "resource exhaustion; retrying larger",
+			})
+			// Requeue (releasing the original allocation) before growing
+			// the request for the next attempt.
+			m.requeue(msg.TaskID, t, true)
+			t.spec.Resources.Disk *= 2
+			return
+		}
+	}
+	if !ok && t.retries < t.spec.MaxRetries {
+		m.requeue(msg.TaskID, t, true)
+		return
+	}
+
+	kind := trace.TaskEnd
+	if !ok {
+		kind = trace.TaskFailed
+	}
+	m.tlog.Add(trace.Event{
+		Time: m.now(), Kind: kind, Worker: workerID, TaskID: msg.TaskID,
+		Detail: t.spec.Category,
+	})
+	// Record produced objects in the replica table.
+	for _, out := range msg.Outputs {
+		m.reps.Commit(out.CacheName, workerID)
+		m.reg.SetSize(out.CacheName, out.Size)
+	}
+	res := &Result{
+		TaskID:         msg.TaskID,
+		Worker:         workerID,
+		OK:             ok,
+		ExitCode:       msg.ExitCode,
+		Error:          msg.Error,
+		Output:         msg.Result,
+		Outputs:        msg.Outputs,
+		StagedMS:       msg.TimeStagedMS,
+		RunMS:          msg.TimeRunMS,
+		MeasuredDisk:   msg.MeasuredDisk,
+		MeasuredMemory: msg.MeasuredMemory,
+	}
+	m.recordCategory(t, res)
+	m.finishTask(msg.TaskID, t, res)
+	if ok {
+		m.returnOutputs(t)
+	}
+}
+
+// returnOutputs delivers outputs bound to manager-side destinations: only
+// final outputs are placed back in the reliable shared filesystem, while
+// temps stay in the cluster (Figure 2). Fetches run asynchronously so the
+// event loop never blocks.
+func (m *Manager) returnOutputs(t *taskState) {
+	for _, out := range t.spec.Outputs {
+		f, ok := m.reg.Lookup(out.FileID)
+		if !ok || f.Type != files.Local {
+			continue
+		}
+		fileID, dest := out.FileID, f.Source
+		go func() {
+			reply := make(chan fetchResult, 1)
+			m.events <- event{kind: evFetch, file: fileID, fetch: reply}
+			r := <-reply
+			if r.err != nil {
+				m.logf("returning output %s to %s: %v", fileID, dest, r.err)
+				return
+			}
+			if err := writeFileAtomic(dest, r.data); err != nil {
+				m.logf("writing output %s: %v", dest, err)
+			}
+		}()
+	}
+}
+
+// startFetch begins retrieving a file's content back to the manager.
+func (m *Manager) startFetch(fileID string, reply chan fetchResult) {
+	f, ok := m.reg.Lookup(fileID)
+	if !ok {
+		reply <- fetchResult{err: fmt.Errorf("core: unknown file %s", fileID)}
+		return
+	}
+	holders := m.reps.Locate(fileID)
+	if len(holders) == 0 {
+		// No cluster replica: local files can be read from the manager's
+		// own filesystem.
+		if f.Type == files.Local {
+			data, err := readLocal(f.Source)
+			reply <- fetchResult{data: data, err: err}
+			return
+		}
+		reply <- fetchResult{err: fmt.Errorf("core: no replica of %s in the cluster", fileID)}
+		return
+	}
+	w := m.workers[holders[0]]
+	if w == nil || w.gone {
+		reply <- fetchResult{err: fmt.Errorf("core: replica holder of %s is gone", fileID)}
+		return
+	}
+	waiting := m.fetches[fileID]
+	m.fetches[fileID] = append(waiting, reply)
+	if len(waiting) == 0 { // first waiter issues the request
+		if err := w.conn.Send(&protocol.Message{Type: protocol.TypeGet, CacheName: fileID}); err != nil {
+			m.deliverFetch(fileID, fetchResult{err: err})
+		}
+	}
+}
+
+func (m *Manager) deliverFetch(fileID string, r fetchResult) {
+	waiters := m.fetches[fileID]
+	delete(m.fetches, fileID)
+	for _, ch := range waiters {
+		ch <- r
+	}
+}
+
+// deployLibraryTo sends an internal LibraryTask to a worker (§3.4).
+func (m *Manager) deployLibraryTo(w *workerConn, lib *librarySpec) {
+	if w.gone || w.libsReady[lib.name] {
+		return
+	}
+	for id := range w.running {
+		if t := m.tasks[id]; t != nil && t.library && t.spec.Library == lib.name {
+			return // already deploying
+		}
+	}
+	if !w.pool.Alloc(lib.res) {
+		return // retried on a later tick when resources free up
+	}
+	m.nextID++
+	id := m.nextID
+	spec := &taskspec.Spec{
+		ID:        id,
+		Kind:      taskspec.KindLibrary,
+		Library:   lib.name,
+		Resources: lib.res,
+		Category:  "library",
+	}
+	m.tasks[id] = &taskState{spec: spec, state: taskspec.StateRunning, worker: w.id, library: true}
+	w.running[id] = true
+	if err := w.conn.Send(&protocol.Message{Type: protocol.TypeTask, TaskID: id, Spec: spec}); err != nil {
+		m.logf("deploying library %s to %s: %v", lib.name, w.id, err)
+		delete(w.running, id)
+		w.pool.Release(lib.res)
+		delete(m.tasks, id)
+	}
+}
+
+// workerGone handles the departure of a worker: replicas are dropped,
+// in-flight transfers cancelled, and its tasks requeued (§2.2: workers may
+// join and leave dynamically).
+func (m *Manager) workerGone(workerID string) {
+	w := m.workers[workerID]
+	if w == nil || w.gone {
+		return
+	}
+	w.gone = true
+	w.conn.Close()
+	m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.WorkerLeft, Worker: workerID})
+	m.logf("worker %s left", workerID)
+
+	affected := m.reps.DropWorker(workerID)
+	_ = affected
+	cancelled := m.trs.DropWorker(workerID)
+	for _, tr := range cancelled {
+		if tr.Dest != workerID {
+			// A receiver was fetching from the departed worker; its fetch
+			// will fail and report via cache-update, but drop the pending
+			// replica now so planning can pick a new source immediately.
+			m.reps.Remove(tr.File, tr.Dest)
+		}
+	}
+	for id := range w.running {
+		t := m.tasks[id]
+		if t == nil {
+			continue
+		}
+		if t.library {
+			delete(w.running, id)
+			delete(m.tasks, id)
+			continue
+		}
+		m.requeue(id, t, false)
+	}
+	delete(m.workers, workerID)
+	// Pending manager fetches served by this worker must be retried.
+	for fileID, waiters := range m.fetches {
+		delete(m.fetches, fileID)
+		for _, ch := range waiters {
+			m.startFetch(fileID, ch)
+		}
+	}
+}
+
+// endWorkflow broadcasts workflow conclusion; with release=true workers are
+// shut down entirely (manager closing).
+func (m *Manager) endWorkflow(release bool) {
+	for _, fid := range m.reg.WorkflowGarbage() {
+		for _, wid := range m.reps.Locate(fid) {
+			m.reps.Remove(fid, wid)
+		}
+	}
+	for _, w := range m.workers {
+		if w.gone {
+			continue
+		}
+		w.conn.Send(&protocol.Message{Type: protocol.TypeEndWorkflow})
+		if release {
+			w.conn.Send(&protocol.Message{Type: protocol.TypeRelease})
+		}
+		for lib := range w.libsReady {
+			delete(w.libsReady, lib)
+		}
+	}
+	if release {
+		m.closing = true
+		for fileID := range m.fetches {
+			m.deliverFetch(fileID, fetchResult{err: fmt.Errorf("core: manager closed")})
+		}
+		m.dumpTrace()
+	}
+}
+
+// dumpTrace writes the workflow's transaction log (the execution trace as
+// CSV) to the configured file at shutdown.
+func (m *Manager) dumpTrace() {
+	if m.cfg.TraceFile == "" {
+		return
+	}
+	f, err := os.Create(m.cfg.TraceFile)
+	if err != nil {
+		m.logf("writing trace file: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, m.tlog.Events()); err != nil {
+		m.logf("writing trace file: %v", err)
+	}
+}

@@ -1,0 +1,499 @@
+// Package core implements the TaskVine manager (§2.2): the process that
+// directs overall workflow execution by accepting declared files and tasks,
+// dispatching tasks to workers, directing file transfers between workers
+// and data sources, collecting results, and performing garbage collection.
+//
+// As a general rule the manager makes all policy decisions while workers
+// provide mechanism. The manager's picture of distributed state — the File
+// Replica Table and Current Transfer Table of §3.3 — is kept current by
+// asynchronous cache-update and completion messages from workers, and is
+// consulted by the shared scheduling policy (internal/policy) to place
+// tasks near their data and to supervise transfers without creating
+// hotspots.
+//
+// Concurrency model: one event loop goroutine owns all mutable scheduling
+// state. Per-worker reader goroutines and API calls communicate with it
+// exclusively through the events channel, so the scheduler needs no locks
+// and every decision observes a consistent snapshot.
+package core
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"taskvine/internal/files"
+	"taskvine/internal/policy"
+	"taskvine/internal/protocol"
+	"taskvine/internal/replica"
+	"taskvine/internal/resources"
+	"taskvine/internal/taskspec"
+	"taskvine/internal/trace"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// ListenAddr is the address workers connect to; default "127.0.0.1:0".
+	ListenAddr string
+	// Limits bounds concurrent transfers per source (§3.3).
+	Limits policy.Limits
+	// Head fetches URL naming metadata; required only when worker-lifetime
+	// URL files are declared.
+	Head files.HeadFunc
+	// DefaultTaskResources fills unspecified task resource requests;
+	// defaults to one core.
+	DefaultTaskResources resources.R
+	// Trace receives execution events; nil allocates a private log.
+	Trace *trace.Log
+	// Logger receives operational messages; nil silences them.
+	Logger *log.Logger
+	// TickInterval is the scheduler's housekeeping period; defaults to
+	// 200ms.
+	TickInterval time.Duration
+	// HeartbeatInterval is how often the manager pings workers; defaults
+	// to 15s. HeartbeatTimeout drops workers silent for that long
+	// (default 60s; zero disables liveness checking).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// TraceFile, when set, receives the full execution event log as CSV
+	// when the manager closes — the workflow's transaction log.
+	TraceFile string
+	// AutoSizeResources fills a submitted task's unspecified disk and
+	// memory requests from its category's observed history (twice the
+	// largest measured consumption), so declarations converge without
+	// user tuning — the data-driven side of §2.1's allocation management.
+	AutoSizeResources bool
+}
+
+// Result is the outcome of one task delivered to the application.
+type Result struct {
+	TaskID   int
+	Worker   string
+	OK       bool
+	ExitCode int
+	Error    string
+	// Output holds the task's inline result: bounded stdout/stderr for
+	// command tasks, the serialized return value for function calls.
+	Output []byte
+	// Outputs lists the cache names and sizes of produced file objects.
+	Outputs []protocol.OutputInfo
+	// StagedMS and RunMS split worker-side latency into data staging and
+	// execution.
+	StagedMS, RunMS int64
+	// MeasuredDisk and MeasuredMemory report the task's observed
+	// consumption in bytes (zero when unmeasured).
+	MeasuredDisk, MeasuredMemory int64
+}
+
+// Manager coordinates workers to execute a workflow.
+type Manager struct {
+	cfg    Config
+	ln     net.Listener
+	reg    *files.Registry
+	events chan event
+	// results delivers completed tasks to Wait callers.
+	results chan *Result
+	tlog    *trace.Log
+	start   time.Time
+
+	// Event-loop-owned state; never touched outside the loop goroutine.
+	workers map[string]*workerConn
+	joinSeq int
+	tasks   map[int]*taskState
+	waiting []int
+	reps    *replica.Table
+	trs     *replica.Transfers
+	libs    map[string]*librarySpec
+	fetches map[string][]chan fetchResult // cache name -> waiters
+	// replicaGoals maps file ID -> desired replica count, reconciled on
+	// every scheduling pass (§2.2: "duplicating items for reliability").
+	replicaGoals map[string]int
+	// categories aggregates observed task behaviour per category label.
+	categories map[string]*CategoryStats
+	nextID     int
+	pendingWk  int // tasks not yet finished (for Empty)
+
+	loopDone chan struct{}
+	closing  bool
+}
+
+type workerConn struct {
+	id           string
+	conn         *protocol.Conn
+	transferAddr string
+	capacity     resources.R
+	pool         *resources.Pool
+	running      map[int]bool
+	joinOrder    int
+	libsReady    map[string]bool
+	gone         bool
+	lastHeard    time.Time
+	lastPinged   time.Time
+}
+
+type taskState struct {
+	spec    *taskspec.Spec
+	state   taskspec.State
+	worker  string
+	retries int
+	// library marks internal LibraryTask deployments whose results are
+	// not delivered to the application.
+	library bool
+	// notified suppresses duplicate result delivery when a task is
+	// re-executed for recovery.
+	notified bool
+	// submitTime for metrics.
+	submitTime float64
+}
+
+type librarySpec struct {
+	name string
+	res  resources.R
+}
+
+// event is the single message type of the manager loop.
+type event struct {
+	kind eventKind
+	// registration
+	conn *protocol.Conn
+	msg  *protocol.Message
+	data []byte // payload of data messages
+	// API requests
+	spec       *taskspec.Spec
+	replyInt   chan int
+	fetch      chan fetchResult
+	file       string
+	lib        *librarySpec
+	done       chan struct{}
+	workerID   string
+	err        error
+	status     chan Status
+	goal       int
+	categories chan []CategoryStats
+}
+
+type eventKind int
+
+const (
+	evMsg eventKind = iota
+	evWorkerGone
+	evSubmit
+	evFetch
+	evInstallLib
+	evEnd
+	evTick
+	evStatus
+	evReplicate
+	evCategories
+)
+
+type fetchResult struct {
+	data []byte
+	err  error
+}
+
+// NewManager starts a manager listening for workers.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 200 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 15 * time.Second
+	}
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 60 * time.Second
+	}
+	if (cfg.DefaultTaskResources == resources.R{}) {
+		cfg.DefaultTaskResources = resources.R{Cores: 1}
+	}
+	tlog := cfg.Trace
+	if tlog == nil {
+		tlog = trace.NewLog()
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("core: listening on %s: %w", cfg.ListenAddr, err)
+	}
+	m := &Manager{
+		cfg:          cfg,
+		ln:           ln,
+		reg:          files.NewRegistry(cfg.Head),
+		events:       make(chan event, 1024),
+		results:      make(chan *Result, 4096),
+		tlog:         tlog,
+		start:        time.Now(),
+		workers:      make(map[string]*workerConn),
+		tasks:        make(map[int]*taskState),
+		reps:         replica.NewTable(),
+		trs:          replica.NewTransfers(),
+		libs:         make(map[string]*librarySpec),
+		fetches:      make(map[string][]chan fetchResult),
+		replicaGoals: make(map[string]int),
+		categories:   make(map[string]*CategoryStats),
+		loopDone:     make(chan struct{}),
+	}
+	go m.acceptLoop()
+	go m.eventLoop()
+	return m, nil
+}
+
+// Addr returns the address workers should connect to.
+func (m *Manager) Addr() string { return m.ln.Addr().String() }
+
+// Files exposes the file registry for declarations.
+func (m *Manager) Files() *files.Registry { return m.reg }
+
+// Trace returns the manager's execution event log.
+func (m *Manager) Trace() *trace.Log { return m.tlog }
+
+func (m *Manager) now() float64 { return time.Since(m.start).Seconds() }
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Printf("manager: "+format, args...)
+	}
+}
+
+// Submit queues a task for execution and returns its ID. The spec's ID
+// field is assigned by the manager. Inputs must already be declared.
+func (m *Manager) Submit(spec *taskspec.Spec) (int, error) {
+	spec = spec.Clone()
+	spec.Resources = spec.Resources.Defaulted(m.cfg.DefaultTaskResources)
+	for _, mt := range append(append([]taskspec.Mount(nil), spec.Inputs...), spec.Outputs...) {
+		if _, ok := m.reg.Lookup(mt.FileID); !ok {
+			return 0, fmt.Errorf("core: task references undeclared file %s", mt.FileID)
+		}
+	}
+	// Validate before handing the spec to the event loop: once submitted,
+	// the loop owns the clone exclusively.
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	reply := make(chan int, 1)
+	m.events <- event{kind: evSubmit, spec: spec, replyInt: reply}
+	id := <-reply
+	if id < 0 {
+		return 0, fmt.Errorf("core: manager is shutting down")
+	}
+	return id, nil
+}
+
+// Wait returns the next completed task result, blocking until one is
+// available or the context is cancelled.
+func (m *Manager) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case r := <-m.results:
+		return r, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// FetchFile retrieves the content of a file object back to the manager
+// from whichever worker holds a replica.
+func (m *Manager) FetchFile(ctx context.Context, fileID string) ([]byte, error) {
+	if f, ok := m.reg.Lookup(fileID); ok && f.Type == files.Buffer {
+		return append([]byte(nil), f.Content...), nil
+	}
+	reply := make(chan fetchResult, 1)
+	m.events <- event{kind: evFetch, file: fileID, fetch: reply}
+	select {
+	case r := <-reply:
+		return r.data, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// InstallLibrary deploys the named serverless library to every current and
+// future worker, each instance consuming the given static resource
+// allocation (§3.4).
+func (m *Manager) InstallLibrary(name string, res resources.R) {
+	if (res == resources.R{}) {
+		res = resources.R{Cores: 1}
+	}
+	m.events <- event{kind: evInstallLib, lib: &librarySpec{name: name, res: res}}
+}
+
+// ReplicateFile asks the manager to maintain at least n replicas of the
+// file across workers, for reliability and to increase transfer concurrency
+// for hot objects (§2.2). The goal is reconciled continuously as workers
+// join and leave; n <= 1 removes the goal.
+func (m *Manager) ReplicateFile(fileID string, n int) error {
+	if _, ok := m.reg.Lookup(fileID); !ok {
+		return fmt.Errorf("core: unknown file %s", fileID)
+	}
+	m.events <- event{kind: evReplicate, file: fileID, goal: n}
+	return nil
+}
+
+// EndWorkflow concludes the current workflow: workers discard all
+// ephemeral objects and the replica table forgets them. Worker-lifetime
+// objects persist for future workflows (§3.2).
+func (m *Manager) EndWorkflow() {
+	done := make(chan struct{})
+	m.events <- event{kind: evEnd, done: done}
+	<-done
+}
+
+// Close releases all workers and stops the manager. Close is idempotent.
+func (m *Manager) Close() {
+	done := make(chan struct{})
+	select {
+	case <-m.loopDone:
+		// Already closed.
+	case m.events <- event{kind: evEnd, done: done, err: errClosing}:
+		// The loop may have exited between the check and the send (a
+		// concurrent Close); waiting on either channel covers both cases.
+		select {
+		case <-done:
+		case <-m.loopDone:
+		}
+	}
+	m.ln.Close()
+}
+
+var errClosing = fmt.Errorf("closing")
+
+func (m *Manager) acceptLoop() {
+	for {
+		nc, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		go m.handleConn(protocol.NewConn(nc))
+	}
+}
+
+// handleConn performs registration then pumps messages into the event loop.
+// Payloads of data messages are read fully here so the loop never blocks on
+// network I/O.
+func (m *Manager) handleConn(conn *protocol.Conn) {
+	regMsg, _, err := conn.Recv()
+	if err != nil || regMsg.Type != protocol.TypeRegister || regMsg.WorkerID == "" {
+		conn.Close()
+		return
+	}
+	m.events <- event{kind: evMsg, conn: conn, msg: regMsg}
+	workerID := regMsg.WorkerID
+	for {
+		msg, payload, err := conn.Recv()
+		if err != nil {
+			m.events <- event{kind: evWorkerGone, workerID: workerID, err: err}
+			return
+		}
+		var data []byte
+		if payload != nil {
+			data = make([]byte, msg.Size)
+			if _, err := ioReadFull(payload, data); err != nil {
+				m.events <- event{kind: evWorkerGone, workerID: workerID, err: err}
+				return
+			}
+		}
+		m.events <- event{kind: evMsg, msg: msg, data: data, workerID: workerID}
+	}
+}
+
+func ioReadFull(r interface{ Read([]byte) (int, error) }, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		k, err := r.Read(buf[n:])
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (m *Manager) eventLoop() {
+	defer close(m.loopDone)
+	ticker := time.NewTicker(m.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case ev := <-m.events:
+			if m.handleEvent(ev) {
+				return
+			}
+		case <-ticker.C:
+			m.checkLiveness()
+			m.schedule()
+		}
+	}
+}
+
+// handleEvent dispatches one event; returns true when the loop must exit.
+func (m *Manager) handleEvent(ev event) bool {
+	switch ev.kind {
+	case evMsg:
+		m.handleMessage(ev)
+	case evWorkerGone:
+		m.workerGone(ev.workerID)
+	case evSubmit:
+		if m.closing {
+			ev.replyInt <- -1
+			return false
+		}
+		m.autoSize(ev.spec)
+		m.nextID++
+		id := m.nextID
+		ev.spec.ID = id
+		m.tasks[id] = &taskState{spec: ev.spec, state: taskspec.StateWaiting, submitTime: m.now()}
+		m.waiting = append(m.waiting, id)
+		m.pendingWk++
+		m.reg.Retain(ev.spec.InputIDs())
+		for _, out := range ev.spec.Outputs {
+			m.reg.SetProducer(out.FileID, id)
+		}
+		ev.replyInt <- id
+	case evFetch:
+		m.startFetch(ev.file, ev.fetch)
+	case evInstallLib:
+		m.libs[ev.lib.name] = ev.lib
+		for _, w := range m.workers {
+			m.deployLibraryTo(w, ev.lib)
+		}
+	case evEnd:
+		m.endWorkflow(ev.err != nil)
+		close(ev.done)
+		if ev.err != nil {
+			return true
+		}
+	case evTick:
+		if ev.replyInt != nil {
+			ev.replyInt <- m.pendingWk
+		}
+	case evStatus:
+		ev.status <- m.buildStatus()
+	case evReplicate:
+		m.replicaGoals[ev.file] = ev.goal
+	case evCategories:
+		ev.categories <- m.buildCategories()
+	}
+	m.schedule()
+	return false
+}
+
+// Empty reports whether all submitted tasks have finished. Like the
+// original TaskVine API, applications loop: for !m.Empty() { m.Wait(...) }.
+func (m *Manager) Empty() bool {
+	reply := make(chan int, 1)
+	select {
+	case m.events <- event{kind: evTick, replyInt: reply}:
+	case <-m.loopDone:
+		return true
+	}
+	// pendingWk is read in the loop via the reply channel hack below.
+	select {
+	case n := <-reply:
+		return n == 0
+	case <-m.loopDone:
+		return true
+	}
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"taskvine/internal/files"
+	"taskvine/internal/policy"
+	"taskvine/internal/protocol"
+	"taskvine/internal/replica"
+	"taskvine/internal/tardir"
+	"taskvine/internal/taskspec"
+	"taskvine/internal/trace"
+)
+
+// view adapts the manager's tables to the policy.View interface.
+type view struct{ m *Manager }
+
+func (v view) HasReplica(f, w string) bool       { return v.m.reps.Has(f, w) }
+func (v view) Replicas(f string) []string        { return v.m.reps.Locate(f) }
+func (v view) InFlightFrom(s replica.Source) int { return v.m.trs.InFlightFrom(s) }
+func (v view) InFlightTo(w string) int           { return v.m.trs.InFlightTo(w) }
+
+// TransferPending treats both supervised network transfers and in-progress
+// MiniTask materializations (pending replica entries without a transfer
+// UUID) as "already on the way", so the planner never double-instructs a
+// worker for the same object.
+func (v view) TransferPending(f, w string) bool {
+	if v.m.trs.Pending(f, w) {
+		return true
+	}
+	return v.m.reps.HasAny(f, w) && !v.m.reps.Has(f, w)
+}
+func (v view) InFlightOf(f string) int { return v.m.trs.InFlightOf(f) }
+
+// schedule is the manager's main decision pass, run after every event: the
+// objective is to replicate and place data first, and then schedule tasks
+// within the constraints of available data (§2.1).
+func (m *Manager) schedule() {
+	// Advance staging tasks first so freshly arrived data dispatches
+	// before new placements consume the worker's resources.
+	for id, t := range m.tasks {
+		if t.state == taskspec.StateStaging {
+			m.progressStaging(id, t)
+		}
+	}
+	m.reconcileReplication()
+	if len(m.waiting) == 0 {
+		return
+	}
+	// Take ownership of the queue before iterating: recovery paths inside
+	// tryAssign (re-executing the producer of a lost temp) append to
+	// m.waiting, and those additions must survive this pass.
+	queue := m.waiting
+	m.waiting = nil
+	for _, id := range queue {
+		t := m.tasks[id]
+		if t == nil || t.state != taskspec.StateWaiting {
+			continue
+		}
+		if !m.tryAssign(id, t) {
+			m.waiting = append(m.waiting, id)
+		}
+	}
+}
+
+// depsSatisfiable reports whether every input either exists somewhere, has
+// a fixed source, or can be produced; it triggers recovery re-execution for
+// temp files whose replicas were lost with a worker.
+func (m *Manager) depsSatisfiable(t *taskState) bool {
+	for _, in := range t.spec.Inputs {
+		f, ok := m.reg.Lookup(in.FileID)
+		if !ok {
+			return false
+		}
+		switch f.Type {
+		case files.Temp:
+			if m.reps.CountReplicas(f.ID) > 0 {
+				continue
+			}
+			if m.trs.Len() > 0 && m.anyPending(f.ID) {
+				return false // on its way somewhere
+			}
+			// No replica anywhere: the producer must (re-)run.
+			if prodID, ok := m.reg.Producer(f.ID); ok {
+				p := m.tasks[prodID]
+				if p != nil && (p.state == taskspec.StateDone) {
+					m.logf("temp %s lost; re-executing producer task %d", f.ID, prodID)
+					m.requeue(prodID, p, false)
+				}
+			}
+			return false
+		case files.Mini:
+			// Materializable anywhere, as long as its own inputs are
+			// satisfiable; recursion bottoms out at fixed sources.
+			continue
+		default:
+			continue
+		}
+	}
+	return true
+}
+
+func (m *Manager) anyPending(fileID string) bool {
+	for _, w := range m.workers {
+		if m.trs.Pending(fileID, w.id) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryAssign picks a worker for a waiting task and moves it to staging.
+func (m *Manager) tryAssign(id int, t *taskState) bool {
+	if !m.depsSatisfiable(t) {
+		return false
+	}
+	candidates := m.candidateWorkers(t)
+	if len(candidates) == 0 {
+		return false
+	}
+	needs := m.fileNeeds(t.spec.Inputs)
+	chosen, ok := policy.BestWorker(needs, t.spec.Resources, candidates, view{m})
+	if !ok {
+		return false
+	}
+	w := m.workers[chosen.ID]
+	if w == nil || !w.pool.Alloc(t.spec.Resources) {
+		return false
+	}
+	t.worker = w.id
+	t.state = taskspec.StateStaging
+	w.running[id] = true
+	m.progressStaging(id, t)
+	return true
+}
+
+// candidateWorkers lists live workers eligible for the task. FunctionCall
+// tasks whose library is installed only run where an instance is ready.
+func (m *Manager) candidateWorkers(t *taskState) []policy.WorkerInfo {
+	needLib := ""
+	if t.spec.Kind == taskspec.KindFunction {
+		if _, installed := m.libs[t.spec.Library]; installed {
+			needLib = t.spec.Library
+		}
+	}
+	var out []policy.WorkerInfo
+	for _, w := range m.workers {
+		if w.gone {
+			continue
+		}
+		if needLib != "" && !w.libsReady[needLib] {
+			continue
+		}
+		out = append(out, policy.WorkerInfo{
+			ID:           w.id,
+			Free:         w.pool.Free(),
+			RunningTasks: len(w.running),
+			JoinOrder:    w.joinOrder,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JoinOrder < out[j].JoinOrder })
+	return out
+}
+
+// fileNeeds converts mounts to policy FileNeeds with their fixed sources.
+func (m *Manager) fileNeeds(mounts []taskspec.Mount) []policy.FileNeed {
+	var needs []policy.FileNeed
+	seen := map[string]bool{}
+	var add func(fileID string)
+	add = func(fileID string) {
+		if seen[fileID] {
+			return
+		}
+		seen[fileID] = true
+		f, ok := m.reg.Lookup(fileID)
+		if !ok {
+			return
+		}
+		n := policy.FileNeed{ID: f.ID, Size: f.Size}
+		switch f.Type {
+		case files.Local, files.Buffer:
+			n.FixedSource = &replica.Source{Kind: replica.SourceManager, ID: "manager"}
+		case files.URL:
+			n.FixedSource = &replica.Source{Kind: replica.SourceURL, ID: f.Source}
+		case files.Mini:
+			// No fixed network source; if no replica exists anywhere the
+			// product must be materialized, which requires the MiniTask's
+			// own inputs (recursively).
+			if m.reps.CountReplicas(f.ID) == 0 {
+				for _, in := range f.MiniTask.Inputs {
+					add(in.FileID)
+				}
+			}
+		case files.Temp:
+			// Worker replicas only.
+		}
+		needs = append(needs, n)
+	}
+	for _, mt := range mounts {
+		add(mt.FileID)
+	}
+	return needs
+}
+
+// progressStaging advances data placement for a staging task and dispatches
+// it when every direct input is ready at its worker.
+func (m *Manager) progressStaging(id int, t *taskState) {
+	w := m.workers[t.worker]
+	if w == nil || w.gone {
+		m.requeue(id, t, false)
+		return
+	}
+	needs := m.fileNeeds(t.spec.Inputs)
+	plan := policy.PlanTransfers(needs, w.id, m.cfg.Limits, view{m})
+	for _, tr := range plan.Transfers {
+		m.startTransfer(tr.File, tr.Source, w)
+	}
+	// Materialize MiniTask products whose inputs are now fully present.
+	for _, blockedID := range plan.Blocked {
+		f, ok := m.reg.Lookup(blockedID)
+		if !ok || f.Type != files.Mini {
+			continue
+		}
+		if m.reps.HasAny(f.ID, w.id) {
+			continue // already materializing here
+		}
+		if m.reps.CountReplicas(f.ID) > 0 {
+			continue // exists elsewhere; peer transfer will be planned when a slot opens
+		}
+		ready := true
+		for _, in := range f.MiniTask.Inputs {
+			if !m.reps.Has(in.FileID, w.id) {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			m.materializeMini(f, w)
+		}
+	}
+	// Dispatch when all direct inputs are ready.
+	for _, mt := range t.spec.Inputs {
+		if !m.reps.Has(mt.FileID, w.id) {
+			return
+		}
+	}
+	m.dispatch(id, t, w)
+}
+
+// startTransfer records and issues one supervised transfer instruction.
+func (m *Manager) startTransfer(fileID string, src replica.Source, w *workerConn) {
+	f, ok := m.reg.Lookup(fileID)
+	if !ok {
+		return
+	}
+	tr := m.trs.Start(fileID, src, w.id)
+	m.reps.Add(fileID, w.id, replica.Pending)
+	m.tlog.Add(trace.Event{
+		Time: m.now(), Kind: trace.TransferStart, Worker: w.id, File: fileID,
+		Source: sourceLabel(src),
+	})
+	var err error
+	switch src.Kind {
+	case replica.SourceURL:
+		err = w.conn.Send(&protocol.Message{
+			Type: protocol.TypeFetchURL, CacheName: fileID, URL: f.Source,
+			Size: f.Size, Lifetime: int(f.Lifetime), TransferID: tr.ID,
+		})
+	case replica.SourceWorker:
+		peer := m.workers[src.ID]
+		if peer == nil || peer.gone {
+			err = fmt.Errorf("peer %s is gone", src.ID)
+		} else {
+			err = w.conn.Send(&protocol.Message{
+				Type: protocol.TypeFetchPeer, CacheName: fileID, PeerAddr: peer.transferAddr,
+				Size: f.Size, Lifetime: int(f.Lifetime), TransferID: tr.ID,
+			})
+		}
+	case replica.SourceManager:
+		err = m.sendPut(w, f, tr.ID)
+	}
+	if err != nil {
+		m.logf("transfer of %s to %s failed to start: %v", fileID, w.id, err)
+		m.trs.Complete(tr.ID)
+		m.reps.Remove(fileID, w.id)
+		m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.TransferFailed, Worker: w.id, File: fileID})
+	}
+}
+
+// sendPut ships a manager-resident object (local file, directory, or
+// buffer) to a worker.
+func (m *Manager) sendPut(w *workerConn, f *files.File, transferID string) error {
+	base := &protocol.Message{
+		Type: protocol.TypePut, CacheName: f.ID,
+		Lifetime: int(f.Lifetime), TransferID: transferID,
+	}
+	switch f.Type {
+	case files.Buffer:
+		base.Size = int64(len(f.Content))
+		return w.conn.SendPayload(base, bytes.NewReader(f.Content))
+	case files.Local:
+		info, err := os.Stat(f.Source)
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			blob, err := tardir.Pack(f.Source)
+			if err != nil {
+				return err
+			}
+			base.Size = int64(len(blob))
+			base.Dir = true
+			return w.conn.SendPayload(base, bytes.NewReader(blob))
+		}
+		fh, err := os.Open(f.Source)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		base.Size = info.Size()
+		return w.conn.SendPayload(base, fh)
+	default:
+		return fmt.Errorf("core: file %s of type %s cannot be sent by the manager", f.ID, f.Type)
+	}
+}
+
+// materializeMini instructs a worker to produce a MiniTask file on demand
+// (§3.1). Materialization is tracked as a pending replica; the worker's
+// cache-update (with no transfer UUID) commits it.
+func (m *Manager) materializeMini(f *files.File, w *workerConn) {
+	m.reps.Add(f.ID, w.id, replica.Pending)
+	m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.StageStart, Worker: w.id, File: f.ID})
+	err := w.conn.Send(&protocol.Message{
+		Type: protocol.TypeMini, CacheName: f.ID, Spec: f.MiniTask,
+		Lifetime: int(f.Lifetime),
+	})
+	if err != nil {
+		m.reps.Remove(f.ID, w.id)
+	}
+}
+
+// dispatch sends a fully staged task to its worker.
+func (m *Manager) dispatch(id int, t *taskState, w *workerConn) {
+	t.state = taskspec.StateRunning
+	m.tlog.Add(trace.Event{
+		Time: m.now(), Kind: trace.TaskStart, Worker: w.id, TaskID: id,
+		Detail: t.spec.Category,
+	})
+	if err := w.conn.Send(&protocol.Message{Type: protocol.TypeTask, TaskID: id, Spec: t.spec}); err != nil {
+		m.logf("dispatching task %d to %s: %v", id, w.id, err)
+		m.requeue(id, t, false)
+	}
+}
+
+// requeue returns a task to the waiting state, optionally counting a retry.
+func (m *Manager) requeue(id int, t *taskState, countRetry bool) {
+	if w := m.workers[t.worker]; w != nil && w.running[id] {
+		delete(w.running, id)
+		if !w.gone {
+			w.pool.Release(t.spec.Resources)
+		}
+	}
+	t.worker = ""
+	if countRetry {
+		t.retries++
+	}
+	if countRetry && t.retries > t.spec.MaxRetries {
+		m.finishTask(id, t, &Result{
+			TaskID: id, OK: false, ExitCode: -1,
+			Error: fmt.Sprintf("task %d exhausted %d retries", id, t.spec.MaxRetries),
+		})
+		return
+	}
+	t.state = taskspec.StateWaiting
+	if t.notifiedOrDone() {
+		t.notified = true
+	}
+	m.waiting = append(m.waiting, id)
+}
+
+func (t *taskState) notifiedOrDone() bool {
+	return t.notified || t.state == taskspec.StateDone
+}
+
+// finishTask finalizes a task: releases worker resources, garbage-collects
+// task-lifetime inputs, and delivers the result to the application.
+func (m *Manager) finishTask(id int, t *taskState, res *Result) {
+	if w := m.workers[t.worker]; w != nil && w.running[id] {
+		delete(w.running, id)
+		if !w.gone {
+			w.pool.Release(t.spec.Resources)
+		}
+	}
+	if res.OK {
+		t.state = taskspec.StateDone
+	} else {
+		t.state = taskspec.StateFailed
+	}
+	// GC: inputs this task held may now be unreferenced.
+	garbage := m.reg.Release(t.spec.InputIDs())
+	for _, g := range garbage {
+		m.deleteEverywhere(g)
+	}
+	if t.library {
+		return
+	}
+	if !t.notified {
+		t.notified = true
+		m.pendingWk--
+		m.results <- res
+	}
+}
+
+// deleteEverywhere removes an object from every worker holding it.
+func (m *Manager) deleteEverywhere(fileID string) {
+	for _, wid := range m.reps.Locate(fileID) {
+		if w := m.workers[wid]; w != nil && !w.gone {
+			w.conn.Send(&protocol.Message{Type: protocol.TypeUnlink, CacheName: fileID})
+		}
+		m.reps.Remove(fileID, wid)
+	}
+}
+
+func sourceLabel(src replica.Source) string {
+	switch src.Kind {
+	case replica.SourceURL:
+		return "url"
+	case replica.SourceManager:
+		return "manager"
+	default:
+		return "worker:" + src.ID
+	}
+}
+
+// isResourceExhaustion matches the worker's enforcement error (§2.1).
+func isResourceExhaustion(msg string) bool {
+	return strings.Contains(msg, "resource exhaustion")
+}
+
+// reconcileReplication pushes extra replicas of files with replication
+// goals onto workers that lack them, through the same supervised transfer
+// machinery as task staging.
+func (m *Manager) reconcileReplication() {
+	if len(m.replicaGoals) == 0 {
+		return
+	}
+	var workers []policy.WorkerInfo
+	for _, w := range m.workers {
+		if !w.gone {
+			workers = append(workers, policy.WorkerInfo{
+				ID: w.id, Free: w.pool.Free(), RunningTasks: len(w.running), JoinOrder: w.joinOrder,
+			})
+		}
+	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i].JoinOrder < workers[j].JoinOrder })
+	for fileID, goal := range m.replicaGoals {
+		if goal <= 1 {
+			delete(m.replicaGoals, fileID)
+			continue
+		}
+		have := m.reps.CountReplicas(fileID)
+		pending := 0
+		for _, w := range workers {
+			if m.reps.HasAny(fileID, w.ID) && !m.reps.Has(fileID, w.ID) {
+				pending++
+			}
+		}
+		need := goal - have - pending
+		if need <= 0 {
+			continue
+		}
+		targets := policy.ChooseReplicationTargets(fileID, need, workers, view{m})
+		needs := m.fileNeeds([]taskspec.Mount{{FileID: fileID, Name: "x"}})
+		for _, target := range targets {
+			plan := policy.PlanTransfers(needs, target, m.cfg.Limits, view{m})
+			for _, tr := range plan.Transfers {
+				if tr.File == fileID {
+					if w := m.workers[target]; w != nil {
+						m.startTransfer(fileID, tr.Source, w)
+					}
+				}
+			}
+		}
+	}
+}

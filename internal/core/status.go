@@ -1,0 +1,143 @@
+package core
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"taskvine/internal/resources"
+	"taskvine/internal/taskspec"
+	"taskvine/internal/trace"
+)
+
+// WorkerStatus is one worker's row in a status report.
+type WorkerStatus struct {
+	ID           string      `json:"id"`
+	TransferAddr string      `json:"transfer_addr"`
+	Capacity     resources.R `json:"capacity"`
+	Committed    resources.R `json:"committed"`
+	RunningTasks int         `json:"running_tasks"`
+	CachedFiles  int         `json:"cached_files"`
+	Libraries    []string    `json:"libraries,omitempty"`
+	JoinOrder    int         `json:"join_order"`
+}
+
+// Status is a consistent snapshot of the manager's distributed state — the
+// operator-facing view of the "detailed picture" of §2.2.
+type Status struct {
+	Addr              string         `json:"addr"`
+	Workers           []WorkerStatus `json:"workers"`
+	TasksWaiting      int            `json:"tasks_waiting"`
+	TasksStaging      int            `json:"tasks_staging"`
+	TasksRunning      int            `json:"tasks_running"`
+	TasksDone         int            `json:"tasks_done"`
+	TasksFailed       int            `json:"tasks_failed"`
+	TransfersInFlight int            `json:"transfers_in_flight"`
+	FilesDeclared     int            `json:"files_declared"`
+	UptimeSeconds     float64        `json:"uptime_seconds"`
+}
+
+// Status returns a snapshot taken inside the event loop, so every number is
+// mutually consistent.
+func (m *Manager) Status() Status {
+	reply := make(chan Status, 1)
+	select {
+	case m.events <- event{kind: evStatus, status: reply}:
+	case <-m.loopDone:
+		return Status{Addr: m.Addr()}
+	}
+	select {
+	case s := <-reply:
+		return s
+	case <-m.loopDone:
+		return Status{Addr: m.Addr()}
+	}
+}
+
+// buildStatus runs inside the event loop.
+func (m *Manager) buildStatus() Status {
+	s := Status{
+		Addr:              m.Addr(),
+		TransfersInFlight: m.trs.Len(),
+		FilesDeclared:     len(m.reg.All()),
+		UptimeSeconds:     m.now(),
+	}
+	for _, t := range m.tasks {
+		if t.library {
+			continue
+		}
+		switch t.state {
+		case taskspec.StateWaiting:
+			s.TasksWaiting++
+		case taskspec.StateStaging:
+			s.TasksStaging++
+		case taskspec.StateRunning:
+			s.TasksRunning++
+		case taskspec.StateDone:
+			s.TasksDone++
+		case taskspec.StateFailed:
+			s.TasksFailed++
+		}
+	}
+	for _, w := range m.workers {
+		if w.gone {
+			continue
+		}
+		ws := WorkerStatus{
+			ID:           w.id,
+			TransferAddr: w.transferAddr,
+			Capacity:     w.capacity,
+			Committed:    w.pool.Committed(),
+			RunningTasks: len(w.running),
+			CachedFiles:  m.reps.ReadyFilesOn(w.id),
+			JoinOrder:    w.joinOrder,
+		}
+		for lib := range w.libsReady {
+			ws.Libraries = append(ws.Libraries, lib)
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	// Deterministic order for display and tests.
+	for i := 0; i < len(s.Workers); i++ {
+		for j := i + 1; j < len(s.Workers); j++ {
+			if s.Workers[j].JoinOrder < s.Workers[i].JoinOrder {
+				s.Workers[i], s.Workers[j] = s.Workers[j], s.Workers[i]
+			}
+		}
+	}
+	return s
+}
+
+// ServeStatus exposes the manager's status as JSON over HTTP for
+// monitoring tools (cmd/vine-status):
+//
+//	GET /status  -> Status JSON
+//	GET /trace   -> execution events as CSV
+//
+// It returns the bound address. The server stops when the listener is
+// closed at manager shutdown.
+func (m *Manager) ServeStatus(addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m.Status())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		trace.WriteCSV(w, m.tlog.Events())
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	go func() {
+		<-m.loopDone
+		srv.Close()
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStatusSnapshot(t *testing.T) {
+	h := newHarness(t, 2, Config{})
+	// Both workers must be registered before sampling.
+	joinDeadline := time.Now().Add(5 * time.Second)
+	for len(h.m.Status().Workers) != 2 {
+		if time.Now().After(joinDeadline) {
+			t.Fatal("workers never joined")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// One long task occupies a slot while we sample.
+	if _, err := h.m.Submit(command("sleep 0.5; echo done")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var s Status
+	for {
+		s = h.m.Status()
+		if s.TasksRunning == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task never observed running: %+v", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(s.Workers) != 2 {
+		t.Fatalf("workers = %+v", s.Workers)
+	}
+	if s.Workers[0].JoinOrder > s.Workers[1].JoinOrder {
+		t.Fatal("workers not sorted by join order")
+	}
+	busy := 0
+	for _, w := range s.Workers {
+		if w.RunningTasks == 1 && w.Committed.Cores == 1 {
+			busy++
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("expected exactly one busy worker: %+v", s.Workers)
+	}
+	waitResult(t, h.m)
+	s = h.m.Status()
+	if s.TasksDone != 1 || s.TasksRunning != 0 {
+		t.Fatalf("post-completion status = %+v", s)
+	}
+	if s.UptimeSeconds <= 0 {
+		t.Fatal("uptime missing")
+	}
+}
+
+func TestStatusHTTPEndpoints(t *testing.T) {
+	h := newHarness(t, 1, Config{})
+	addr, err := h.m.ServeStatus("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.m.Submit(command("echo for-trace")); err != nil {
+		t.Fatal(err)
+	}
+	waitResult(t, h.m)
+
+	resp, err := http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Status
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.TasksDone != 1 || len(s.Workers) != 1 {
+		t.Fatalf("status over http = %+v", s)
+	}
+
+	resp2, err := http.Get("http://" + addr + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body), "task-end") {
+		t.Fatalf("trace csv missing events: %q", body)
+	}
+}
+
+func TestStatusAfterClose(t *testing.T) {
+	m, err := NewManager(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	s := m.Status() // must not hang or panic
+	if s.Addr == "" {
+		t.Fatal("status after close lost address")
+	}
+}

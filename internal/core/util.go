@@ -1,0 +1,36 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// readLocal reads a manager-side file's content. Directory-valued local
+// files cannot be fetched as flat bytes.
+func readLocal(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// writeFileAtomic writes data to path via a temporary sibling and rename,
+// so readers of the shared filesystem never observe a torn output.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".vine-out-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}

@@ -1,0 +1,560 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§4) from simulated runs of the production scheduling policy, printing
+// the same quantities the figures plot. Each runner returns a Report with
+// the paper's claim, the measured result, and the underlying series.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"taskvine/internal/policy"
+	"taskvine/internal/sim"
+	"taskvine/internal/trace"
+	"taskvine/internal/workloads"
+)
+
+// Series is one plottable line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Report is the outcome of regenerating one figure.
+type Report struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Observed   string
+	Lines      []string
+	Series     []Series
+	// OK records whether the paper's qualitative claim held.
+	OK bool
+}
+
+// String renders the report as text.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper:    %s\n", r.PaperClaim)
+	fmt.Fprintf(&b, "observed: %s\n", r.Observed)
+	verdict := "SHAPE REPRODUCED"
+	if !r.OK {
+		verdict = "SHAPE NOT REPRODUCED"
+	}
+	fmt.Fprintf(&b, "verdict:  %s\n", verdict)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	return b.String()
+}
+
+// Scale shrinks a workload's task and worker counts for quick runs; 1.0 is
+// paper scale.
+type Scale float64
+
+// N scales an integer count, flooring at 2; exported for tools that reuse
+// the figure scaling convention.
+func (s Scale) N(v int) int { return s.n(v) }
+
+func (s Scale) n(v int) int {
+	if s <= 0 || s >= 1 {
+		return v
+	}
+	n := int(math.Round(float64(v) * float64(s)))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Fig9 reproduces the BLAST cold-vs-hot-cache comparison (Figure 9): on a
+// cold cluster cache, transfer and staging dominate startup; a second run
+// with a hot cache removes that overhead.
+func Fig9(scale Scale) Report {
+	cfg := workloads.DefaultBlast()
+	cfg.Tasks = scale.n(cfg.Tasks)
+	cfg.Workers = scale.n(cfg.Workers)
+
+	run := func(hot bool) (makespan float64, s trace.Summary, frac map[trace.WorkerState]float64) {
+		cfg.Hot = hot
+		c := sim.NewCluster(workloads.Blast(cfg), sim.DefaultParams(), policy.Limits{})
+		makespan = c.Run()
+		events := c.Trace().Events()
+		s = trace.Summarize(events)
+		frac = trace.StateFractions(trace.WorkerView(events))
+		return
+	}
+	coldSpan, coldSum, coldFrac := run(false)
+	hotSpan, hotSum, hotFrac := run(true)
+
+	coldOverhead := coldFrac[trace.Transferring]
+	hotOverhead := hotFrac[trace.Transferring]
+	ok := coldOverhead > 0.05 && hotOverhead < coldOverhead/4 && hotSpan < coldSpan
+	return Report{
+		ID:    "fig9",
+		Title: "BLAST workflow with cold and hot caches",
+		PaperClaim: "cold start spends a substantial fraction (~1/4) of worker time " +
+			"transferring and staging data; a hot cache removes the startup cost",
+		Observed: fmt.Sprintf(
+			"cold: makespan %.0fs, %.0f%% of worker time in transfer/stage; hot: makespan %.0fs, %.1f%%",
+			coldSpan, 100*coldOverhead, hotSpan, 100*hotOverhead),
+		OK: ok,
+		Lines: []string{
+			fmt.Sprintf("cold  makespan=%8.1fs  transfer+stage=%6.1f worker-s  bytes=%s",
+				coldSpan, coldSum.TransferTime+coldSum.StageTime, condenseSources(coldSum.BytesBySource)),
+			fmt.Sprintf("hot   makespan=%8.1fs  transfer+stage=%6.1f worker-s  bytes=%s",
+				hotSpan, hotSum.TransferTime+hotSum.StageTime, condenseSources(hotSum.BytesBySource)),
+			fmt.Sprintf("startup improvement: %.2fx faster makespan", coldSpan/hotSpan),
+		},
+	}
+}
+
+// Fig10 reproduces the independent-vs-shared MiniTask comparison
+// (Figure 10): 1000 tasks needing a 610 MB environment, with and without a
+// shared MiniTask that unpacks it once per worker.
+func Fig10(scale Scale) Report {
+	run := func(shared bool) (float64, trace.Summary) {
+		cfg := workloads.DefaultEnvSharing(shared)
+		cfg.Tasks = scale.n(cfg.Tasks)
+		cfg.Workers = scale.n(cfg.Workers)
+		c := sim.NewCluster(workloads.EnvSharing(cfg), sim.DefaultParams(), policy.Limits{})
+		ms := c.Run()
+		return ms, trace.Summarize(c.Trace().Events())
+	}
+	indepSpan, indepSum := run(false)
+	sharedSpan, sharedSum := run(true)
+	ok := sharedSpan < indepSpan*0.75
+	return Report{
+		ID:    "fig10",
+		Title: "independent tasks vs shared MiniTasks (610MB environment)",
+		PaperClaim: "sharing the unpacked environment via a MiniTask substantially " +
+			"reduces task time versus each task unpacking its own copy",
+		Observed: fmt.Sprintf("independent makespan %.0fs vs shared %.0fs (%.2fx faster)",
+			indepSpan, sharedSpan, indepSpan/sharedSpan),
+		OK: ok,
+		Lines: []string{
+			fmt.Sprintf("independent makespan=%8.1fs  run-time=%9.0f worker-s", indepSpan, indepSum.RunTime),
+			fmt.Sprintf("shared      makespan=%8.1fs  run-time=%9.0f worker-s  stage=%5.0f worker-s",
+				sharedSpan, sharedSum.RunTime, sharedSum.StageTime),
+		},
+	}
+}
+
+// Fig11 reproduces the transfer-method comparison (Figure 11): a 200 MB
+// file delivered to 500 workers (a) all from the URL, (b) worker-to-worker
+// without limits, (c) worker-to-worker limited to 3 per source.
+func Fig11(scale Scale) Report {
+	// The distribution experiment is cheap even at paper scale (one flow
+	// per worker), so worker count is never scaled below 500: the URL
+	// baseline's saturation only appears at full fan-out.
+	cfg := workloads.DefaultDistribution()
+	_ = scale
+
+	run := func(limits policy.Limits) (float64, []float64) {
+		c := sim.NewCluster(workloads.Distribution(cfg), sim.DefaultParams(), limits)
+		ms := c.Run()
+		var arrivals []float64
+		for _, e := range c.Trace().Events() {
+			if e.Kind == trace.TransferEnd {
+				arrivals = append(arrivals, e.Time)
+			}
+		}
+		sort.Float64s(arrivals)
+		return ms, arrivals
+	}
+	urlSpan, urlArr := run(policy.Limits{WorkerSource: policy.Disabled, URLSource: policy.Unlimited})
+	unsupSpan, unsupArr := run(policy.Limits{WorkerSource: policy.Unlimited, URLSource: 1, WorkerDest: policy.Unlimited})
+	managedSpan, managedArr := run(policy.Limits{WorkerSource: 3, URLSource: 1})
+
+	ok := managedSpan < 0.7*urlSpan && unsupSpan > managedSpan
+	return Report{
+		ID:    "fig11",
+		Title: fmt.Sprintf("distributing a %gMB file to %d workers", cfg.FileMB, cfg.Workers),
+		PaperClaim: "managed worker-to-worker transfers (limit 3) finish in about half " +
+			"the worker-to-URL time; unsupervised transfers overload sources and suffer",
+		Observed: fmt.Sprintf("url=%.0fs unsupervised=%.0fs managed(3)=%.0fs (managed = %.2fx of url)",
+			urlSpan, unsupSpan, managedSpan, managedSpan/urlSpan),
+		OK: ok,
+		Lines: []string{
+			fmt.Sprintf("worker-URL        makespan=%8.1fs  median-arrival=%7.1fs", urlSpan, median(urlArr)),
+			fmt.Sprintf("w2w unsupervised  makespan=%8.1fs  median-arrival=%7.1fs", unsupSpan, median(unsupArr)),
+			fmt.Sprintf("w2w limit 3       makespan=%8.1fs  median-arrival=%7.1fs", managedSpan, median(managedArr)),
+		},
+		Series: []Series{
+			arrivalSeries("worker-url", urlArr),
+			arrivalSeries("w2w-unsupervised", unsupArr),
+			arrivalSeries("w2w-limit3", managedArr),
+		},
+	}
+}
+
+// Fig11Ablation sweeps the per-source worker transfer limit; the paper
+// found 3 slightly better than 2 or 4 (§4.1).
+func Fig11Ablation(scale Scale) Report {
+	cfg := workloads.DefaultDistribution()
+	_ = scale // see Fig11: always run at full fan-out
+	var lines []string
+	best, bestSpan := 0, math.Inf(1)
+	var series Series
+	series.Name = "makespan-vs-limit"
+	for limit := 1; limit <= 8; limit++ {
+		c := sim.NewCluster(workloads.Distribution(cfg), sim.DefaultParams(),
+			policy.Limits{WorkerSource: limit, URLSource: 1})
+		ms := c.Run()
+		lines = append(lines, fmt.Sprintf("limit=%d  makespan=%8.1fs", limit, ms))
+		series.X = append(series.X, float64(limit))
+		series.Y = append(series.Y, ms)
+		if ms < bestSpan {
+			best, bestSpan = limit, ms
+		}
+	}
+	ok := best >= 2 && best <= 4
+	return Report{
+		ID:         "fig11-ablation",
+		Title:      "worker-to-worker transfer limit sweep",
+		PaperClaim: "a concurrent transfer limit of 3 performs slightly better than two and four",
+		Observed:   fmt.Sprintf("best limit = %d (makespan %.1fs)", best, bestSpan),
+		OK:         ok,
+		Lines:      lines,
+		Series:     []Series{series},
+	}
+}
+
+// Fig12TopEFT reproduces the TopEFT task and worker views (Figures 12a/d):
+// gradually arriving workers, a stall at the shift from real to simulated
+// collision data, and growing accumulation outputs.
+func Fig12TopEFT(scale Scale) Report {
+	cfg := workloads.DefaultTopEFT(false)
+	cfg.ProcessTasks = scale.n(cfg.ProcessTasks)
+	cfg.Workers = scale.n(cfg.Workers)
+	wl := workloads.TopEFT(cfg)
+	c := sim.NewCluster(wl, sim.DefaultParams(), policy.Limits{})
+	ms := c.Run()
+	events := c.Trace().Events()
+	sum := trace.Summarize(events)
+	times, counts := trace.CompletionSeries(events)
+
+	// The MC phase needs more resources per subset: mean task duration of
+	// MC processing must exceed real-data processing, producing the
+	// visible throughput stall at the phase shift.
+	durData, durMC := phaseDurations(events)
+	joins := joinTimes(events)
+	gradual := len(joins) > 1 && joins[len(joins)-1] > joins[0]
+	ok := sum.TasksDone == len(wl.Tasks) && durMC > durData && gradual
+	return Report{
+		ID:    "fig12-topeft",
+		Title: "TopEFT physics analysis (task and worker views)",
+		PaperClaim: "workers arrive gradually; a stall appears at the shift from real " +
+			"to simulated collisions, which need more resources per subset",
+		Observed: fmt.Sprintf("makespan %.0fs, %d tasks; mean processing time %.0fs (data) vs %.0fs (MC); workers joined over %.0fs",
+			ms, sum.TasksDone, durData, durMC, joins[len(joins)-1]-joins[0]),
+		OK: ok,
+		Lines: []string{
+			fmt.Sprintf("tasks=%d  workers=%d  makespan=%.1fs", sum.TasksDone, sum.Workers, ms),
+			fmt.Sprintf("bytes by source: %s", condenseSources(sum.BytesBySource)),
+		},
+		Series: []Series{completionToSeries("completions", times, counts)},
+	}
+}
+
+// Fig12Colmena reproduces the Colmena-XTB run (Figures 12b/e): only a few
+// workers fetch the software tarball from the shared filesystem; the rest
+// receive it worker-to-worker.
+func Fig12Colmena(scale Scale) Report {
+	cfg := workloads.DefaultColmena()
+	cfg.InferenceTasks = scale.n(cfg.InferenceTasks)
+	cfg.SimulationTasks = scale.n(cfg.SimulationTasks)
+	cfg.Workers = scale.n(cfg.Workers)
+
+	run := func(limits policy.Limits) (float64, trace.Summary) {
+		c := sim.NewCluster(workloads.Colmena(cfg), sim.DefaultParams(), limits)
+		ms := c.Run()
+		return ms, trace.Summarize(c.Trace().Events())
+	}
+	noW2W, noSum := run(policy.Limits{WorkerSource: policy.Disabled, URLSource: policy.Unlimited})
+	w2w, w2wSum := run(policy.Limits{WorkerSource: 3, URLSource: 3})
+
+	fsWithout := noSum.TransfersBySource["shared-fs"]
+	fsWith := w2wSum.TransfersBySource["shared-fs"]
+	var peer int64
+	for src, n := range w2wSum.TransfersBySource {
+		if strings.HasPrefix(src, "worker:") {
+			peer += n
+		}
+	}
+	// Paper at 108 workers: 108 FS queries without w2w, 3 with (the
+	// remaining 105 deliveries are worker-to-worker).
+	ok := fsWithout == int64(cfg.Workers) && fsWith <= 3 &&
+		peer >= int64(cfg.Workers)-fsWith
+	return Report{
+		ID:    "fig12-colmena",
+		Title: "Colmena-XTB software distribution",
+		PaperClaim: "worker-to-worker transfers reduce shared-FS queries for the software " +
+			"tarball from 108 (one per worker) to 3; the rest move between workers",
+		Observed: fmt.Sprintf("shared-FS fetches at %d workers: %d without w2w -> %d with w2w (%d peer transfers)",
+			cfg.Workers, fsWithout, fsWith, peer),
+		OK: ok,
+		Lines: []string{
+			fmt.Sprintf("without w2w: makespan=%8.1fs  shared-fs fetches=%d", noW2W, fsWithout),
+			fmt.Sprintf("with w2w(3): makespan=%8.1fs  shared-fs fetches=%d  peer=%d", w2w, fsWith, peer),
+		},
+	}
+}
+
+// Fig12BGD reproduces the serverless BGD run (Figures 12c/f): FunctionCall
+// throughput ramps up as LibraryTasks deploy, peaking once almost all
+// workers host an instance (~minute 5 in the paper).
+func Fig12BGD(scale Scale) Report {
+	cfg := workloads.DefaultBGD()
+	cfg.FunctionCalls = scale.n(cfg.FunctionCalls)
+	cfg.Workers = scale.n(cfg.Workers)
+	c := sim.NewCluster(workloads.BGD(cfg), sim.DefaultParams(), policy.Limits{})
+	ms := c.Run()
+	events := c.Trace().Events()
+
+	var libReady, starts, ends []float64
+	for _, e := range events {
+		switch e.Kind {
+		case trace.LibraryReady:
+			libReady = append(libReady, e.Time)
+		case trace.TaskStart:
+			starts = append(starts, e.Time)
+		case trace.TaskEnd:
+			ends = append(ends, e.Time)
+		}
+	}
+	sort.Float64s(libReady)
+	sort.Float64s(starts)
+	sort.Float64s(ends)
+	lastLib := 0.0
+	if len(libReady) > 0 {
+		lastLib = libReady[len(libReady)-1]
+	}
+	// Serverless claims: one library boot per worker (not per call); no
+	// call before its worker's instance is ready; completion throughput
+	// ramps up during deployment and peaks afterwards.
+	early := rateInWindow(ends, 0, lastLib)
+	late := rateInWindow(ends, lastLib, ms)
+	noEarlyStart := len(starts) > 0 && len(libReady) > 0 && starts[0] >= libReady[0]
+	ok := len(libReady) == cfg.Workers && late > early && noEarlyStart
+	return Report{
+		ID:    "fig12-bgd",
+		Title: "BGD serverless model (library deployment ramp)",
+		PaperClaim: "FunctionCall throughput grows as libraries deploy and peaks once " +
+			"almost all workers host an instance; startup cost is paid once per worker",
+		Observed: fmt.Sprintf("%d library boots for %d calls on %d workers; all deployed by t=%.0fs; completion rate %.2f/s during ramp vs %.2f/s after",
+			len(libReady), len(starts), cfg.Workers, lastLib, early, late),
+		OK: ok,
+		Lines: []string{
+			fmt.Sprintf("makespan=%.1fs  libraries=%d  function-calls=%d", ms, len(libReady), len(starts)),
+		},
+		Series: []Series{
+			{Name: "library-deployments", X: libReady, Y: rampY(libReady)},
+			{Name: "call-completions", X: ends, Y: rampY(ends)},
+		},
+	}
+}
+
+// Fig13 reproduces the TopEFT storage-mode comparison (Figure 13): bringing
+// every output back to the manager bottlenecks the run, while in-cluster
+// temp files let it conclude rapidly.
+func Fig13(scale Scale) Report {
+	run := func(shared bool) (float64, trace.Summary, []float64, []int) {
+		cfg := workloads.DefaultTopEFT(shared)
+		cfg.ProcessTasks = scale.n(cfg.ProcessTasks)
+		cfg.Workers = scale.n(cfg.Workers)
+		cfg.WorkerRampSeconds = 0
+		c := sim.NewCluster(workloads.TopEFT(cfg), sim.DefaultParams(), policy.Limits{})
+		ms := c.Run()
+		events := c.Trace().Events()
+		t, n := trace.CompletionSeries(events)
+		return ms, trace.Summarize(events), t, n
+	}
+	sharedSpan, sharedSum, st, sn := run(true)
+	clusterSpan, clusterSum, ct, cn := run(false)
+	mgrBytes := sharedSum.BytesBySource // includes worker->manager returns
+	_ = mgrBytes
+	ok := clusterSpan < sharedSpan
+	return Report{
+		ID:    "fig13",
+		Title: "TopEFT shared-storage vs in-cluster storage",
+		PaperClaim: "returning all outputs to the manager bottlenecks the system near the " +
+			"end of execution; keeping histograms as in-cluster temps concludes rapidly",
+		Observed: fmt.Sprintf("shared-storage makespan %.0fs vs in-cluster %.0fs (%.2fx faster)",
+			sharedSpan, clusterSpan, sharedSpan/clusterSpan),
+		OK: ok,
+		Lines: []string{
+			fmt.Sprintf("shared storage  makespan=%8.1fs  transfer worker-s=%9.0f", sharedSpan, sharedSum.TransferTime),
+			fmt.Sprintf("in-cluster      makespan=%8.1fs  transfer worker-s=%9.0f", clusterSpan, clusterSum.TransferTime),
+		},
+		Series: []Series{
+			completionToSeries("shared-storage", st, sn),
+			completionToSeries("in-cluster", ct, cn),
+		},
+	}
+}
+
+// AblationPlacement isolates the value of data-aware task placement
+// (§3.3's "tasks are scheduled primarily to match the cached files present
+// at each worker"): the BLAST workload runs with the production policy and
+// again with placement blind to cached inputs.
+func AblationPlacement(scale Scale) Report {
+	// TopEFT's accumulation stage is where placement matters: each merge
+	// consumes temp histograms that live on specific workers, so cache-
+	// blind placement forces extra worker-to-worker histogram movement.
+	cfg := workloads.DefaultTopEFT(false)
+	cfg.ProcessTasks = scale.n(cfg.ProcessTasks)
+	cfg.Workers = scale.n(cfg.Workers)
+	cfg.WorkerRampSeconds = 0
+	run := func(ignoreLocality bool) (float64, int64) {
+		params := sim.DefaultParams()
+		params.IgnoreLocality = ignoreLocality
+		c := sim.NewCluster(workloads.TopEFT(cfg), params, policy.Limits{})
+		ms := c.Run()
+		s := trace.Summarize(c.Trace().Events())
+		var w2w int64
+		for src, b := range s.BytesBySource {
+			if strings.HasPrefix(src, "worker:") {
+				w2w += b
+			}
+		}
+		return ms, w2w
+	}
+	localSpan, localBytes := run(false)
+	blindSpan, blindBytes := run(true)
+	ok := localBytes < blindBytes && localSpan <= blindSpan*1.05
+	return Report{
+		ID:         "ablation-placement",
+		Title:      "data-aware placement vs cache-blind placement (TopEFT accumulation)",
+		PaperClaim: "tasks are scheduled primarily to match the cached files present at each worker (§3.3)",
+		Observed: fmt.Sprintf("locality: %.0fs / %.0fMB histograms moved w2w; blind: %.0fs / %.0fMB",
+			localSpan, float64(localBytes)/1e6, blindSpan, float64(blindBytes)/1e6),
+		OK: ok,
+		Lines: []string{
+			fmt.Sprintf("data-aware  makespan=%8.1fs  w2w-bytes=%8.0fMB", localSpan, float64(localBytes)/1e6),
+			fmt.Sprintf("cache-blind makespan=%8.1fs  w2w-bytes=%8.0fMB", blindSpan, float64(blindBytes)/1e6),
+		},
+	}
+}
+
+// All runs every figure at the given scale.
+func All(scale Scale) []Report {
+	return []Report{
+		Fig9(scale), Fig10(scale), Fig11(scale), Fig11Ablation(scale),
+		Fig12TopEFT(scale), Fig12Colmena(scale), Fig12BGD(scale), Fig13(scale),
+		AblationPlacement(scale),
+	}
+}
+
+// ---- helpers ----
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func arrivalSeries(name string, arrivals []float64) Series {
+	return Series{Name: name, X: arrivals, Y: rampY(arrivals)}
+}
+
+func rampY(xs []float64) []float64 {
+	y := make([]float64, len(xs))
+	for i := range xs {
+		y[i] = float64(i + 1)
+	}
+	return y
+}
+
+func completionToSeries(name string, times []float64, counts []int) Series {
+	y := make([]float64, len(counts))
+	for i, c := range counts {
+		y[i] = float64(c)
+	}
+	return Series{Name: name, X: times, Y: y}
+}
+
+func rateInWindow(starts []float64, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	n := 0
+	for _, t := range starts {
+		if t >= lo && t < hi {
+			n++
+		}
+	}
+	return float64(n) / (hi - lo)
+}
+
+func formatBytesBySource(m map[string]int64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%.0fMB", k, float64(m[k])/1e6))
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// phaseDurations returns the mean execution duration of real-data vs
+// simulated-collision processing tasks.
+func phaseDurations(events []trace.Event) (data, mc float64) {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, iv := range trace.TaskView(events) {
+		if iv.Category == "process-data" || iv.Category == "process-mc" {
+			sums[iv.Category] += iv.End - iv.Start
+			counts[iv.Category]++
+		}
+	}
+	mean := func(cat string) float64 {
+		if counts[cat] == 0 {
+			return 0
+		}
+		return sums[cat] / float64(counts[cat])
+	}
+	return mean("process-data"), mean("process-mc")
+}
+
+// joinTimes returns sorted worker arrival times.
+func joinTimes(events []trace.Event) []float64 {
+	var out []float64
+	for _, e := range events {
+		if e.Kind == trace.WorkerJoined {
+			out = append(out, e.Time)
+		}
+	}
+	sort.Float64s(out)
+	if len(out) == 0 {
+		out = []float64{0}
+	}
+	return out
+}
+
+// condenseSources folds per-worker byte counts into one "workers" entry so
+// reports stay readable at 100+ workers.
+func condenseSources(m map[string]int64) string {
+	folded := map[string]int64{}
+	for k, v := range m {
+		if strings.HasPrefix(k, "worker:") {
+			folded["workers(w2w)"] += v
+		} else {
+			folded[k] += v
+		}
+	}
+	return formatBytesBySource(folded)
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each figure's report must reproduce the paper's qualitative shape even at
+// a small scale (Fig11 runs at full fan-out by design).
+const testScale = Scale(0.1)
+
+func check(t *testing.T, rep Report) {
+	t.Helper()
+	if !rep.OK {
+		t.Fatalf("%s: shape not reproduced: %s", rep.ID, rep.Observed)
+	}
+	if rep.PaperClaim == "" || rep.Observed == "" || len(rep.Lines) == 0 {
+		t.Fatalf("%s: incomplete report %+v", rep.ID, rep)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "SHAPE REPRODUCED") || !strings.Contains(s, rep.ID) {
+		t.Fatalf("%s: rendering broken: %q", rep.ID, s)
+	}
+}
+
+func TestFig9(t *testing.T)  { check(t, Fig9(testScale)) }
+func TestFig10(t *testing.T) { check(t, Fig10(testScale)) }
+
+func TestFig11(t *testing.T) {
+	rep := Fig11(testScale)
+	check(t, rep)
+	if len(rep.Series) != 3 {
+		t.Fatalf("series = %d", len(rep.Series))
+	}
+	// Arrival curves must be complete: one arrival per worker.
+	for _, s := range rep.Series {
+		if len(s.X) != 500 {
+			t.Fatalf("series %s has %d arrivals, want 500", s.Name, len(s.X))
+		}
+	}
+}
+
+func TestFig11Ablation(t *testing.T) {
+	rep := Fig11Ablation(testScale)
+	check(t, rep)
+	if len(rep.Lines) != 8 {
+		t.Fatalf("sweep lines = %d", len(rep.Lines))
+	}
+}
+
+func TestFig12TopEFT(t *testing.T)  { check(t, Fig12TopEFT(testScale)) }
+func TestFig12Colmena(t *testing.T) { check(t, Fig12Colmena(testScale)) }
+func TestFig12BGD(t *testing.T)     { check(t, Fig12BGD(testScale)) }
+func TestFig13(t *testing.T)        { check(t, Fig13(testScale)) }
+func TestAblationPlacement(t *testing.T) {
+	check(t, AblationPlacement(testScale))
+}
+
+func TestFig9Real(t *testing.T) {
+	check(t, Fig9Real(Scale(0.2)))
+}
+
+func TestAllRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	reps := All(testScale)
+	if len(reps) != 9 {
+		t.Fatalf("All returned %d reports", len(reps))
+	}
+	ids := map[string]bool{}
+	for _, r := range reps {
+		if ids[r.ID] {
+			t.Fatalf("duplicate report %s", r.ID)
+		}
+		ids[r.ID] = true
+		if !r.OK {
+			t.Errorf("%s failed: %s", r.ID, r.Observed)
+		}
+	}
+}
+
+func TestScaleHelper(t *testing.T) {
+	if Scale(1.0).n(100) != 100 || Scale(0).n(100) != 100 {
+		t.Fatal("identity scales broken")
+	}
+	if Scale(0.1).n(100) != 10 {
+		t.Fatalf("0.1 scale of 100 = %d", Scale(0.1).n(100))
+	}
+	if Scale(0.001).n(100) != 2 {
+		t.Fatalf("floor broken: %d", Scale(0.001).n(100))
+	}
+}
+
+func TestReportStringFailure(t *testing.T) {
+	r := Report{ID: "x", Title: "t", PaperClaim: "c", Observed: "o", OK: false}
+	if !strings.Contains(r.String(), "SHAPE NOT REPRODUCED") {
+		t.Fatal("failure verdict missing")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if median(nil) != 0 {
+		t.Fatal("median of empty")
+	}
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("median wrong")
+	}
+	if got := rateInWindow([]float64{1, 2, 3}, 0, 2); got != 0.5 {
+		t.Fatalf("rate = %v, want 0.5 (one event in a 2s window)", got)
+	}
+	if rateInWindow(nil, 5, 5) != 0 {
+		t.Fatal("degenerate window")
+	}
+	s := condenseSources(map[string]int64{"worker:a": 1e6, "worker:b": 2e6, "url": 5e6})
+	if !strings.Contains(s, "workers(w2w)=3MB") || !strings.Contains(s, "url=5MB") {
+		t.Fatalf("condensed = %q", s)
+	}
+	if formatBytesBySource(map[string]int64{}) != "(none)" {
+		t.Fatal("empty sources")
+	}
+}

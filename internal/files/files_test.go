@@ -1,0 +1,263 @@
+package files
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taskvine/internal/hashing"
+	"taskvine/internal/taskspec"
+)
+
+func TestDeclareBufferNaming(t *testing.T) {
+	r := NewRegistry(nil)
+	// Worker lifetime: content-addressed, so identical buffers share a name.
+	a, err := r.DeclareBuffer([]byte("query"), LifetimeWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.DeclareBuffer([]byte("query"), LifetimeWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("identical worker-lifetime buffers named differently: %s vs %s", a.ID, b.ID)
+	}
+	if !strings.HasPrefix(a.ID, "buffer-") {
+		t.Fatalf("buffer name %q lacks prefix", a.ID)
+	}
+	// Task lifetime: random names, distinct even for identical content.
+	c, _ := r.DeclareBuffer([]byte("query"), LifetimeTask)
+	d, _ := r.DeclareBuffer([]byte("query"), LifetimeTask)
+	if c.ID == d.ID {
+		t.Fatal("random names collided")
+	}
+	if c.Size != 5 {
+		t.Fatalf("buffer size = %d", c.Size)
+	}
+}
+
+func TestDeclareBufferCopiesContent(t *testing.T) {
+	r := NewRegistry(nil)
+	data := []byte("mutable")
+	f, _ := r.DeclareBuffer(data, LifetimeTask)
+	data[0] = 'X'
+	if string(f.Content) != "mutable" {
+		t.Fatal("registry aliases caller's buffer; files must be immutable")
+	}
+}
+
+func TestDeclareLocal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.dat")
+	if err := os.WriteFile(path, []byte("database"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(nil)
+	f, err := r.DeclareLocal(path, LifetimeWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID := hashing.Name(hashing.PrefixFile, hashing.HashBytes([]byte("database")))
+	if f.ID != wantID {
+		t.Fatalf("local file name = %s want %s", f.ID, wantID)
+	}
+	if f.Size != 8 {
+		t.Fatalf("size = %d", f.Size)
+	}
+	// Redeclaring the identical object is idempotent.
+	f2, err := r.DeclareLocal(path, LifetimeWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Fatal("redeclaration created a second file object")
+	}
+}
+
+func TestDeclareLocalDirectory(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "pkg")
+	if err := os.MkdirAll(filepath.Join(sub, "bin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(sub, "bin", "tool"), []byte("#!bin"), 0o755)
+	os.WriteFile(filepath.Join(sub, "README"), []byte("docs"), 0o644)
+	r := NewRegistry(nil)
+	f, err := r.DeclareLocal(sub, LifetimeWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(f.ID, "dir-") {
+		t.Fatalf("directory name %q lacks dir prefix", f.ID)
+	}
+	if f.Size != 9 {
+		t.Fatalf("tree size = %d want 9", f.Size)
+	}
+}
+
+func TestDeclareLocalMissing(t *testing.T) {
+	r := NewRegistry(nil)
+	if _, err := r.DeclareLocal("/no/such/path", LifetimeWorkflow); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}
+
+func TestDeclareURL(t *testing.T) {
+	head := func(url string) (hashing.URLMetadata, int64, error) {
+		return hashing.URLMetadata{ETag: "v1", LastModified: "yesterday"}, 1024, nil
+	}
+	r := NewRegistry(head)
+	f, err := r.DeclareURL("http://archive/blast.tar.gz", LifetimeWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size != 1024 || !strings.HasPrefix(f.ID, "url-") {
+		t.Fatalf("url file = %+v", f)
+	}
+	// Same URL+metadata names the same object.
+	r2 := NewRegistry(head)
+	f2, _ := r2.DeclareURL("http://archive/blast.tar.gz", LifetimeWorker)
+	if f2.ID != f.ID {
+		t.Fatal("URL naming not stable across registries")
+	}
+	if !f.IsRemote() {
+		t.Fatal("URL file should be remote")
+	}
+}
+
+func TestDeclareURLWorkerLifetimeNeedsHead(t *testing.T) {
+	r := NewRegistry(nil)
+	if _, err := r.DeclareURL("http://x/y", LifetimeWorker); err == nil {
+		t.Fatal("worker-lifetime URL without fetcher accepted")
+	}
+	// Workflow lifetime is fine without metadata.
+	f, err := r.DeclareURL("http://x/y", LifetimeWorkflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size != -1 {
+		t.Fatalf("size should be unknown, got %d", f.Size)
+	}
+}
+
+func TestDeclareTemp(t *testing.T) {
+	r := NewRegistry(nil)
+	a := r.DeclareTemp()
+	b := r.DeclareTemp()
+	if a.ID == b.ID {
+		t.Fatal("temp names collided")
+	}
+	if a.Lifetime != LifetimeWorkflow || a.Type != Temp || !a.IsRemote() {
+		t.Fatalf("temp file = %+v", a)
+	}
+}
+
+func TestDeclareMiniTask(t *testing.T) {
+	r := NewRegistry(nil)
+	spec := taskspec.UntarSpec("url-abc123")
+	f, err := r.DeclareMiniTask(spec, LifetimeWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != Mini || f.MiniTask == nil {
+		t.Fatalf("mini file = %+v", f)
+	}
+	if f.MiniTask.Outputs[0].FileID != f.ID {
+		t.Fatal("minitask output not bound to product name")
+	}
+	// Identical minitask declared again shares the product.
+	f2, err := r.DeclareMiniTask(taskspec.UntarSpec("url-abc123"), LifetimeWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.ID != f.ID {
+		t.Fatal("identical minitasks produced different names")
+	}
+	// The caller's spec is not mutated (DeclareMiniTask clones).
+	if len(spec.Outputs) != 0 {
+		t.Fatal("caller's spec was mutated")
+	}
+}
+
+func TestRefcountGC(t *testing.T) {
+	r := NewRegistry(nil)
+	taskFile, _ := r.DeclareBuffer([]byte("q1"), LifetimeTask)
+	wfFile, _ := r.DeclareBuffer([]byte("shared"), LifetimeWorkflow)
+	ids := []string{taskFile.ID, wfFile.ID}
+	r.Retain(ids)
+	r.Retain([]string{wfFile.ID}) // second task also uses the shared file
+
+	g := r.Release(ids)
+	if len(g) != 1 || g[0] != taskFile.ID {
+		t.Fatalf("garbage after first release = %v", g)
+	}
+	if r.Refs(wfFile.ID) != 1 {
+		t.Fatalf("wf refs = %d", r.Refs(wfFile.ID))
+	}
+	// Workflow files are not immediate garbage even at zero refs.
+	g = r.Release([]string{wfFile.ID})
+	if len(g) != 0 {
+		t.Fatalf("workflow file reported as task garbage: %v", g)
+	}
+}
+
+func TestWorkflowGarbage(t *testing.T) {
+	r := NewRegistry(nil)
+	tf, _ := r.DeclareBuffer([]byte("a"), LifetimeTask)
+	wf, _ := r.DeclareBuffer([]byte("b"), LifetimeWorkflow)
+	pf, _ := r.DeclareBuffer([]byte("c"), LifetimeWorker)
+	garbage := r.WorkflowGarbage()
+	has := func(id string) bool {
+		for _, g := range garbage {
+			if g == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(tf.ID) || !has(wf.ID) {
+		t.Fatalf("workflow garbage missing entries: %v", garbage)
+	}
+	if has(pf.ID) {
+		t.Fatal("worker-lifetime file listed as workflow garbage")
+	}
+}
+
+func TestProducerTracking(t *testing.T) {
+	r := NewRegistry(nil)
+	tmp := r.DeclareTemp()
+	r.SetProducer(tmp.ID, 42)
+	id, ok := r.Producer(tmp.ID)
+	if !ok || id != 42 {
+		t.Fatalf("producer = %d, %v", id, ok)
+	}
+	if _, ok := r.Producer("unknown"); ok {
+		t.Fatal("unknown file has producer")
+	}
+}
+
+func TestSetSize(t *testing.T) {
+	r := NewRegistry(nil)
+	tmp := r.DeclareTemp()
+	r.SetSize(tmp.ID, 4096)
+	f, _ := r.Lookup(tmp.ID)
+	if f.Size != 4096 {
+		t.Fatalf("size = %d", f.Size)
+	}
+	// First report wins; sizes of immutable files cannot change.
+	r.SetSize(tmp.ID, 9999)
+	if f.Size != 4096 {
+		t.Fatal("size overwritten")
+	}
+}
+
+func TestTypeLifetimeStrings(t *testing.T) {
+	if Local.String() != "local" || Mini.String() != "minitask" {
+		t.Fatal("type strings wrong")
+	}
+	if LifetimeWorker.String() != "worker" || LifetimeTask.String() != "task" {
+		t.Fatal("lifetime strings wrong")
+	}
+}

@@ -1,0 +1,66 @@
+package hashing
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkHashBytes1MB(b *testing.B) {
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HashBytes(data)
+	}
+}
+
+func BenchmarkHashTree(b *testing.B) {
+	// A realistic software-package tree: 8 dirs x 16 files x 4KB.
+	root := b.TempDir()
+	for d := 0; d < 8; d++ {
+		dir := filepath.Join(root, fmt.Sprintf("dir%d", d))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < 16; f++ {
+			data := make([]byte, 4096)
+			for i := range data {
+				data[i] = byte(d*16 + f)
+			}
+			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("f%d", f)), data, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last Digest
+	for i := 0; i < b.N; i++ {
+		d, err := HashTree(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if last != "" && d != last {
+			b.Fatal("unstable tree hash")
+		}
+		last = d
+	}
+}
+
+func BenchmarkHashTaskDocument(b *testing.B) {
+	doc := TaskDocument{
+		Command:   "blast -db landmark -q query",
+		Resources: "cores=4 mem=16GB",
+		Env:       []string{"BLASTDB=landmark", "THREADS=4"},
+		Inputs: [][2]string{
+			{"url-abc", "landmark"}, {"file-def", "blast"}, {"buffer-ghi", "query"},
+		},
+		Output: "out.txt",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HashTaskDocument(doc)
+	}
+}

@@ -1,0 +1,238 @@
+// Package httpsource provides the archival data source substrate for
+// tests, examples, and benchmarks.
+//
+// The paper's workflows draw software packages and reference datasets from
+// remote archival URLs (Figure 3). This package serves deterministic
+// synthetic objects — plain blobs and tarballs — over real HTTP with the
+// header fields TaskVine's URL naming ladder consumes (Content-MD5, ETag,
+// Last-Modified), so the full §3.2 naming logic is exercised without
+// network access.
+package httpsource
+
+import (
+	"archive/tar"
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taskvine/internal/hashing"
+)
+
+// Object is one servable data object.
+type Object struct {
+	Path    string // URL path, e.g. "/blast.tar.gz"
+	Content []byte
+	// OmitChecksum drops the Content-MD5 header, forcing clients down the
+	// ETag+Last-Modified rung of the naming ladder.
+	OmitChecksum bool
+	// OmitValidators additionally drops ETag and Last-Modified, forcing
+	// the download-and-hash fallback.
+	OmitValidators bool
+}
+
+// Server is an in-process archival HTTP server.
+type Server struct {
+	mu      sync.Mutex
+	objects map[string]*Object
+	ts      *httptest.Server
+	// fetches counts GET requests per path — the "queries to the shared
+	// file system / archive" quantity in the Colmena evaluation.
+	fetches map[string]*int64
+	modTime time.Time
+}
+
+// New starts a server with the given objects.
+func New(objects ...*Object) *Server {
+	s := &Server{
+		objects: make(map[string]*Object),
+		fetches: make(map[string]*int64),
+		modTime: time.Date(2023, 11, 12, 0, 0, 0, 0, time.UTC),
+	}
+	for _, o := range objects {
+		s.Add(o)
+	}
+	s.ts = httptest.NewServer(http.HandlerFunc(s.handle))
+	return s
+}
+
+// Add registers an object (before or after starting).
+func (s *Server) Add(o *Object) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[o.Path] = o
+	var n int64
+	s.fetches[o.Path] = &n
+}
+
+// URL returns the full URL of an object path.
+func (s *Server) URL(path string) string { return s.ts.URL + path }
+
+// Addr returns the server's base URL.
+func (s *Server) Addr() string { return s.ts.URL }
+
+// Close shuts the server down.
+func (s *Server) Close() { s.ts.Close() }
+
+// Fetches reports how many GET requests a path has served.
+func (s *Server) Fetches(path string) int64 {
+	s.mu.Lock()
+	n := s.fetches[path]
+	s.mu.Unlock()
+	if n == nil {
+		return 0
+	}
+	return atomic.LoadInt64(n)
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	o := s.objects[r.URL.Path]
+	counter := s.fetches[r.URL.Path]
+	mod := s.modTime
+	s.mu.Unlock()
+	if o == nil {
+		http.NotFound(w, r)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Length", strconv.Itoa(len(o.Content)))
+	if !o.OmitValidators {
+		sum := md5.Sum(o.Content)
+		h.Set("ETag", `"`+hex.EncodeToString(sum[:8])+`"`)
+		h.Set("Last-Modified", mod.Format(http.TimeFormat))
+	}
+	if !o.OmitChecksum && !o.OmitValidators {
+		sum := md5.Sum(o.Content)
+		h.Set("Content-MD5", hex.EncodeToString(sum[:]))
+	}
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if counter != nil {
+		atomic.AddInt64(counter, 1)
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(o.Content)
+}
+
+// Head retrieves URL naming metadata via an HTTP HEAD request, implementing
+// the files.HeadFunc contract including the download-and-hash fallback for
+// servers that expose neither checksums nor validators.
+func Head(url string) (hashing.URLMetadata, int64, error) {
+	resp, err := http.Head(url)
+	if err != nil {
+		return hashing.URLMetadata{}, -1, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return hashing.URLMetadata{}, -1, fmt.Errorf("httpsource: HEAD %s: %s", url, resp.Status)
+	}
+	meta := hashing.URLMetadata{
+		ContentMD5:   resp.Header.Get("Content-MD5"),
+		ETag:         resp.Header.Get("ETag"),
+		LastModified: resp.Header.Get("Last-Modified"),
+	}
+	size := resp.ContentLength
+	if !meta.HasStrongChecksum() && !meta.HasValidators() {
+		// Fallback of §3.2: download the content and hash the local copy.
+		body, err := fetch(url)
+		if err != nil {
+			return meta, size, err
+		}
+		meta.ContentMD5 = string(hashing.HashBytes(body))
+		size = int64(len(body))
+	}
+	return meta, size, nil
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpsource: GET %s: %s", url, resp.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SyntheticBlob produces size deterministic pseudo-random bytes seeded by
+// name, so identical declarations produce identical content (and thus
+// identical content-addressed cache names).
+func SyntheticBlob(name string, size int) []byte {
+	out := make([]byte, size)
+	var state [16]byte
+	seed := md5.Sum([]byte(name))
+	state = seed
+	for i := 0; i < size; i += 16 {
+		state = md5.Sum(state[:])
+		copy(out[i:], state[:])
+	}
+	return out
+}
+
+// Tarball builds an uncompressed tar archive from the given name->content
+// map, deterministically ordered. It stands in for the compressed software
+// packages and datasets of the paper's workflows.
+func Tarball(entries map[string][]byte) ([]byte, error) {
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	// Deterministic order for stable content hashes.
+	sortStrings(names)
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, n := range names {
+		body := entries[n]
+		hdr := &tar.Header{
+			Name:    n,
+			Mode:    0o644,
+			Size:    int64(len(body)),
+			ModTime: time.Date(2023, 11, 12, 0, 0, 0, 0, time.UTC),
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return nil, err
+		}
+		if _, err := tw.Write(body); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SoftwarePackage builds a synthetic software tarball of roughly the given
+// total size, shaped like a real package (a binary, libraries, and config),
+// for BLAST/Colmena-style workloads.
+func SoftwarePackage(name string, totalSize int) ([]byte, error) {
+	third := totalSize / 3
+	return Tarball(map[string][]byte{
+		"bin/" + name:            SyntheticBlob(name+"-bin", third),
+		"lib/lib" + name + ".so": SyntheticBlob(name+"-lib", third),
+		"etc/" + name + ".conf":  SyntheticBlob(name+"-conf", totalSize-2*third),
+	})
+}

@@ -1,0 +1,195 @@
+package httpsource
+
+import (
+	"archive/tar"
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"taskvine/internal/hashing"
+)
+
+func TestServeAndCount(t *testing.T) {
+	s := New(&Object{Path: "/data.bin", Content: []byte("hello archive")})
+	defer s.Close()
+
+	resp, err := http.Get(s.URL("/data.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello archive" {
+		t.Fatalf("body = %q", body)
+	}
+	if s.Fetches("/data.bin") != 1 {
+		t.Fatalf("fetches = %d", s.Fetches("/data.bin"))
+	}
+	// HEAD does not count as a fetch (naming must not cost a download).
+	http.Head(s.URL("/data.bin"))
+	if s.Fetches("/data.bin") != 1 {
+		t.Fatal("HEAD counted as fetch")
+	}
+	resp, _ = http.Get(s.URL("/missing"))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing object status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHeadChecksum(t *testing.T) {
+	s := New(&Object{Path: "/pkg.tar", Content: []byte("package content")})
+	defer s.Close()
+	meta, size, err := Head(s.URL("/pkg.tar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.HasStrongChecksum() {
+		t.Fatalf("no checksum in %+v", meta)
+	}
+	if size != 15 {
+		t.Fatalf("size = %d", size)
+	}
+	if meta.ContentMD5 != string(hashing.HashBytes([]byte("package content"))) {
+		t.Fatal("checksum mismatch")
+	}
+	// No GET happened.
+	if s.Fetches("/pkg.tar") != 0 {
+		t.Fatal("Head downloaded the object")
+	}
+}
+
+func TestHeadValidatorsOnly(t *testing.T) {
+	s := New(&Object{Path: "/pkg.tar", Content: []byte("x"), OmitChecksum: true})
+	defer s.Close()
+	meta, _, err := Head(s.URL("/pkg.tar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.HasStrongChecksum() {
+		t.Fatal("checksum present despite OmitChecksum")
+	}
+	if !meta.HasValidators() {
+		t.Fatalf("no validators in %+v", meta)
+	}
+	if _, ok := hashing.HashURL(s.URL("/pkg.tar"), meta); !ok {
+		t.Fatal("naming ladder failed with validators")
+	}
+}
+
+func TestHeadFallbackDownloads(t *testing.T) {
+	s := New(&Object{Path: "/legacy", Content: []byte("no headers here"), OmitValidators: true})
+	defer s.Close()
+	meta, size, err := Head(s.URL("/legacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ContentMD5 != string(hashing.HashBytes([]byte("no headers here"))) {
+		t.Fatalf("fallback hash wrong: %+v", meta)
+	}
+	if size != 15 {
+		t.Fatalf("size = %d", size)
+	}
+	// The fallback necessarily downloaded once.
+	if s.Fetches("/legacy") != 1 {
+		t.Fatalf("fetches = %d", s.Fetches("/legacy"))
+	}
+}
+
+func TestHeadErrors(t *testing.T) {
+	s := New()
+	url := s.URL("/gone")
+	s.Close()
+	if _, _, err := Head(url); err == nil {
+		t.Fatal("dead server accepted")
+	}
+	s2 := New(&Object{Path: "/x", Content: []byte("y")})
+	defer s2.Close()
+	if _, _, err := Head(s2.URL("/nope")); err == nil {
+		t.Fatal("404 accepted")
+	}
+}
+
+func TestSyntheticBlobDeterministic(t *testing.T) {
+	a := SyntheticBlob("blast-db", 1000)
+	b := SyntheticBlob("blast-db", 1000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("blob not deterministic")
+	}
+	c := SyntheticBlob("other", 1000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different names produced identical blobs")
+	}
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	// Content should not be trivially compressible-zero.
+	zero := 0
+	for _, x := range a {
+		if x == 0 {
+			zero++
+		}
+	}
+	if zero > 100 {
+		t.Fatalf("blob looks degenerate: %d zero bytes", zero)
+	}
+}
+
+func TestTarball(t *testing.T) {
+	tb, err := Tarball(map[string][]byte{
+		"bin/blast": []byte("ELF..."),
+		"db/seq":    []byte("ACGT"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, _ := Tarball(map[string][]byte{
+		"db/seq":    []byte("ACGT"),
+		"bin/blast": []byte("ELF..."),
+	})
+	if !bytes.Equal(tb, tb2) {
+		t.Fatal("tarball not deterministic under map order")
+	}
+	tr := tar.NewReader(bytes.NewReader(tb))
+	names := map[string]string{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(tr)
+		names[hdr.Name] = string(b)
+	}
+	if names["bin/blast"] != "ELF..." || names["db/seq"] != "ACGT" {
+		t.Fatalf("entries = %v", names)
+	}
+}
+
+func TestSoftwarePackage(t *testing.T) {
+	pkg, err := SoftwarePackage("blast", 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg) < 30000 {
+		t.Fatalf("package smaller than content: %d", len(pkg))
+	}
+	tr := tar.NewReader(bytes.NewReader(pkg))
+	count := 0
+	for {
+		_, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("entries = %d", count)
+	}
+}

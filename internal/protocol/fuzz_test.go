@@ -1,0 +1,88 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzRecv feeds arbitrary bytes to the message decoder: it must never
+// panic or hang, only return messages or errors.
+func FuzzRecv(f *testing.F) {
+	f.Add([]byte(`{"type":"heartbeat"}` + "\n"))
+	f.Add([]byte(`{"type":"put","cache_name":"x","size":3,"payload":true}` + "\nabc"))
+	f.Add([]byte(`{"type":"put","size":-5,"payload":true}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte(`{"type":"task","spec":{"id":1,"kind":0,"command":"x"}}` + "\n"))
+	f.Add([]byte{0, 1, 2, '\n', 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		conn := NewConn(b)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				m, payload, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				if m.Payload && payload != nil {
+					io.Copy(io.Discard, payload)
+				}
+			}
+		}()
+		a.Write(data)
+		a.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("decoder hung")
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any message surviving a send is received
+// identically.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("register", "w1", "addr:1", int64(0), "")
+	f.Add("put", "", "", int64(10), "0123456789")
+	f.Add("cache-update", "w2", "", int64(0), "")
+	f.Fuzz(func(t *testing.T, typ, workerID, addr string, size int64, payload string) {
+		if size < 0 || size > 1<<16 || int64(len(payload)) != size {
+			t.Skip()
+		}
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		ca, cb := NewConn(a), NewConn(b)
+		sent := &Message{Type: typ, WorkerID: workerID, TransferAddr: addr, Size: size}
+		errc := make(chan error, 1)
+		go func() {
+			if size > 0 {
+				errc <- ca.SendPayload(sent, bytes.NewReader([]byte(payload)))
+			} else {
+				errc <- ca.Send(sent)
+			}
+		}()
+		got, body, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if serr := <-errc; serr != nil {
+			t.Fatalf("send: %v", serr)
+		}
+		if got.Type != typ || got.WorkerID != workerID || got.TransferAddr != addr {
+			t.Fatalf("got %+v want %+v", got, sent)
+		}
+		if size > 0 {
+			b, _ := io.ReadAll(body)
+			if string(b) != payload {
+				t.Fatalf("payload %q want %q", b, payload)
+			}
+		}
+	})
+}

@@ -1,0 +1,253 @@
+// Package protocol implements the TaskVine wire protocol spoken between the
+// manager and its workers, and between peer workers during supervised
+// worker-to-worker transfers (§2.2, §3.3).
+//
+// The protocol is a stream of newline-delimited JSON control messages over
+// TCP. A control message whose Size field is positive and whose Payload
+// flag is set is immediately followed by exactly Size raw bytes of file
+// data. The manager directs all policy; workers respond asynchronously with
+// cache-update and completion messages, so the connection is fully
+// bidirectional and unsynchronized.
+package protocol
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"taskvine/internal/resources"
+	"taskvine/internal/taskspec"
+)
+
+// Message type tags. Direction is noted for documentation; the codec is
+// symmetric.
+const (
+	// TypeRegister (worker→manager) announces a new worker, its transfer
+	// address, and its resource capacity.
+	TypeRegister = "register"
+	// TypeTask (manager→worker) dispatches a task specification.
+	TypeTask = "task"
+	// TypePut (manager→worker) carries a file payload to store in cache.
+	TypePut = "put"
+	// TypeGet (either direction) requests a cached object; answered with
+	// TypeData or TypeError.
+	TypeGet = "get"
+	// TypeData answers TypeGet with the object payload.
+	TypeData = "data"
+	// TypeFetchURL (manager→worker) instructs an asynchronous download
+	// from a remote URL into cache.
+	TypeFetchURL = "fetch-url"
+	// TypeFetchPeer (manager→worker) instructs an asynchronous transfer
+	// from another worker's cache into this worker's cache.
+	TypeFetchPeer = "fetch-peer"
+	// TypeMini (manager→worker) instructs on-demand materialization of a
+	// file by executing a MiniTask specification.
+	TypeMini = "mini"
+	// TypeCacheUpdate (worker→manager) reports that an object has become
+	// present (or failed to become present) in the worker's cache.
+	TypeCacheUpdate = "cache-update"
+	// TypeCacheInvalid (worker→manager) reports that a cached object was
+	// lost or evicted.
+	TypeCacheInvalid = "cache-invalid"
+	// TypeComplete (worker→manager) reports task completion.
+	TypeComplete = "complete"
+	// TypeUnlink (manager→worker) deletes an object from the cache.
+	TypeUnlink = "unlink"
+	// TypeKill (manager→worker) aborts a running task.
+	TypeKill = "kill"
+	// TypeInvoke (manager→worker) routes a FunctionCall to a deployed
+	// library instance.
+	TypeInvoke = "invoke"
+	// TypeHeartbeat keeps the connection alive and reports load.
+	TypeHeartbeat = "heartbeat"
+	// TypeRelease (manager→worker) asks the worker to shut down cleanly.
+	TypeRelease = "release"
+	// TypeEndWorkflow (manager→worker) marks the conclusion of a workflow:
+	// the worker discards all task- and workflow-lifetime objects.
+	TypeEndWorkflow = "end-workflow"
+	// TypeError reports a request-level failure.
+	TypeError = "error"
+)
+
+// Status values for TypeCacheUpdate.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// OutputInfo describes one output object a completed task deposited into
+// the worker cache.
+type OutputInfo struct {
+	CacheName string `json:"cache_name"`
+	Size      int64  `json:"size"`
+}
+
+// Message is the single wire message shape. Fields are a union across all
+// message types; unused fields are omitted from the encoding. A flat union
+// keeps the codec trivial and the protocol debuggable with netcat.
+type Message struct {
+	Type string `json:"type"`
+
+	// Worker identity and capacity (register, heartbeat).
+	WorkerID     string       `json:"worker_id,omitempty"`
+	TransferAddr string       `json:"transfer_addr,omitempty"`
+	Capacity     *resources.R `json:"capacity,omitempty"`
+
+	// Task dispatch and completion.
+	TaskID   int            `json:"task_id,omitempty"`
+	Spec     *taskspec.Spec `json:"spec,omitempty"`
+	ExitCode int            `json:"exit_code,omitempty"`
+	Result   []byte         `json:"result,omitempty"`
+	Outputs  []OutputInfo   `json:"outputs,omitempty"`
+	// TimeStagedMS and TimeRunMS split the worker-side latency into data
+	// staging and execution, the raw material of Figure 9.
+	TimeStagedMS int64 `json:"time_staged_ms,omitempty"`
+	TimeRunMS    int64 `json:"time_run_ms,omitempty"`
+	// MeasuredDisk and MeasuredMemory report observed task consumption in
+	// bytes (sandbox residue; peak RSS when memory monitoring ran), the
+	// raw material for category-based allocation sizing.
+	MeasuredDisk   int64 `json:"measured_disk,omitempty"`
+	MeasuredMemory int64 `json:"measured_memory,omitempty"`
+
+	// File movement.
+	CacheName string `json:"cache_name,omitempty"`
+	Size      int64  `json:"size,omitempty"`
+	Payload   bool   `json:"payload,omitempty"`
+	// Dir marks a directory-valued object whose payload is a tar stream
+	// rather than raw file bytes.
+	Dir        bool   `json:"dir,omitempty"`
+	Lifetime   int    `json:"lifetime,omitempty"`
+	URL        string `json:"url,omitempty"`
+	PeerAddr   string `json:"peer_addr,omitempty"`
+	TransferID string `json:"transfer_id,omitempty"`
+
+	// Status reporting.
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Conn wraps a network connection with the message codec. Writes are
+// serialized by a mutex so that concurrent senders cannot interleave a
+// control message inside another message's payload. Reads must be performed
+// by a single goroutine.
+type Conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+	wmu sync.Mutex
+	// pending is the unread remainder of the previous message's payload;
+	// it must be drained before the next control message can be decoded.
+	pending int64
+}
+
+// NewConn wraps an established network connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		raw: c,
+		r:   bufio.NewReaderSize(c, 1<<16),
+		w:   bufio.NewWriterSize(c, 1<<16),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr returns the peer address of the underlying connection.
+func (c *Conn) RemoteAddr() string { return c.raw.RemoteAddr().String() }
+
+// SetDeadline sets the read/write deadline on the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// Send writes a control message with no payload.
+func (c *Conn) Send(m *Message) error {
+	return c.SendPayload(m, nil)
+}
+
+// SendPayload writes a control message followed by exactly m.Size bytes
+// read from payload. If payload is non-nil, m.Payload is forced true.
+func (c *Conn) SendPayload(m *Message, payload io.Reader) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if payload != nil {
+		m.Payload = true
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("protocol: encoding %s: %w", m.Type, err)
+	}
+	if _, err := c.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if payload != nil {
+		n, err := io.Copy(c.w, io.LimitReader(payload, m.Size))
+		if err != nil {
+			return fmt.Errorf("protocol: sending payload of %s: %w", m.CacheName, err)
+		}
+		if n != m.Size {
+			return fmt.Errorf("protocol: short payload for %s: sent %d of %d bytes", m.CacheName, n, m.Size)
+		}
+	}
+	return c.w.Flush()
+}
+
+// Recv reads the next control message. If the message carries a payload,
+// the returned reader yields exactly Size bytes and MUST be fully consumed
+// (or the connection abandoned) before the next call to Recv; Recv drains
+// any unconsumed remainder itself as a safety net.
+func (c *Conn) Recv() (*Message, io.Reader, error) {
+	if c.pending > 0 {
+		if _, err := io.CopyN(io.Discard, c.r, c.pending); err != nil {
+			return nil, nil, fmt.Errorf("protocol: draining abandoned payload: %w", err)
+		}
+		c.pending = 0
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, nil, fmt.Errorf("protocol: malformed message %q: %w", truncate(line, 120), err)
+	}
+	if !m.Payload {
+		return &m, nil, nil
+	}
+	if m.Size < 0 {
+		return nil, nil, fmt.Errorf("protocol: %s message with negative payload size %d", m.Type, m.Size)
+	}
+	c.pending = m.Size
+	pr := &payloadReader{c: c, r: io.LimitReader(c.r, m.Size)}
+	return &m, pr, nil
+}
+
+// payloadReader tracks consumption so Recv can drain leftovers.
+type payloadReader struct {
+	c *Conn
+	r io.Reader
+}
+
+func (p *payloadReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	p.c.pending -= int64(n)
+	return n, err
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}
+
+// Dial connects to a TaskVine endpoint.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: dialing %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}

@@ -1,0 +1,102 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+)
+
+// BenchmarkControlMessageRoundTrip measures manager↔worker control message
+// latency over a real loopback socket — the cost floor of the "millisecond
+// per task" dispatch budget discussed in §6.
+func BenchmarkControlMessageRoundTrip(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	ready := make(chan *Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := NewConn(nc)
+		ready <- c
+		for {
+			m, _, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	client, err := Dial(ln.Addr().String(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	<-ready
+	msg := &Message{Type: TypeHeartbeat, WorkerID: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := client.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPayloadThroughput measures bulk object movement through the
+// protocol framing over loopback.
+func BenchmarkPayloadThroughput(b *testing.B) {
+	const size = 4 << 20
+	data := bytes.Repeat([]byte{0xAB}, size)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := NewConn(nc)
+		for {
+			m, payload, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if m.Payload {
+				io.Copy(io.Discard, payload)
+			}
+			if err := c.Send(&Message{Type: TypeCacheUpdate, Status: StatusOK}); err != nil {
+				return
+			}
+		}
+	}()
+	client, err := Dial(ln.Addr().String(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &Message{Type: TypePut, CacheName: "bench", Size: size}
+		if err := client.SendPayload(m, bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := client.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

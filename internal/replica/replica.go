@@ -1,0 +1,350 @@
+// Package replica implements the manager's two coordination tables (§3.3):
+//
+// The File Replica Table presents a unified view of cluster storage — which
+// workers hold (or are acquiring) each data object — so the scheduler can
+// locate files and place tasks near their data.
+//
+// The Current Transfer Table tracks every in-flight transfer under a UUID
+// that the worker echoes back in its cache-update message. By observing how
+// many concurrent connections each source is serving, the scheduler can
+// enforce limits that prevent network hotspots.
+package replica
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// ReplicaState tracks one worker's possession of one object.
+type ReplicaState int
+
+const (
+	// Pending means a transfer or MiniTask is materializing the object at
+	// the worker.
+	Pending ReplicaState = iota
+	// Ready means the worker reported the object present via cache-update.
+	Ready
+)
+
+// Table is the File Replica Table. All methods are safe for concurrent use.
+type Table struct {
+	mu sync.Mutex
+	// byFile maps cache name -> worker ID -> state.
+	byFile map[string]map[string]ReplicaState
+	// byWorker maps worker ID -> set of cache names (any state).
+	byWorker map[string]map[string]bool
+}
+
+// NewTable returns an empty replica table.
+func NewTable() *Table {
+	return &Table{
+		byFile:   make(map[string]map[string]ReplicaState),
+		byWorker: make(map[string]map[string]bool),
+	}
+}
+
+// Add records that worker is acquiring (state Pending) or holds (Ready)
+// the object.
+func (t *Table) Add(file, worker string, state ReplicaState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byFile[file] == nil {
+		t.byFile[file] = make(map[string]ReplicaState)
+	}
+	t.byFile[file][worker] = state
+	if t.byWorker[worker] == nil {
+		t.byWorker[worker] = make(map[string]bool)
+	}
+	t.byWorker[worker][file] = true
+}
+
+// Commit promotes a pending replica to ready, typically on receipt of a
+// cache-update message. Committing an unknown replica records it ready:
+// workers may acquire objects the manager did not direct (e.g. adopted
+// from a previous workflow's persistent cache).
+func (t *Table) Commit(file, worker string) {
+	t.Add(file, worker, Ready)
+}
+
+// Remove deletes one worker's replica of an object (deletion, eviction, or
+// failed transfer).
+func (t *Table) Remove(file, worker string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m := t.byFile[file]; m != nil {
+		delete(m, worker)
+		if len(m) == 0 {
+			delete(t.byFile, file)
+		}
+	}
+	if m := t.byWorker[worker]; m != nil {
+		delete(m, file)
+	}
+}
+
+// DropWorker removes every replica held by a departed worker and returns
+// the affected cache names, so the manager can re-create files that lost
+// their last replica.
+func (t *Table) DropWorker(worker string) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var affected []string
+	for file := range t.byWorker[worker] {
+		affected = append(affected, file)
+		if m := t.byFile[file]; m != nil {
+			delete(m, worker)
+			if len(m) == 0 {
+				delete(t.byFile, file)
+			}
+		}
+	}
+	delete(t.byWorker, worker)
+	return affected
+}
+
+// Has reports whether worker holds a ready replica of file.
+func (t *Table) Has(file, worker string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// A missing key yields the zero value Pending, which is not Ready.
+	return t.byFile[file][worker] == Ready
+}
+
+// HasAny reports whether worker holds or is acquiring the file.
+func (t *Table) HasAny(file, worker string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.byFile[file][worker]
+	return ok
+}
+
+// Locate returns the workers holding ready replicas of file.
+func (t *Table) Locate(file string) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for w, s := range t.byFile[file] {
+		if s == Ready {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// CountReplicas returns the number of ready replicas of file.
+func (t *Table) CountReplicas(file string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, s := range t.byFile[file] {
+		if s == Ready {
+			n++
+		}
+	}
+	return n
+}
+
+// FilesOn returns every cache name recorded at the worker (any state).
+func (t *Table) FilesOn(worker string) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for f := range t.byWorker[worker] {
+		out = append(out, f)
+	}
+	return out
+}
+
+// ReadyFilesOn counts the worker's ready replicas (excluding pending
+// transfers and materializations).
+func (t *Table) ReadyFilesOn(worker string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for f := range t.byWorker[worker] {
+		if t.byFile[f][worker] == Ready {
+			n++
+		}
+	}
+	return n
+}
+
+// SourceKind distinguishes where a transfer's bytes come from.
+type SourceKind int
+
+const (
+	// SourceURL is a remote data service outside the cluster.
+	SourceURL SourceKind = iota
+	// SourceManager is the manager process itself.
+	SourceManager
+	// SourceWorker is a peer worker's cache.
+	SourceWorker
+)
+
+// String returns a readable name for the source kind.
+func (k SourceKind) String() string {
+	switch k {
+	case SourceURL:
+		return "url"
+	case SourceManager:
+		return "manager"
+	case SourceWorker:
+		return "worker"
+	default:
+		return fmt.Sprintf("source(%d)", int(k))
+	}
+}
+
+// Source identifies one endpoint that can supply bytes: a URL, the manager,
+// or a specific worker.
+type Source struct {
+	Kind SourceKind
+	// ID is the URL string, "manager", or the worker ID.
+	ID string
+}
+
+// Transfer is one in-flight, manager-supervised movement of an object.
+type Transfer struct {
+	ID     string
+	File   string
+	Source Source
+	Dest   string // worker ID
+}
+
+// Transfers is the Current Transfer Table.
+type Transfers struct {
+	mu       sync.Mutex
+	inflight map[string]Transfer
+	bySource map[Source]int
+	byDest   map[string]int
+	nextID   func() string
+}
+
+// NewTransfers returns an empty transfer table.
+func NewTransfers() *Transfers {
+	return &Transfers{
+		inflight: make(map[string]Transfer),
+		bySource: make(map[Source]int),
+		byDest:   make(map[string]int),
+		nextID:   randomUUID,
+	}
+}
+
+func randomUUID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("replica: crypto/rand unavailable: " + err.Error())
+	}
+	// RFC 4122 version 4 variant bits, for operator familiarity.
+	b[6] = (b[6] & 0x0f) | 0x40
+	b[8] = (b[8] & 0x3f) | 0x80
+	return fmt.Sprintf("%s-%s-%s-%s-%s",
+		hex.EncodeToString(b[0:4]), hex.EncodeToString(b[4:6]),
+		hex.EncodeToString(b[6:8]), hex.EncodeToString(b[8:10]),
+		hex.EncodeToString(b[10:16]))
+}
+
+// Start records a new transfer and returns its UUID, which the instructed
+// worker must echo in its cache-update message.
+func (t *Transfers) Start(file string, src Source, dest string) Transfer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := Transfer{ID: t.nextID(), File: file, Source: src, Dest: dest}
+	t.inflight[tr.ID] = tr
+	t.bySource[src]++
+	t.byDest[dest]++
+	return tr
+}
+
+// Complete removes a finished transfer by UUID, returning its record.
+func (t *Transfers) Complete(id string) (Transfer, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.inflight[id]
+	if !ok {
+		return Transfer{}, false
+	}
+	delete(t.inflight, id)
+	t.bySource[tr.Source]--
+	if t.bySource[tr.Source] <= 0 {
+		delete(t.bySource, tr.Source)
+	}
+	t.byDest[tr.Dest]--
+	if t.byDest[tr.Dest] <= 0 {
+		delete(t.byDest, tr.Dest)
+	}
+	return tr, true
+}
+
+// InFlightFrom returns how many concurrent transfers the source is serving.
+func (t *Transfers) InFlightFrom(src Source) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bySource[src]
+}
+
+// InFlightTo returns how many concurrent transfers the worker is receiving.
+func (t *Transfers) InFlightTo(dest string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byDest[dest]
+}
+
+// Pending reports whether a transfer of file to dest is already in flight,
+// so the scheduler does not issue duplicates.
+func (t *Transfers) Pending(file, dest string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tr := range t.inflight {
+		if tr.File == file && tr.Dest == dest {
+			return true
+		}
+	}
+	return false
+}
+
+// InFlightOf returns how many transfers of the file are in flight to any
+// destination.
+func (t *Transfers) InFlightOf(file string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, tr := range t.inflight {
+		if tr.File == file {
+			n++
+		}
+	}
+	return n
+}
+
+// DropWorker cancels all transfers to or from a departed worker, returning
+// the cancelled records so the manager can repair state.
+func (t *Transfers) DropWorker(worker string) []Transfer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var cancelled []Transfer
+	for id, tr := range t.inflight {
+		if tr.Dest == worker || (tr.Source.Kind == SourceWorker && tr.Source.ID == worker) {
+			cancelled = append(cancelled, tr)
+			delete(t.inflight, id)
+			t.bySource[tr.Source]--
+			if t.bySource[tr.Source] <= 0 {
+				delete(t.bySource, tr.Source)
+			}
+			t.byDest[tr.Dest]--
+			if t.byDest[tr.Dest] <= 0 {
+				delete(t.byDest, tr.Dest)
+			}
+		}
+	}
+	return cancelled
+}
+
+// Len returns the number of in-flight transfers.
+func (t *Transfers) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.inflight)
+}

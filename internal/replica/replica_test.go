@@ -1,0 +1,233 @@
+package replica
+
+import (
+	"regexp"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestReplicaLifecycle(t *testing.T) {
+	tab := NewTable()
+	tab.Add("url-db", "w1", Pending)
+	if tab.Has("url-db", "w1") {
+		t.Fatal("pending replica reported ready")
+	}
+	if !tab.HasAny("url-db", "w1") {
+		t.Fatal("pending replica invisible")
+	}
+	tab.Commit("url-db", "w1")
+	if !tab.Has("url-db", "w1") {
+		t.Fatal("committed replica not ready")
+	}
+	tab.Remove("url-db", "w1")
+	if tab.HasAny("url-db", "w1") {
+		t.Fatal("removed replica still visible")
+	}
+}
+
+func TestLocateAndCount(t *testing.T) {
+	tab := NewTable()
+	tab.Add("f", "w1", Ready)
+	tab.Add("f", "w2", Ready)
+	tab.Add("f", "w3", Pending)
+	locs := tab.Locate("f")
+	sort.Strings(locs)
+	if len(locs) != 2 || locs[0] != "w1" || locs[1] != "w2" {
+		t.Fatalf("Locate = %v", locs)
+	}
+	if tab.CountReplicas("f") != 2 {
+		t.Fatalf("CountReplicas = %d", tab.CountReplicas("f"))
+	}
+	if got := tab.Locate("unknown"); len(got) != 0 {
+		t.Fatalf("Locate(unknown) = %v", got)
+	}
+}
+
+func TestCommitUnknownReplicaAdopts(t *testing.T) {
+	// Workers may report objects the manager never directed (persistent
+	// cache from a previous workflow).
+	tab := NewTable()
+	tab.Commit("file-cached", "w1")
+	if !tab.Has("file-cached", "w1") {
+		t.Fatal("adopted replica not recorded")
+	}
+}
+
+func TestDropWorker(t *testing.T) {
+	tab := NewTable()
+	tab.Add("a", "w1", Ready)
+	tab.Add("b", "w1", Ready)
+	tab.Add("a", "w2", Ready)
+	affected := tab.DropWorker("w1")
+	sort.Strings(affected)
+	if len(affected) != 2 || affected[0] != "a" || affected[1] != "b" {
+		t.Fatalf("affected = %v", affected)
+	}
+	if tab.CountReplicas("a") != 1 {
+		t.Fatal("w2's replica of a lost")
+	}
+	if tab.CountReplicas("b") != 0 {
+		t.Fatal("b still has replicas")
+	}
+	if got := tab.FilesOn("w1"); len(got) != 0 {
+		t.Fatalf("FilesOn(w1) = %v", got)
+	}
+}
+
+func TestFilesOn(t *testing.T) {
+	tab := NewTable()
+	tab.Add("a", "w1", Ready)
+	tab.Add("b", "w1", Pending)
+	got := tab.FilesOn("w1")
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("FilesOn = %v", got)
+	}
+}
+
+func TestTransferTableCounts(t *testing.T) {
+	tr := NewTransfers()
+	src := Source{Kind: SourceWorker, ID: "w1"}
+	t1 := tr.Start("f", src, "w2")
+	t2 := tr.Start("f", src, "w3")
+	if tr.InFlightFrom(src) != 2 {
+		t.Fatalf("InFlightFrom = %d", tr.InFlightFrom(src))
+	}
+	if tr.InFlightTo("w2") != 1 {
+		t.Fatalf("InFlightTo = %d", tr.InFlightTo("w2"))
+	}
+	if !tr.Pending("f", "w2") {
+		t.Fatal("pending transfer invisible")
+	}
+	if tr.Pending("f", "w9") {
+		t.Fatal("phantom pending transfer")
+	}
+	got, ok := tr.Complete(t1.ID)
+	if !ok || got.Dest != "w2" {
+		t.Fatalf("Complete = %+v ok=%v", got, ok)
+	}
+	if tr.InFlightFrom(src) != 1 {
+		t.Fatal("source count not decremented")
+	}
+	if _, ok := tr.Complete(t1.ID); ok {
+		t.Fatal("double complete succeeded")
+	}
+	tr.Complete(t2.ID)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestTransferUUIDsUnique(t *testing.T) {
+	tr := NewTransfers()
+	re := regexp.MustCompile(`^[0-9a-f]{8}-[0-9a-f]{4}-4[0-9a-f]{3}-[89ab][0-9a-f]{3}-[0-9a-f]{12}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		x := tr.Start("f", Source{Kind: SourceManager, ID: "manager"}, "w")
+		if seen[x.ID] {
+			t.Fatal("duplicate transfer UUID")
+		}
+		if !re.MatchString(x.ID) {
+			t.Fatalf("malformed UUID %q", x.ID)
+		}
+		seen[x.ID] = true
+	}
+}
+
+func TestTransfersDropWorker(t *testing.T) {
+	tr := NewTransfers()
+	wsrc := Source{Kind: SourceWorker, ID: "w1"}
+	usrc := Source{Kind: SourceURL, ID: "http://x"}
+	tr.Start("a", wsrc, "w2") // from the departing worker
+	tr.Start("b", usrc, "w1") // to the departing worker
+	tr.Start("c", usrc, "w3") // unrelated
+	cancelled := tr.DropWorker("w1")
+	if len(cancelled) != 2 {
+		t.Fatalf("cancelled = %+v", cancelled)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.InFlightFrom(usrc) != 1 {
+		t.Fatalf("InFlightFrom(url) = %d", tr.InFlightFrom(usrc))
+	}
+}
+
+func TestSourceKindString(t *testing.T) {
+	if SourceURL.String() != "url" || SourceWorker.String() != "worker" || SourceManager.String() != "manager" {
+		t.Fatal("source kind strings wrong")
+	}
+}
+
+// Property: for any sequence of Start/Complete, per-source counts equal the
+// number of in-flight transfers from that source.
+func TestQuickTransferAccounting(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tr := NewTransfers()
+		var live []Transfer
+		counts := map[Source]int{}
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				src := Source{Kind: SourceKind(op % 3), ID: string(rune('a' + op%5))}
+				x := tr.Start("f", src, "w"+string(rune('0'+op%4)))
+				live = append(live, x)
+				counts[src]++
+			} else {
+				x := live[0]
+				live = live[1:]
+				tr.Complete(x.ID)
+				counts[x.Source]--
+			}
+			for src, want := range counts {
+				if tr.InFlightFrom(src) != want {
+					return false
+				}
+			}
+			if tr.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replica table byFile and byWorker indices stay consistent.
+func TestQuickReplicaIndexConsistency(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tab := NewTable()
+		type key struct{ f, w string }
+		ref := map[key]bool{}
+		for _, op := range ops {
+			file := "f" + string(rune('0'+op%4))
+			worker := "w" + string(rune('0'+(op>>2)%4))
+			switch op % 3 {
+			case 0:
+				tab.Add(file, worker, Ready)
+				ref[key{file, worker}] = true
+			case 1:
+				tab.Remove(file, worker)
+				delete(ref, key{file, worker})
+			case 2:
+				tab.DropWorker(worker)
+				for k := range ref {
+					if k.w == worker {
+						delete(ref, k)
+					}
+				}
+			}
+		}
+		for k, present := range ref {
+			if present != tab.HasAny(k.f, k.w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package resources models the consumable resources of workers and the
+// fixed allocations of tasks: cores, memory, disk, and GPUs (§2.1, §3.4).
+//
+// Each task declares a fixed quantity of resources which is enforced at
+// execution time; the worker "packs" concurrent tasks so that the sum of
+// allocations never exceeds its capacity, which lets many small tasks share
+// a node without risking the failure of all of them.
+package resources
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Byte size units for memory and disk quantities.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+)
+
+// R is a resource vector. Memory and Disk are in bytes. A zero field in a
+// task request means "unspecified"; use WholeWorkerShare or Defaulted to
+// resolve unspecified requests before packing.
+type R struct {
+	Cores  int   `json:"cores"`
+	Memory int64 `json:"memory"`
+	Disk   int64 `json:"disk"`
+	GPUs   int   `json:"gpus"`
+}
+
+// Add returns a + b.
+func (a R) Add(b R) R {
+	return R{a.Cores + b.Cores, a.Memory + b.Memory, a.Disk + b.Disk, a.GPUs + b.GPUs}
+}
+
+// Sub returns a - b.
+func (a R) Sub(b R) R {
+	return R{a.Cores - b.Cores, a.Memory - b.Memory, a.Disk - b.Disk, a.GPUs - b.GPUs}
+}
+
+// Fits reports whether a request r can be satisfied by the free vector.
+func (r R) Fits(free R) bool {
+	return r.Cores <= free.Cores && r.Memory <= free.Memory &&
+		r.Disk <= free.Disk && r.GPUs <= free.GPUs
+}
+
+// Nonnegative reports whether all components are >= 0.
+func (r R) Nonnegative() bool {
+	return r.Cores >= 0 && r.Memory >= 0 && r.Disk >= 0 && r.GPUs >= 0
+}
+
+// IsZero reports whether the vector is entirely unspecified.
+func (r R) IsZero() bool { return r == R{} }
+
+// Scale returns the vector multiplied by n.
+func (r R) Scale(n int) R {
+	return R{r.Cores * n, r.Memory * int64(n), r.Disk * int64(n), r.GPUs * n}
+}
+
+// Max returns the component-wise maximum of a and b.
+func Max(a, b R) R {
+	m := a
+	if b.Cores > m.Cores {
+		m.Cores = b.Cores
+	}
+	if b.Memory > m.Memory {
+		m.Memory = b.Memory
+	}
+	if b.Disk > m.Disk {
+		m.Disk = b.Disk
+	}
+	if b.GPUs > m.GPUs {
+		m.GPUs = b.GPUs
+	}
+	return m
+}
+
+// Defaulted fills unspecified (zero) request fields from def and returns the
+// result. Managers use it to give tasks with no declared needs a sane
+// minimum (one core) so packing is meaningful.
+func (r R) Defaulted(def R) R {
+	if r.Cores == 0 {
+		r.Cores = def.Cores
+	}
+	if r.Memory == 0 {
+		r.Memory = def.Memory
+	}
+	if r.Disk == 0 {
+		r.Disk = def.Disk
+	}
+	if r.GPUs == 0 {
+		r.GPUs = def.GPUs
+	}
+	return r
+}
+
+// String renders the vector compactly, e.g. "cores=4 mem=16GB disk=50GB gpus=0".
+func (r R) String() string {
+	return fmt.Sprintf("cores=%d mem=%s disk=%s gpus=%d",
+		r.Cores, FormatBytes(r.Memory), FormatBytes(r.Disk), r.GPUs)
+}
+
+// FormatBytes renders a byte quantity with a binary-unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= TB:
+		return fmt.Sprintf("%.1fTB", float64(n)/float64(TB))
+	case n >= GB:
+		return fmt.Sprintf("%.1fGB", float64(n)/float64(GB))
+	case n >= MB:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(MB))
+	case n >= KB:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Pool tracks committed allocations against a fixed capacity, providing the
+// admission check a worker performs before accepting another task. All
+// methods are safe for concurrent use: the manager consults pools from its
+// event loop, but workers allocate and release from per-task goroutines.
+type Pool struct {
+	Capacity R
+
+	mu        sync.Mutex
+	committed R
+	count     int
+}
+
+// NewPool returns a pool with the given total capacity and nothing committed.
+func NewPool(capacity R) *Pool {
+	return &Pool{Capacity: capacity}
+}
+
+// Free returns the currently uncommitted resources.
+func (p *Pool) Free() R {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Capacity.Sub(p.committed)
+}
+
+// Committed returns the sum of live allocations.
+func (p *Pool) Committed() R {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.committed
+}
+
+// Count returns the number of live allocations.
+func (p *Pool) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Alloc commits a request if it fits, reporting whether it was admitted.
+func (p *Pool) Alloc(r R) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !r.Nonnegative() || !r.Fits(p.Capacity.Sub(p.committed)) {
+		return false
+	}
+	p.committed = p.committed.Add(r)
+	p.count++
+	return true
+}
+
+// Release returns a previously committed allocation to the pool. Releasing
+// more than was committed indicates a bookkeeping bug and panics.
+func (p *Pool) Release(r R) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.committed = p.committed.Sub(r)
+	p.count--
+	if !p.committed.Nonnegative() || p.count < 0 {
+		panic(fmt.Sprintf("resources: release underflow: committed=%v count=%d", p.committed, p.count))
+	}
+}
+
+// Overcommitted reports whether more than the capacity is committed. A
+// correct worker never observes true; it is exposed for invariant checks in
+// tests.
+func (p *Pool) Overcommitted() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.Capacity.Sub(p.committed).Nonnegative()
+}

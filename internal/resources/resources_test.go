@@ -1,0 +1,159 @@
+package resources
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	a := R{Cores: 4, Memory: 8 * GB, Disk: 50 * GB, GPUs: 1}
+	b := R{Cores: 2, Memory: 2 * GB, Disk: 10 * GB}
+	sum := a.Add(b)
+	if sum != (R{Cores: 6, Memory: 10 * GB, Disk: 60 * GB, GPUs: 1}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if sum.Sub(b) != a {
+		t.Fatal("Sub did not invert Add")
+	}
+}
+
+func TestFits(t *testing.T) {
+	free := R{Cores: 4, Memory: 8 * GB, Disk: 10 * GB}
+	cases := []struct {
+		req  R
+		want bool
+	}{
+		{R{Cores: 4, Memory: 8 * GB, Disk: 10 * GB}, true},
+		{R{Cores: 1}, true},
+		{R{Cores: 5}, false},
+		{R{Memory: 9 * GB}, false},
+		{R{Disk: 11 * GB}, false},
+		{R{GPUs: 1}, false},
+		{R{}, true},
+	}
+	for i, c := range cases {
+		if got := c.req.Fits(free); got != c.want {
+			t.Errorf("case %d: Fits(%+v)=%v want %v", i, c.req, got, c.want)
+		}
+	}
+}
+
+func TestDefaulted(t *testing.T) {
+	def := R{Cores: 1, Memory: GB, Disk: GB}
+	r := R{Cores: 0, Memory: 4 * GB}.Defaulted(def)
+	if r.Cores != 1 || r.Memory != 4*GB || r.Disk != GB {
+		t.Fatalf("Defaulted = %+v", r)
+	}
+}
+
+func TestMax(t *testing.T) {
+	a := R{Cores: 4, Memory: GB}
+	b := R{Cores: 2, Memory: 8 * GB, GPUs: 1}
+	m := Max(a, b)
+	if m != (R{Cores: 4, Memory: 8 * GB, GPUs: 1}) {
+		t.Fatalf("Max = %+v", m)
+	}
+}
+
+func TestScale(t *testing.T) {
+	r := R{Cores: 2, Memory: GB}.Scale(3)
+	if r.Cores != 6 || r.Memory != 3*GB {
+		t.Fatalf("Scale = %+v", r)
+	}
+}
+
+func TestPoolPacking(t *testing.T) {
+	// Pack 4 single-core tasks on a 4-core worker, then reject a fifth —
+	// the "pack without overcommitting" behaviour of §2.1.
+	p := NewPool(R{Cores: 4, Memory: 16 * GB, Disk: 50 * GB})
+	task := R{Cores: 1, Memory: 2 * GB, Disk: 5 * GB}
+	for i := 0; i < 4; i++ {
+		if !p.Alloc(task) {
+			t.Fatalf("task %d rejected with free=%+v", i, p.Free())
+		}
+	}
+	if p.Alloc(task) {
+		t.Fatal("fifth task admitted: worker overcommitted")
+	}
+	if p.Overcommitted() {
+		t.Fatal("pool reports overcommitted")
+	}
+	p.Release(task)
+	if !p.Alloc(task) {
+		t.Fatal("task rejected after release freed capacity")
+	}
+	if p.Count() != 4 {
+		t.Fatalf("Count = %d", p.Count())
+	}
+}
+
+func TestPoolRejectsNegative(t *testing.T) {
+	p := NewPool(R{Cores: 4})
+	if p.Alloc(R{Cores: -1}) {
+		t.Fatal("negative allocation admitted")
+	}
+}
+
+func TestPoolReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release underflow did not panic")
+		}
+	}()
+	p := NewPool(R{Cores: 4})
+	p.Release(R{Cores: 1})
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		2 * KB:    "2.0KB",
+		610 * MB:  "610.0MB",
+		GB + GB/2: "1.5GB",
+		2 * TB:    "2.0TB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d)=%q want %q", n, got, want)
+		}
+	}
+}
+
+// Property: a pool never overcommits no matter the sequence of admitted
+// allocations.
+func TestQuickPoolNeverOvercommits(t *testing.T) {
+	f := func(reqs []uint8) bool {
+		p := NewPool(R{Cores: 16, Memory: 64 * GB, Disk: 100 * GB})
+		live := []R{}
+		for _, raw := range reqs {
+			r := R{Cores: int(raw % 8), Memory: int64(raw%5) * GB, Disk: int64(raw%3) * GB}
+			if p.Alloc(r) {
+				live = append(live, r)
+			}
+			if p.Overcommitted() {
+				return false
+			}
+			// Occasionally release the oldest.
+			if raw%4 == 0 && len(live) > 0 {
+				p.Release(live[0])
+				live = live[1:]
+			}
+		}
+		return !p.Overcommitted() && p.Count() == len(live)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add then Sub is identity.
+func TestQuickAddSubIdentity(t *testing.T) {
+	f := func(ac, bc int16, am, bm int32) bool {
+		a := R{Cores: int(ac), Memory: int64(am)}
+		b := R{Cores: int(bc), Memory: int64(bm)}
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package serverless implements TaskVine's serverless computing model
+// (§3.4): Libraries of functions are installed once per worker as
+// persistent Library Instances, and FunctionCall tasks invoke them with
+// near-zero startup cost.
+//
+// In the paper the Library is an arbitrary program (commonly packed Python
+// functions) that the worker forks and speaks a JSON protocol with over a
+// pipe. In this Go implementation a Library is a named collection of
+// registered Go functions with an explicit Boot step standing in for the
+// expensive initialization (loading datasets, resolving imports) that the
+// serverless model amortizes. The invocation protocol — a JSON init message
+// advertising functions, then JSON invoke/result exchanges — is preserved
+// so instances can also be driven across a pipe or socket.
+package serverless
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Function is an invocable unit: serialized arguments in, serialized
+// result out. Implementations must be safe for concurrent invocation; the
+// Library Instance "forks" each call into its own goroutine just as the
+// paper's instance forks a process per invocation.
+type Function func(args []byte) ([]byte, error)
+
+// Library is a named collection of functions plus the one-time
+// initialization performed when an instance boots on a worker.
+type Library struct {
+	Name string
+	// Boot performs the expensive per-instance startup (the work the
+	// serverless model pays once per worker instead of once per task).
+	// It may be nil.
+	Boot func() error
+	// Functions maps function names to implementations.
+	Functions map[string]Function
+}
+
+// Registry holds the libraries known to a worker process. Libraries are
+// compiled into the worker binary (the Go analogue of shipping a Python
+// module) and referenced by name in LibraryTasks.
+type Registry struct {
+	mu   sync.RWMutex
+	libs map[string]*Library
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{libs: make(map[string]*Library)}
+}
+
+// Register adds a library. Registering a duplicate name is an error: a
+// library's identity must be unambiguous across the cluster.
+func (r *Registry) Register(lib *Library) error {
+	if lib.Name == "" {
+		return fmt.Errorf("serverless: library with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.libs[lib.Name]; ok {
+		return fmt.Errorf("serverless: library %q already registered", lib.Name)
+	}
+	r.libs[lib.Name] = lib
+	return nil
+}
+
+// Lookup returns the named library.
+func (r *Registry) Lookup(name string) (*Library, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	l, ok := r.libs[name]
+	return l, ok
+}
+
+// Names returns the registered library names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.libs))
+	for n := range r.libs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// InitMessage is the JSON initialization message a booted instance sends to
+// its worker, describing its functions and capabilities (§3.4).
+type InitMessage struct {
+	Library   string   `json:"library"`
+	Functions []string `json:"functions"`
+}
+
+// InvokeMessage is the JSON invocation message the worker sends an
+// instance: the function to execute and its serialized arguments.
+type InvokeMessage struct {
+	InvocationID int             `json:"invocation_id"`
+	Function     string          `json:"function"`
+	Args         json.RawMessage `json:"args"`
+}
+
+// ResultMessage carries an invocation's outcome back to the worker.
+type ResultMessage struct {
+	InvocationID int             `json:"invocation_id"`
+	OK           bool            `json:"ok"`
+	Result       json.RawMessage `json:"result,omitempty"`
+	Error        string          `json:"error,omitempty"`
+}
+
+// Instance is a running Library Instance: booted once, passively waiting
+// for invocations, each of which runs in its own goroutine.
+type Instance struct {
+	lib *Library
+
+	mu      sync.Mutex
+	booted  bool
+	stopped bool
+	active  sync.WaitGroup
+}
+
+// NewInstance creates an instance of the library; Boot must be called
+// before Invoke.
+func NewInstance(lib *Library) *Instance {
+	return &Instance{lib: lib}
+}
+
+// Boot performs the library's one-time initialization and returns the init
+// message advertising its functions. Boot is idempotent.
+func (in *Instance) Boot() (InitMessage, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.stopped {
+		return InitMessage{}, fmt.Errorf("serverless: instance of %q is stopped", in.lib.Name)
+	}
+	if !in.booted {
+		if in.lib.Boot != nil {
+			if err := in.lib.Boot(); err != nil {
+				return InitMessage{}, fmt.Errorf("serverless: booting %q: %w", in.lib.Name, err)
+			}
+		}
+		in.booted = true
+	}
+	msg := InitMessage{Library: in.lib.Name}
+	for name := range in.lib.Functions {
+		msg.Functions = append(msg.Functions, name)
+	}
+	return msg, nil
+}
+
+// Invoke runs one function call synchronously in the caller's goroutine
+// ("forked" by the worker) and returns the result message.
+func (in *Instance) Invoke(msg InvokeMessage) ResultMessage {
+	in.mu.Lock()
+	if !in.booted || in.stopped {
+		in.mu.Unlock()
+		return ResultMessage{InvocationID: msg.InvocationID, OK: false,
+			Error: fmt.Sprintf("serverless: instance of %q not serving", in.lib.Name)}
+	}
+	fn, ok := in.lib.Functions[msg.Function]
+	if !ok {
+		in.mu.Unlock()
+		return ResultMessage{InvocationID: msg.InvocationID, OK: false,
+			Error: fmt.Sprintf("serverless: %q has no function %q", in.lib.Name, msg.Function)}
+	}
+	in.active.Add(1)
+	in.mu.Unlock()
+	defer in.active.Done()
+
+	out, err := safeCall(fn, msg.Args)
+	if err != nil {
+		return ResultMessage{InvocationID: msg.InvocationID, OK: false, Error: err.Error()}
+	}
+	return ResultMessage{InvocationID: msg.InvocationID, OK: true, Result: out}
+}
+
+// safeCall confines a panicking function to its own invocation, mirroring
+// the process isolation the paper gets from forking.
+func safeCall(fn Function, args []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serverless: function panicked: %v", r)
+		}
+	}()
+	return fn(args)
+}
+
+// Stop drains active invocations and marks the instance stopped. Further
+// invocations fail.
+func (in *Instance) Stop() {
+	in.mu.Lock()
+	in.stopped = true
+	in.mu.Unlock()
+	in.active.Wait()
+}
+
+// Booted reports whether the instance completed initialization.
+func (in *Instance) Booted() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.booted && !in.stopped
+}

@@ -1,0 +1,211 @@
+package serverless
+
+import (
+	"encoding/json"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mathLibrary(bootCount *int32) *Library {
+	return &Library{
+		Name: "math",
+		Boot: func() error {
+			if bootCount != nil {
+				atomic.AddInt32(bootCount, 1)
+			}
+			return nil
+		},
+		Functions: map[string]Function{
+			"square": func(args []byte) ([]byte, error) {
+				var x int
+				if err := json.Unmarshal(args, &x); err != nil {
+					return nil, err
+				}
+				return json.Marshal(x * x)
+			},
+			"fail": func(args []byte) ([]byte, error) {
+				return nil, errors.New("deliberate failure")
+			},
+			"panic": func(args []byte) ([]byte, error) {
+				panic("boom")
+			},
+		},
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(mathLibrary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(mathLibrary(nil)); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register(&Library{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, ok := r.Lookup("math"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("phantom library")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "math" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestInstanceBootOncePerWorker(t *testing.T) {
+	var boots int32
+	in := NewInstance(mathLibrary(&boots))
+	msg, err := in.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Library != "math" {
+		t.Fatalf("init = %+v", msg)
+	}
+	sort.Strings(msg.Functions)
+	if len(msg.Functions) != 3 || msg.Functions[2] != "square" {
+		t.Fatalf("functions = %v", msg.Functions)
+	}
+	// The entire point of the serverless model: boot exactly once, no
+	// matter how many invocations follow.
+	if _, err := in.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&boots) != 1 {
+		t.Fatalf("boot ran %d times", boots)
+	}
+	if !in.Booted() {
+		t.Fatal("Booted() = false")
+	}
+}
+
+func TestInvoke(t *testing.T) {
+	in := NewInstance(mathLibrary(nil))
+	if _, err := in.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	args, _ := json.Marshal(7)
+	res := in.Invoke(InvokeMessage{InvocationID: 1, Function: "square", Args: args})
+	if !res.OK || res.InvocationID != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	var out int
+	json.Unmarshal(res.Result, &out)
+	if out != 49 {
+		t.Fatalf("square(7) = %d", out)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	in := NewInstance(mathLibrary(nil))
+	// Before boot.
+	res := in.Invoke(InvokeMessage{Function: "square"})
+	if res.OK {
+		t.Fatal("invocation before boot succeeded")
+	}
+	in.Boot()
+	// Unknown function.
+	res = in.Invoke(InvokeMessage{Function: "cube"})
+	if res.OK || res.Error == "" {
+		t.Fatalf("unknown function: %+v", res)
+	}
+	// Function returning an error.
+	res = in.Invoke(InvokeMessage{InvocationID: 5, Function: "fail"})
+	if res.OK || res.Error != "deliberate failure" || res.InvocationID != 5 {
+		t.Fatalf("failing function: %+v", res)
+	}
+}
+
+func TestInvokePanicIsolated(t *testing.T) {
+	in := NewInstance(mathLibrary(nil))
+	in.Boot()
+	res := in.Invoke(InvokeMessage{Function: "panic"})
+	if res.OK {
+		t.Fatal("panicking invocation reported OK")
+	}
+	// The instance survives, like a forked process crash.
+	args, _ := json.Marshal(3)
+	res = in.Invoke(InvokeMessage{Function: "square", Args: args})
+	if !res.OK {
+		t.Fatalf("instance dead after panic: %+v", res)
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	in := NewInstance(mathLibrary(nil))
+	in.Boot()
+	var wg sync.WaitGroup
+	errs := make(chan string, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			args, _ := json.Marshal(i)
+			res := in.Invoke(InvokeMessage{InvocationID: i, Function: "square", Args: args})
+			if !res.OK {
+				errs <- res.Error
+				return
+			}
+			var out int
+			json.Unmarshal(res.Result, &out)
+			if out != i*i {
+				errs <- "wrong result"
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestStop(t *testing.T) {
+	in := NewInstance(mathLibrary(nil))
+	in.Boot()
+	in.Stop()
+	if in.Booted() {
+		t.Fatal("stopped instance reports booted")
+	}
+	res := in.Invoke(InvokeMessage{Function: "square"})
+	if res.OK {
+		t.Fatal("stopped instance served invocation")
+	}
+	if _, err := in.Boot(); err == nil {
+		t.Fatal("stopped instance rebooted")
+	}
+}
+
+func TestBootFailure(t *testing.T) {
+	in := NewInstance(&Library{
+		Name: "bad",
+		Boot: func() error { return errors.New("missing dataset") },
+	})
+	if _, err := in.Boot(); err == nil {
+		t.Fatal("boot failure not reported")
+	}
+	if in.Booted() {
+		t.Fatal("failed boot marked booted")
+	}
+}
+
+func TestProtocolMessagesRoundTrip(t *testing.T) {
+	inv := InvokeMessage{InvocationID: 9, Function: "gradient", Args: json.RawMessage(`{"lr":0.1}`)}
+	b, err := json.Marshal(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got InvokeMessage
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Function != "gradient" || string(got.Args) != `{"lr":0.1}` {
+		t.Fatalf("round trip = %+v", got)
+	}
+}

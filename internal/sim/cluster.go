@@ -1,0 +1,639 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"taskvine/internal/policy"
+	"taskvine/internal/replica"
+	"taskvine/internal/resources"
+	"taskvine/internal/trace"
+)
+
+// Cluster executes a Workload through the production scheduling policy in
+// virtual time and records a trace compatible with the real manager's.
+type Cluster struct {
+	eng    *Engine
+	net    *Network
+	params Params
+	limits policy.Limits
+	log    *trace.Log
+
+	workload *Workload
+	reps     *replica.Table
+	trs      *replica.Transfers
+
+	manager  *Endpoint
+	sharedFS *Endpoint
+	urls     *Endpoint
+
+	workers map[string]*simWorker
+	tasks   map[int]*simTask
+	waiting []int
+
+	// libraries to deploy per worker.
+	libs map[string]*Library
+
+	// atManager records produced objects that were returned to the
+	// manager (shared-storage mode): consumers re-fetch them from there.
+	atManager map[string]bool
+
+	scheduled bool // a schedule pass is queued
+	completed int
+}
+
+type simWorker struct {
+	spec      WorkerSpec
+	ep        *Endpoint
+	pool      *resources.Pool
+	cacheUsed int64
+	running   map[int]bool
+	joinOrder int
+	joined    bool
+	libReady  map[string]bool
+	libBoot   map[string]bool // deploy in progress
+	// materializing tracks in-progress MiniTask unpacks.
+	materializing map[string]bool
+	// cache tracks resident objects for disk accounting and eviction.
+	cache map[string]*cachedObject
+}
+
+type simTask struct {
+	t       *Task
+	state   int // 0 waiting, 1 staging, 2 running, 3 returning, 4 done
+	worker  string
+	started float64
+	// epoch increments on every requeue; callbacks from a previous
+	// assignment (task-finish timers, return flows) check it and drop.
+	epoch int
+}
+
+func capped(ep *Endpoint, perFlow float64) *Endpoint {
+	ep.PerFlowBW = perFlow
+	return ep
+}
+
+// NewCluster builds a simulation of the workload under the given network
+// parameters and transfer limits.
+func NewCluster(w *Workload, params Params, limits policy.Limits) *Cluster {
+	eng := NewEngine()
+	c := &Cluster{
+		eng:       eng,
+		net:       NewNetwork(eng),
+		params:    params,
+		limits:    limits,
+		log:       trace.NewLog(),
+		workload:  w,
+		reps:      replica.NewTable(),
+		trs:       replica.NewTransfers(),
+		manager:   capped(NewEndpoint("manager", params.ManagerBW), params.PerFlowBW),
+		urls:      capped(NewEndpoint("url", params.URLBW), params.PerFlowBW),
+		sharedFS:  capped(NewEndpoint("shared-fs", params.SharedFSBW), params.PerFlowBW),
+		workers:   make(map[string]*simWorker),
+		tasks:     make(map[int]*simTask),
+		libs:      make(map[string]*Library),
+		atManager: make(map[string]bool),
+	}
+	for _, lib := range w.Libraries {
+		c.libs[lib.Name] = lib
+	}
+	for i, ws := range w.Workers {
+		bw := ws.BW
+		if bw == 0 {
+			bw = params.WorkerBW
+		}
+		sw := &simWorker{
+			spec:          ws,
+			ep:            NewEndpoint(ws.ID, bw),
+			pool:          resources.NewPool(resources.R{Cores: ws.Cores, Disk: ws.Disk, Memory: resources.TB}),
+			running:       make(map[int]bool),
+			joinOrder:     i,
+			libReady:      make(map[string]bool),
+			libBoot:       make(map[string]bool),
+			materializing: make(map[string]bool),
+		}
+		sw.ep.OverheadPerFlow = params.OverheadPerFlow
+		sw.ep.PerFlowBW = params.PerFlowBW
+		if params.WorkerUpBW > 0 {
+			sw.ep.UpBW = params.WorkerUpBW
+		}
+		c.workers[ws.ID] = sw
+		join := ws.JoinTime
+		eng.At(join, func() { c.workerJoin(sw) })
+		if ws.LeaveTime > 0 {
+			eng.At(ws.LeaveTime, func() { c.workerLeave(sw) })
+		}
+	}
+	for _, t := range w.Tasks {
+		c.tasks[t.ID] = &simTask{t: t}
+		c.waiting = append(c.waiting, t.ID)
+	}
+	sort.Ints(c.waiting)
+	return c
+}
+
+// Trace returns the recorded event log.
+func (c *Cluster) Trace() *trace.Log { return c.log }
+
+// Engine exposes the virtual clock, for tests.
+func (c *Cluster) Engine() *Engine { return c.eng }
+
+// CompletedTasks returns how many tasks finished.
+func (c *Cluster) CompletedTasks() int { return c.completed }
+
+// Run simulates until all tasks complete or no progress is possible; it
+// returns the makespan in virtual seconds.
+func (c *Cluster) Run() float64 {
+	c.requestSchedule()
+	return c.eng.Run(0)
+}
+
+func (c *Cluster) workerJoin(w *simWorker) {
+	w.joined = true
+	c.log.Add(trace.Event{Time: c.eng.Now(), Kind: trace.WorkerJoined, Worker: w.spec.ID})
+	for _, fid := range w.spec.Prestaged {
+		f := c.workload.Files[fid]
+		if f == nil {
+			panic(fmt.Sprintf("sim: prestaged unknown file %s", fid))
+		}
+		c.store(w, fid, f.Size)
+	}
+	for _, lib := range c.libs {
+		c.deployLibrary(w, lib)
+	}
+	c.requestSchedule()
+}
+
+// workerLeave preempts a worker: every replica it held is dropped, its
+// running tasks return to the waiting queue, and transfers touching it are
+// cancelled (§2.2: workers may join and leave dynamically).
+func (c *Cluster) workerLeave(w *simWorker) {
+	if !w.joined {
+		return
+	}
+	w.joined = false
+	c.log.Add(trace.Event{Time: c.eng.Now(), Kind: trace.WorkerLeft, Worker: w.spec.ID})
+	c.reps.DropWorker(w.spec.ID)
+	for _, tr := range c.trs.DropWorker(w.spec.ID) {
+		if tr.Dest != w.spec.ID {
+			c.reps.Remove(tr.File, tr.Dest)
+		}
+	}
+	for id := range w.running {
+		t := c.tasks[id]
+		if t == nil {
+			continue
+		}
+		delete(w.running, id)
+		if t.state == 1 || t.state == 2 || t.state == 3 {
+			t.state = 0
+			t.worker = ""
+			t.epoch++
+			c.waiting = append(c.waiting, id)
+		}
+	}
+	// Reset the pool and cache: the node is gone.
+	w.pool = resources.NewPool(resources.R{Cores: w.spec.Cores, Disk: w.spec.Disk, Memory: resources.TB})
+	w.cacheUsed = 0
+	w.cache = nil
+	w.materializing = make(map[string]bool)
+	w.libReady = make(map[string]bool)
+	w.libBoot = make(map[string]bool)
+	sort.Ints(c.waiting)
+	c.requestSchedule()
+}
+
+// requestSchedule coalesces schedule passes: at most one pending pass,
+// ControlLatency after the triggering event.
+func (c *Cluster) requestSchedule() {
+	if c.scheduled {
+		return
+	}
+	c.scheduled = true
+	c.eng.After(c.params.ControlLatency, func() {
+		c.scheduled = false
+		c.schedule()
+	})
+}
+
+// view adapts the tables to policy.View.
+type simView struct{ c *Cluster }
+
+func (v simView) HasReplica(f, w string) bool       { return v.c.reps.Has(f, w) }
+func (v simView) Replicas(f string) []string        { return v.c.reps.Locate(f) }
+func (v simView) InFlightFrom(s replica.Source) int { return v.c.trs.InFlightFrom(s) }
+func (v simView) InFlightTo(w string) int           { return v.c.trs.InFlightTo(w) }
+
+// TransferPending mirrors the production manager: materializations in
+// progress count as pending so the planner never double-instructs.
+func (v simView) TransferPending(f, w string) bool {
+	if v.c.trs.Pending(f, w) {
+		return true
+	}
+	return v.c.reps.HasAny(f, w) && !v.c.reps.Has(f, w)
+}
+func (v simView) InFlightOf(f string) int { return v.c.trs.InFlightOf(f) }
+
+func (c *Cluster) schedule() {
+	// Progress staging tasks first (mirrors internal/core.schedule).
+	ids := make([]int, 0, len(c.tasks))
+	for id, t := range c.tasks {
+		if t.state == 1 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c.progressStaging(id, c.tasks[id])
+	}
+	// Skip the waiting scan entirely when no worker has a free core: with
+	// thousands of queued tasks this dominates simulation cost otherwise.
+	freeCores := 0
+	for _, w := range c.workers {
+		if w.joined {
+			freeCores += w.pool.Free().Cores
+		}
+	}
+	if freeCores == 0 {
+		return
+	}
+	var still []int
+	for _, id := range c.waiting {
+		t := c.tasks[id]
+		if t.state != 0 || !c.tryAssign(id, t) {
+			still = append(still, id)
+		}
+	}
+	c.waiting = still
+}
+
+func (c *Cluster) candidateWorkers(t *simTask) []policy.WorkerInfo {
+	var out []policy.WorkerInfo
+	for _, w := range c.workers {
+		if !w.joined {
+			continue
+		}
+		if t.t.Library != "" && !w.libReady[t.t.Library] {
+			continue
+		}
+		out = append(out, policy.WorkerInfo{
+			ID:           w.spec.ID,
+			Free:         w.pool.Free(),
+			RunningTasks: len(w.running),
+			JoinOrder:    w.joinOrder,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JoinOrder < out[j].JoinOrder })
+	return out
+}
+
+// fileNeeds mirrors core.fileNeeds: fixed sources per kind, recursive
+// expansion of unmaterialized MiniTask inputs.
+func (c *Cluster) fileNeeds(inputs []string) []policy.FileNeed {
+	var needs []policy.FileNeed
+	seen := map[string]bool{}
+	var add func(id string)
+	add = func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		f := c.workload.Files[id]
+		if f == nil {
+			panic(fmt.Sprintf("sim: task references unknown file %s", id))
+		}
+		n := policy.FileNeed{ID: id, Size: f.Size}
+		switch f.Kind {
+		case FromURL:
+			n.FixedSource = &replica.Source{Kind: replica.SourceURL, ID: "url:" + f.SourcePath}
+		case FromSharedFS:
+			n.FixedSource = &replica.Source{Kind: replica.SourceURL, ID: "fs:" + f.SourcePath}
+		case FromManager:
+			n.FixedSource = &replica.Source{Kind: replica.SourceManager, ID: "manager"}
+		case MiniProduct:
+			if c.reps.CountReplicas(id) == 0 {
+				for _, in := range f.MiniInputs {
+					add(in)
+				}
+			}
+		case Produced:
+			// Worker replicas only — unless the object was returned to
+			// the manager (shared-storage mode), which then serves as its
+			// fixed source for consumers.
+			if c.atManager[id] {
+				n.FixedSource = &replica.Source{Kind: replica.SourceManager, ID: "manager"}
+			}
+		}
+		needs = append(needs, n)
+	}
+	for _, in := range inputs {
+		add(in)
+	}
+	return needs
+}
+
+// depsSatisfiable: temp inputs must exist somewhere (or be in flight).
+func (c *Cluster) depsSatisfiable(t *simTask) bool {
+	for _, in := range t.t.Inputs {
+		f := c.workload.Files[in]
+		if f != nil && f.Kind == Produced && c.reps.CountReplicas(in) == 0 && !c.atManager[in] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cluster) tryAssign(id int, t *simTask) bool {
+	if !c.depsSatisfiable(t) {
+		return false
+	}
+	cands := c.candidateWorkers(t)
+	if len(cands) == 0 {
+		return false
+	}
+	needs := c.fileNeeds(t.t.Inputs)
+	if c.params.IgnoreLocality {
+		// Placement ablation: choose a worker as if nothing were cached.
+		needs = nil
+	}
+	req := resources.R{Cores: t.t.Cores}
+	if req.Cores == 0 {
+		req.Cores = 1
+	}
+	chosen, ok := policy.BestWorker(needs, req, cands, simView{c})
+	if !ok {
+		return false
+	}
+	w := c.workers[chosen.ID]
+	if !w.pool.Alloc(req) {
+		return false
+	}
+	t.worker = w.spec.ID
+	t.state = 1
+	w.running[id] = true
+	c.progressStaging(id, t)
+	return true
+}
+
+func (c *Cluster) progressStaging(id int, t *simTask) {
+	w := c.workers[t.worker]
+	needs := c.fileNeeds(t.t.Inputs)
+	plan := policy.PlanTransfers(needs, w.spec.ID, c.limits, simView{c})
+	for _, tr := range plan.Transfers {
+		c.startTransfer(tr.File, tr.Source, w)
+	}
+	for _, blockedID := range plan.Blocked {
+		f := c.workload.Files[blockedID]
+		if f == nil || f.Kind != MiniProduct {
+			continue
+		}
+		if c.reps.HasAny(blockedID, w.spec.ID) || w.materializing[blockedID] {
+			continue
+		}
+		if c.reps.CountReplicas(blockedID) > 0 {
+			continue
+		}
+		ready := true
+		for _, in := range f.MiniInputs {
+			if !c.reps.Has(in, w.spec.ID) {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			c.materialize(f, w)
+		}
+	}
+	for _, in := range t.t.Inputs {
+		if !c.reps.Has(in, w.spec.ID) {
+			return
+		}
+	}
+	c.startRun(id, t, w)
+}
+
+func (c *Cluster) startTransfer(fileID string, src replica.Source, w *simWorker) {
+	f := c.workload.Files[fileID]
+	if !c.admit(w, f) {
+		// The object cannot fit even after eviction; the consumer stays
+		// staged and is retried when space frees up.
+		return
+	}
+	tr := c.trs.Start(fileID, src, w.spec.ID)
+	c.reps.Add(fileID, w.spec.ID, replica.Pending)
+	c.log.Add(trace.Event{
+		Time: c.eng.Now(), Kind: trace.TransferStart, Worker: w.spec.ID,
+		File: fileID, Source: c.sourceLabel(src),
+	})
+	var from *Endpoint
+	latency := c.params.TransferLatency
+	switch src.Kind {
+	case replica.SourceURL:
+		if len(src.ID) > 3 && src.ID[:3] == "fs:" {
+			from = c.sharedFS
+			latency += c.params.SharedFSOpLatency
+		} else {
+			from = c.urls
+		}
+	case replica.SourceManager:
+		from = c.manager
+	case replica.SourceWorker:
+		from = c.workers[src.ID].ep
+	}
+	srcCopy := src
+	c.net.StartFlow(from, w.ep, float64(f.Size), latency, func() {
+		c.trs.Complete(tr.ID)
+		if !w.joined {
+			return // worker preempted while the transfer was in flight
+		}
+		c.store(w, fileID, f.Size)
+		c.log.Add(trace.Event{
+			Time: c.eng.Now(), Kind: trace.TransferEnd, Worker: w.spec.ID,
+			File: fileID, Bytes: f.Size, Source: c.sourceLabel(srcCopy),
+		})
+		c.requestSchedule()
+	})
+}
+
+func (c *Cluster) sourceLabel(src replica.Source) string {
+	switch src.Kind {
+	case replica.SourceURL:
+		if len(src.ID) > 3 && src.ID[:3] == "fs:" {
+			return "shared-fs"
+		}
+		return "url"
+	case replica.SourceManager:
+		return "manager"
+	default:
+		return "worker:" + src.ID
+	}
+}
+
+// materialize models MiniTask execution at the worker: unpack work
+// proportional to the product size.
+func (c *Cluster) materialize(f *File, w *simWorker) {
+	if !c.admit(w, f) {
+		return
+	}
+	w.materializing[f.ID] = true
+	c.reps.Add(f.ID, w.spec.ID, replica.Pending)
+	c.log.Add(trace.Event{Time: c.eng.Now(), Kind: trace.StageStart, Worker: w.spec.ID, File: f.ID})
+	rate := f.UnpackRate
+	if rate == 0 {
+		rate = c.params.DefaultUnpackRate
+	}
+	c.eng.After(float64(f.Size)/rate, func() {
+		delete(w.materializing, f.ID)
+		if !w.joined {
+			return
+		}
+		c.store(w, f.ID, f.Size)
+		c.log.Add(trace.Event{
+			Time: c.eng.Now(), Kind: trace.StageEnd, Worker: w.spec.ID,
+			File: f.ID, Bytes: f.Size,
+		})
+		c.requestSchedule()
+	})
+}
+
+func (c *Cluster) startRun(id int, t *simTask, w *simWorker) {
+	t.state = 2
+	t.started = c.eng.Now()
+	c.pin(w, t.t.Inputs)
+	c.log.Add(trace.Event{
+		Time: c.eng.Now(), Kind: trace.TaskStart, Worker: w.spec.ID,
+		TaskID: id, Detail: t.t.Category,
+	})
+	epoch := t.epoch
+	c.eng.After(t.t.Runtime, func() {
+		if t.epoch != epoch || !w.joined {
+			return // preempted mid-run; the task was requeued
+		}
+		c.finishRun(id, t, w)
+	})
+}
+
+func (c *Cluster) finishRun(id int, t *simTask, w *simWorker) {
+	if t.t.ReturnOutputs && len(t.t.Outputs) > 0 {
+		// Shared-storage mode (Figure 13a): results stream back to the
+		// manager before the task is considered complete, and live ONLY
+		// there afterwards — consumers must fetch them back out, doubling
+		// the traffic through the manager's link.
+		t.state = 3
+		var total int64
+		for _, out := range t.t.Outputs {
+			total += out.Size
+		}
+		c.log.Add(trace.Event{
+			Time: c.eng.Now(), Kind: trace.TransferStart, Worker: w.spec.ID,
+			File: fmt.Sprintf("task-%d-outputs", id), Source: "worker:" + w.spec.ID,
+		})
+		epoch := t.epoch
+		c.net.StartFlow(w.ep, c.manager, float64(total), c.params.TransferLatency, func() {
+			if t.epoch != epoch || !w.joined {
+				return // preempted while returning outputs
+			}
+			c.log.Add(trace.Event{
+				Time: c.eng.Now(), Kind: trace.TransferEnd, Worker: w.spec.ID,
+				File: fmt.Sprintf("task-%d-outputs", id), Bytes: total, Source: "worker:" + w.spec.ID,
+			})
+			for _, out := range t.t.Outputs {
+				c.atManager[out.ID] = true
+			}
+			c.completeTask(id, t, w)
+		})
+		return
+	}
+	// In-cluster mode: outputs appear in the worker's cache as temps.
+	for _, out := range t.t.Outputs {
+		if f := c.workload.Files[out.ID]; f != nil {
+			c.admit(w, f)
+		}
+		c.store(w, out.ID, out.Size)
+	}
+	c.completeTask(id, t, w)
+}
+
+func (c *Cluster) completeTask(id int, t *simTask, w *simWorker) {
+	c.unpin(w, t.t.Inputs)
+	t.state = 4
+	c.completed++
+	delete(w.running, id)
+	req := resources.R{Cores: t.t.Cores}
+	if req.Cores == 0 {
+		req.Cores = 1
+	}
+	w.pool.Release(req)
+	c.log.Add(trace.Event{
+		Time: c.eng.Now(), Kind: trace.TaskEnd, Worker: w.spec.ID,
+		TaskID: id, Detail: t.t.Category,
+	})
+	c.requestSchedule()
+}
+
+// deployLibrary stages the library environment to the worker, boots an
+// instance, and marks the worker serverless-ready (§3.4).
+func (c *Cluster) deployLibrary(w *simWorker, lib *Library) {
+	if w.libReady[lib.Name] || w.libBoot[lib.Name] {
+		return
+	}
+	cores := lib.Cores
+	if cores == 0 {
+		cores = 1
+	}
+	if !w.pool.Alloc(resources.R{Cores: cores}) {
+		return
+	}
+	w.libBoot[lib.Name] = true
+	boot := func() {
+		c.eng.After(lib.BootTime, func() {
+			if !w.joined {
+				return
+			}
+			delete(w.libBoot, lib.Name)
+			w.libReady[lib.Name] = true
+			c.log.Add(trace.Event{
+				Time: c.eng.Now(), Kind: trace.LibraryReady, Worker: w.spec.ID, Detail: lib.Name,
+			})
+			c.requestSchedule()
+		})
+	}
+	if lib.EnvFile == "" || c.reps.Has(lib.EnvFile, w.spec.ID) {
+		boot()
+		return
+	}
+	// Stage the environment first: plan it like any other need so the
+	// environment rides worker-to-worker distribution.
+	c.stageLibraryEnv(w, lib, boot)
+}
+
+// stageLibraryEnv repeatedly tries to plan the env transfer until it lands.
+func (c *Cluster) stageLibraryEnv(w *simWorker, lib *Library, then func()) {
+	if c.reps.Has(lib.EnvFile, w.spec.ID) {
+		then()
+		return
+	}
+	needs := c.fileNeeds([]string{lib.EnvFile})
+	plan := policy.PlanTransfers(needs, w.spec.ID, c.limits, simView{c})
+	for _, tr := range plan.Transfers {
+		c.startTransfer(tr.File, tr.Source, w)
+	}
+	// MiniProduct environments may need materialization.
+	for _, blockedID := range plan.Blocked {
+		f := c.workload.Files[blockedID]
+		if f != nil && f.Kind == MiniProduct && !w.materializing[blockedID] &&
+			!c.reps.HasAny(blockedID, w.spec.ID) && c.reps.CountReplicas(blockedID) == 0 {
+			ready := true
+			for _, in := range f.MiniInputs {
+				if !c.reps.Has(in, w.spec.ID) {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				c.materialize(f, w)
+			}
+		}
+	}
+	c.eng.After(0.05, func() { c.stageLibraryEnv(w, lib, then) })
+}

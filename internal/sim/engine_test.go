@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(2, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(1, func() { order = append(order, 10) }) // same time: FIFO by seq
+	e.At(3, func() { order = append(order, 3) })
+	end := e.Run(0)
+	if end != 3 {
+		t.Fatalf("end = %v", end)
+	}
+	want := []int{1, 10, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run(0)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.After(1, func() { fired = true })
+	tm.Cancel()
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++ })
+	e.At(100, func() { ran++ })
+	end := e.Run(10)
+	if end != 10 || ran != 1 {
+		t.Fatalf("end=%v ran=%d", end, ran)
+	}
+}
+
+func TestEnginePastEventClamps(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.At(5, func() {
+		e.At(1, func() { at = e.Now() }) // in the past: clamps to now
+	})
+	e.Run(0)
+	if at != 5 {
+		t.Fatalf("past event ran at %v", at)
+	}
+}
+
+func TestNetworkSingleFlow(t *testing.T) {
+	e := NewEngine()
+	n := NewNetwork(e)
+	a := NewEndpoint("a", 100) // 100 B/s
+	b := NewEndpoint("b", 100)
+	var done float64 = -1
+	n.StartFlow(a, b, 1000, 0, func() { done = e.Now() })
+	e.Run(0)
+	if done != 10 {
+		t.Fatalf("1000B at 100B/s finished at %v, want 10", done)
+	}
+}
+
+func TestNetworkFairShare(t *testing.T) {
+	// Two flows from one source to two sinks: source bandwidth splits, so
+	// both take twice as long.
+	e := NewEngine()
+	n := NewNetwork(e)
+	src := NewEndpoint("src", 100)
+	d1 := NewEndpoint("d1", 1000)
+	d2 := NewEndpoint("d2", 1000)
+	var t1, t2 float64
+	n.StartFlow(src, d1, 1000, 0, func() { t1 = e.Now() })
+	n.StartFlow(src, d2, 1000, 0, func() { t2 = e.Now() })
+	e.Run(0)
+	if !almostEqual(t1, 20) || !almostEqual(t2, 20) {
+		t.Fatalf("t1=%v t2=%v want 20", t1, t2)
+	}
+}
+
+func TestNetworkRateReallocationAfterCompletion(t *testing.T) {
+	// Short flow finishes; long flow speeds up afterwards.
+	e := NewEngine()
+	n := NewNetwork(e)
+	src := NewEndpoint("src", 100)
+	d1 := NewEndpoint("d1", 1000)
+	d2 := NewEndpoint("d2", 1000)
+	var tShort, tLong float64
+	n.StartFlow(src, d1, 500, 0, func() { tShort = e.Now() })
+	n.StartFlow(src, d2, 1000, 0, func() { tLong = e.Now() })
+	e.Run(0)
+	// Short: 500B at 50B/s = 10s. Long: 500B at 50B/s + 500B at 100B/s =
+	// 10 + 5 = 15s.
+	if !almostEqual(tShort, 10) || !almostEqual(tLong, 15) {
+		t.Fatalf("tShort=%v tLong=%v want 10, 15", tShort, tLong)
+	}
+}
+
+func TestNetworkDestinationBottleneck(t *testing.T) {
+	e := NewEngine()
+	n := NewNetwork(e)
+	s1 := NewEndpoint("s1", 1000)
+	s2 := NewEndpoint("s2", 1000)
+	dst := NewEndpoint("dst", 100)
+	var t1, t2 float64
+	n.StartFlow(s1, dst, 500, 0, func() { t1 = e.Now() })
+	n.StartFlow(s2, dst, 500, 0, func() { t2 = e.Now() })
+	e.Run(0)
+	if !almostEqual(t1, 10) || !almostEqual(t2, 10) {
+		t.Fatalf("t1=%v t2=%v want 10 (dest share 50B/s)", t1, t2)
+	}
+}
+
+func TestNetworkOverheadDegradation(t *testing.T) {
+	// With per-flow overhead, 10 concurrent flows from one source move
+	// less aggregate bandwidth than one flow — the unsupervised hotspot.
+	run := func(overhead float64, flows int) float64 {
+		e := NewEngine()
+		n := NewNetwork(e)
+		src := NewEndpoint("src", 100)
+		src.OverheadPerFlow = overhead
+		var last float64
+		for i := 0; i < flows; i++ {
+			d := NewEndpoint("d", 10000)
+			n.StartFlow(src, d, 100, 0, func() { last = e.Now() })
+		}
+		e.Run(0)
+		return last
+	}
+	fair := run(0, 10)
+	if !almostEqual(fair, 10) {
+		t.Fatalf("fair 10-flow completion = %v want 10", fair)
+	}
+	degraded := run(0.1, 10)
+	if degraded <= fair*1.5 {
+		t.Fatalf("overhead model too weak: degraded=%v fair=%v", degraded, fair)
+	}
+}
+
+func TestNetworkLatency(t *testing.T) {
+	e := NewEngine()
+	n := NewNetwork(e)
+	a := NewEndpoint("a", 100)
+	b := NewEndpoint("b", 100)
+	var done float64
+	n.StartFlow(a, b, 100, 5, func() { done = e.Now() })
+	e.Run(0)
+	if !almostEqual(done, 6) {
+		t.Fatalf("done=%v want 6 (5 latency + 1 transfer)", done)
+	}
+}
+
+func TestNetworkZeroSizeFlow(t *testing.T) {
+	e := NewEngine()
+	n := NewNetwork(e)
+	a := NewEndpoint("a", 100)
+	b := NewEndpoint("b", 100)
+	done := false
+	n.StartFlow(a, b, 0, 1, func() { done = true })
+	e.Run(0)
+	if !done {
+		t.Fatal("zero-size flow never completed")
+	}
+	if n.InFlight() != 0 {
+		t.Fatal("flow leaked")
+	}
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Endpoint is one attachment point in the simulated network: a worker NIC,
+// the manager NIC, an external URL server, or the shared filesystem.
+type Endpoint struct {
+	Name string
+	// UpBW and DownBW are outgoing/incoming bandwidth in bytes/second.
+	UpBW, DownBW float64
+	// OverheadPerFlow degrades the endpoint's aggregate outgoing
+	// efficiency as concurrent flows pile on: effective aggregate
+	// bandwidth = UpBW / (1 + OverheadPerFlow * (n-1)). This is the
+	// contention model behind the unsupervised hotspot of Figure 11b —
+	// unmanaged fan-out from one source not only divides bandwidth but
+	// wastes it.
+	OverheadPerFlow float64
+	// PerFlowBW caps any single flow touching this endpoint (zero means
+	// uncapped). A single TCP stream over 10 GbE with disk I/O on both
+	// ends moves far less than line rate; this cap is what makes many-
+	// stream sources (a busy archive) and single-stream fan-out trees
+	// behave proportionately.
+	PerFlowBW float64
+
+	out, in int // live flow counts
+}
+
+// Flow is one in-progress transfer.
+type Flow struct {
+	src, dst  *Endpoint
+	remaining float64
+	rate      float64
+	onDone    func()
+	// extraLatency is a fixed startup delay (metadata ops, connection
+	// setup) already charged before bytes move.
+	id int
+}
+
+// Network simulates point-to-point transfers with max-min fair sharing at
+// both endpoints, recomputed whenever the flow set changes. This fluid-flow
+// approximation captures the phenomena the paper's transfer experiments
+// measure: source saturation, fan-out trees, and contention overheads.
+type Network struct {
+	eng    *Engine
+	flows  map[int]*Flow
+	nextID int
+	// timer fires at the earliest flow completion; rescheduled on change.
+	timer      *Timer
+	lastUpdate float64
+}
+
+// NewNetwork creates a network on the given engine.
+func NewNetwork(eng *Engine) *Network {
+	return &Network{eng: eng, flows: make(map[int]*Flow)}
+}
+
+// NewEndpoint creates an endpoint with symmetric bandwidth.
+func NewEndpoint(name string, bw float64) *Endpoint {
+	return &Endpoint{Name: name, UpBW: bw, DownBW: bw}
+}
+
+// InFlight returns the number of active flows.
+func (n *Network) InFlight() int { return len(n.flows) }
+
+// StartFlow begins moving size bytes from src to dst after a fixed latency;
+// onDone fires at completion. A zero or negative size completes after just
+// the latency.
+func (n *Network) StartFlow(src, dst *Endpoint, size float64, latency float64, onDone func()) {
+	if src == nil || dst == nil {
+		panic("sim: flow with nil endpoint")
+	}
+	n.eng.After(latency, func() {
+		if size <= 0 {
+			onDone()
+			return
+		}
+		n.advance()
+		n.nextID++
+		f := &Flow{src: src, dst: dst, remaining: size, onDone: onDone, id: n.nextID}
+		n.flows[f.id] = f
+		src.out++
+		dst.in++
+		n.reschedule()
+	})
+}
+
+// advance applies progress to all flows up to the current time.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastUpdate
+	if dt > 0 {
+		for _, f := range n.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	n.lastUpdate = now
+}
+
+// recomputeRates assigns each flow min(srcShare, dstShare) where the source
+// share includes the contention-overhead degradation.
+func (n *Network) recomputeRates() {
+	for _, f := range n.flows {
+		srcAgg := f.src.UpBW
+		if f.src.OverheadPerFlow > 0 && f.src.out > 1 {
+			eff := 1 / (1 + f.src.OverheadPerFlow*float64(f.src.out-1))
+			// Contention wastes bandwidth but cannot erase it entirely;
+			// floor the efficiency so extreme fan-in stays finite.
+			if eff < 0.2 {
+				eff = 0.2
+			}
+			srcAgg = f.src.UpBW * eff
+		}
+		srcShare := srcAgg / float64(f.src.out)
+		dstShare := f.dst.DownBW / float64(f.dst.in)
+		f.rate = srcShare
+		if dstShare < f.rate {
+			f.rate = dstShare
+		}
+		if f.src.PerFlowBW > 0 && f.rate > f.src.PerFlowBW {
+			f.rate = f.src.PerFlowBW
+		}
+		if f.dst.PerFlowBW > 0 && f.rate > f.dst.PerFlowBW {
+			f.rate = f.dst.PerFlowBW
+		}
+		if f.rate <= 0 {
+			f.rate = 1 // avoid stalling forever on misconfigured endpoints
+		}
+	}
+}
+
+// reschedule recomputes rates and arms the completion timer for the
+// earliest-finishing flow.
+func (n *Network) reschedule() {
+	if n.timer != nil {
+		n.timer.Cancel()
+		n.timer = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	n.recomputeRates()
+	var first *Flow
+	var firstT float64
+	for _, f := range n.flows {
+		t := f.remaining / f.rate
+		if first == nil || t < firstT || (t == firstT && f.id < first.id) {
+			first, firstT = f, t
+		}
+	}
+	id := first.id
+	n.timer = n.eng.After(firstT, func() { n.complete(id) })
+}
+
+func (n *Network) complete(id int) {
+	n.advance()
+	f, ok := n.flows[id]
+	if !ok {
+		n.reschedule()
+		return
+	}
+	delete(n.flows, id)
+	f.src.out--
+	f.dst.in--
+	done := f.onDone
+	n.reschedule()
+	if done != nil {
+		done()
+	}
+}
+
+// Snapshot renders current flows for debugging.
+func (n *Network) Snapshot() string {
+	ids := make([]int, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	s := ""
+	for _, id := range ids {
+		f := n.flows[id]
+		s += fmt.Sprintf("flow %d %s->%s %.0fB @%.0fB/s\n", id, f.src.Name, f.dst.Name, f.remaining, f.rate)
+	}
+	return s
+}

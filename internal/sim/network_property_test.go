@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: all bytes offered to the network are eventually delivered, and
+// no flow completes before its ideal minimum time (size / min capacity).
+func TestQuickNetworkConservation(t *testing.T) {
+	f := func(sizes []uint32, bwSeed uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 40 {
+			sizes = sizes[:40]
+		}
+		e := NewEngine()
+		n := NewNetwork(e)
+		srcBW := float64(bwSeed%9+1) * 100
+		src := NewEndpoint("src", srcBW)
+		delivered := 0
+		var total float64
+		for _, s := range sizes {
+			size := float64(s%100000) + 1
+			total += size
+			dst := NewEndpoint("d", 1e9)
+			n.StartFlow(src, dst, size, 0, func() { delivered++ })
+		}
+		end := e.Run(0)
+		if delivered != len(sizes) {
+			return false
+		}
+		// Aggregate throughput cannot exceed source bandwidth.
+		minTime := total / srcBW
+		return end >= minTime-1e-6 && n.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-flow cap is never exceeded: a single flow of known size
+// takes at least size/PerFlowBW.
+func TestQuickPerFlowCap(t *testing.T) {
+	f := func(size uint32, cap8 uint8) bool {
+		e := NewEngine()
+		n := NewNetwork(e)
+		cap := float64(cap8%50+1) * 10
+		src := NewEndpoint("src", 1e9)
+		src.PerFlowBW = cap
+		dst := NewEndpoint("dst", 1e9)
+		sz := float64(size%1000000) + 1
+		var done float64
+		n.StartFlow(src, dst, sz, 0, func() { done = e.Now() })
+		e.Run(0)
+		return done >= sz/cap-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

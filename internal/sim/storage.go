@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"sort"
+
+	"taskvine/internal/files"
+	"taskvine/internal/trace"
+)
+
+// Worker-side storage management in the simulator, mirroring
+// internal/cache: each worker's disk is a flat cache with capacity;
+// admission evicts unpinned objects cheapest-lifetime-first then
+// least-recently-used (§2.1: storage resources are enforced at the worker
+// and controlled by the manager, including cache admittance and eviction).
+
+// cachedObject tracks one object resident at a simulated worker.
+type cachedObject struct {
+	id      string
+	size    int64
+	lastUse float64
+	// pins counts running tasks using the object.
+	pins int
+}
+
+// storageOf lazily initializes a worker's cache map.
+func (w *simWorker) storage() map[string]*cachedObject {
+	if w.cache == nil {
+		w.cache = make(map[string]*cachedObject)
+	}
+	return w.cache
+}
+
+// admit reserves space for an object, evicting ephemeral unpinned objects
+// if necessary. Returns false when the object cannot fit even after
+// eviction; evicted objects are reported so the replica table stays true.
+func (c *Cluster) admit(w *simWorker, f *File) bool {
+	if w.spec.Disk <= 0 {
+		// Unlimited disk: common for shape experiments.
+		return true
+	}
+	cache := w.storage()
+	if _, ok := cache[f.ID]; ok {
+		return true
+	}
+	if w.cacheUsed+f.Size <= w.spec.Disk {
+		return true
+	}
+	// Gather victims: unpinned, not currently being materialized.
+	var victims []*cachedObject
+	for id, obj := range cache {
+		if obj.pins > 0 || w.materializing[id] {
+			continue
+		}
+		victims = append(victims, obj)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		li := c.lifetimeOf(victims[i].id)
+		lj := c.lifetimeOf(victims[j].id)
+		if li != lj {
+			return li < lj
+		}
+		return victims[i].lastUse < victims[j].lastUse
+	})
+	for _, v := range victims {
+		if w.cacheUsed+f.Size <= w.spec.Disk {
+			break
+		}
+		c.evict(w, v.id)
+	}
+	return w.cacheUsed+f.Size <= w.spec.Disk
+}
+
+func (c *Cluster) lifetimeOf(fileID string) files.Lifetime {
+	if f := c.workload.Files[fileID]; f != nil {
+		return f.Lifetime
+	}
+	return files.LifetimeWorkflow
+}
+
+// store records an object as resident after a transfer, materialization,
+// or task output.
+func (c *Cluster) store(w *simWorker, fileID string, size int64) {
+	cache := w.storage()
+	if _, ok := cache[fileID]; ok {
+		return
+	}
+	cache[fileID] = &cachedObject{id: fileID, size: size, lastUse: c.eng.Now()}
+	w.cacheUsed += size
+	c.reps.Commit(fileID, w.spec.ID)
+}
+
+// evict removes an object from the worker and the replica table, recording
+// the trace event the worker's cache-invalid message would produce.
+func (c *Cluster) evict(w *simWorker, fileID string) {
+	cache := w.storage()
+	obj, ok := cache[fileID]
+	if !ok {
+		return
+	}
+	delete(cache, fileID)
+	w.cacheUsed -= obj.size
+	c.reps.Remove(fileID, w.spec.ID)
+	c.log.Add(trace.Event{
+		Time: c.eng.Now(), Kind: trace.FileEvicted, Worker: w.spec.ID, File: fileID,
+	})
+}
+
+// pin marks a task's inputs in use for the duration of its run.
+func (c *Cluster) pin(w *simWorker, ids []string) {
+	cache := w.storage()
+	for _, id := range ids {
+		if obj, ok := cache[id]; ok {
+			obj.pins++
+			obj.lastUse = c.eng.Now()
+		}
+	}
+}
+
+// unpin releases a task's inputs.
+func (c *Cluster) unpin(w *simWorker, ids []string) {
+	cache := w.storage()
+	for _, id := range ids {
+		if obj, ok := cache[id]; ok && obj.pins > 0 {
+			obj.pins--
+		}
+	}
+}

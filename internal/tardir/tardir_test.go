@@ -1,0 +1,147 @@
+package tardir
+
+import (
+	"archive/tar"
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taskvine/internal/hashing"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	src := t.TempDir()
+	os.MkdirAll(filepath.Join(src, "bin"), 0o755)
+	os.MkdirAll(filepath.Join(src, "lib", "deep"), 0o755)
+	os.WriteFile(filepath.Join(src, "bin", "tool"), []byte("#!exe"), 0o755)
+	os.WriteFile(filepath.Join(src, "lib", "deep", "data"), []byte("content"), 0o644)
+	os.WriteFile(filepath.Join(src, "README"), []byte("docs"), 0o644)
+	os.Symlink("bin/tool", filepath.Join(src, "tool-link"))
+
+	blob, err := Pack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "restored")
+	if err := Unpack(bytes.NewReader(blob), dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// Content identity via the same Merkle hash used for cache names.
+	// Symlinks aren't covered by HashTree file hashing (it follows Lstat),
+	// so compare files directly.
+	for _, f := range []string{"bin/tool", "lib/deep/data", "README"} {
+		a, err := os.ReadFile(filepath.Join(src, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dst, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs after round trip", f)
+		}
+	}
+	link, err := os.Readlink(filepath.Join(dst, "tool-link"))
+	if err != nil || link != "bin/tool" {
+		t.Fatalf("symlink = %q err=%v", link, err)
+	}
+	// Executable bit preserved.
+	info, _ := os.Stat(filepath.Join(dst, "bin", "tool"))
+	if info.Mode().Perm()&0o100 == 0 {
+		t.Fatal("executable bit lost")
+	}
+}
+
+func TestPackDeterministicContent(t *testing.T) {
+	mk := func() string {
+		d := t.TempDir()
+		os.WriteFile(filepath.Join(d, "a"), []byte("1"), 0o644)
+		os.MkdirAll(filepath.Join(d, "s"), 0o755)
+		os.WriteFile(filepath.Join(d, "s", "b"), []byte("2"), 0o644)
+		return d
+	}
+	d1, d2 := mk(), mk()
+	// The tars themselves may differ in timestamps, but unpacking must
+	// produce Merkle-identical trees.
+	b1, err := Pack(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Pack(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := filepath.Join(t.TempDir(), "r1")
+	r2 := filepath.Join(t.TempDir(), "r2")
+	if err := Unpack(bytes.NewReader(b1), r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Unpack(bytes.NewReader(b2), r2); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := hashing.HashTree(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := hashing.HashTree(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("round-tripped trees hash differently")
+	}
+}
+
+func TestUnpackRejectsTraversal(t *testing.T) {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	tw.WriteHeader(&tar.Header{Name: "../escape", Mode: 0o644, Size: 4})
+	tw.Write([]byte("evil"))
+	tw.Close()
+	if err := Unpack(bytes.NewReader(buf.Bytes()), t.TempDir()); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+
+	buf.Reset()
+	tw = tar.NewWriter(&buf)
+	tw.WriteHeader(&tar.Header{Name: "/abs", Mode: 0o644, Size: 1})
+	tw.Write([]byte("x"))
+	tw.Close()
+	if err := Unpack(bytes.NewReader(buf.Bytes()), t.TempDir()); err == nil {
+		t.Fatal("absolute path accepted")
+	}
+}
+
+func TestUnpackEmptyArchive(t *testing.T) {
+	var buf bytes.Buffer
+	tar.NewWriter(&buf).Close()
+	dst := filepath.Join(t.TempDir(), "empty")
+	if err := Unpack(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatal("destination not created")
+	}
+}
+
+func TestUnpackTruncatedArchive(t *testing.T) {
+	src := t.TempDir()
+	os.WriteFile(filepath.Join(src, "f"), bytes.Repeat([]byte("x"), 4096), 0o644)
+	blob, err := Pack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Unpack(io.LimitReader(bytes.NewReader(blob), int64(len(blob)/2)), t.TempDir()); err == nil {
+		t.Fatal("truncated archive accepted")
+	}
+}
+
+func TestPackMissingDir(t *testing.T) {
+	if _, err := Pack(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing directory packed")
+	}
+}

@@ -1,0 +1,169 @@
+package taskspec
+
+import (
+	"testing"
+
+	"taskvine/internal/resources"
+)
+
+func validCommand() *Spec {
+	s := &Spec{ID: 1, Kind: KindCommand, Command: "echo hi"}
+	s.AddInput("file-aaa", "data")
+	s.AddOutput("temp-bbb", "out.txt")
+	return s
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validCommand().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"empty command", func(s *Spec) { s.Command = "  " }},
+		{"empty mount file", func(s *Spec) { s.Inputs[0].FileID = "" }},
+		{"empty mount name", func(s *Spec) { s.Inputs[0].Name = "" }},
+		{"absolute mount", func(s *Spec) { s.Inputs[0].Name = "/etc/passwd" }},
+		{"dotdot mount", func(s *Spec) { s.Inputs[0].Name = "../escape" }},
+		{"duplicate sandbox name", func(s *Spec) { s.Outputs[0].Name = "data" }},
+	}
+	for _, c := range cases {
+		s := validCommand()
+		c.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestValidateFunctionAndLibrary(t *testing.T) {
+	f := &Spec{ID: 2, Kind: KindFunction, Function: "gradient", Library: "optimizer"}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("function task rejected: %v", err)
+	}
+	f.Function = ""
+	if err := f.Validate(); err == nil {
+		t.Fatal("function task without name accepted")
+	}
+	l := &Spec{ID: 3, Kind: KindLibrary, Library: "optimizer"}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("library task rejected: %v", err)
+	}
+	l.Library = ""
+	if err := l.Validate(); err == nil {
+		t.Fatal("library task without name accepted")
+	}
+}
+
+func TestValidateMiniOneOutput(t *testing.T) {
+	m := UntarSpec("url-abc")
+	if err := m.Validate(); err == nil {
+		t.Fatal("minitask with no output accepted")
+	}
+	m.AddOutput("task-xyz", "output")
+	if err := m.Validate(); err != nil {
+		t.Fatalf("minitask rejected: %v", err)
+	}
+	m.AddOutput("task-zzz", "output2")
+	if err := m.Validate(); err == nil {
+		t.Fatal("minitask with two outputs accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := validCommand()
+	s.SetEnv("A", "1")
+	c := s.Clone()
+	c.Inputs[0].FileID = "changed"
+	c.Env["A"] = "2"
+	c.Args = append(c.Args, 'x')
+	if s.Inputs[0].FileID == "changed" {
+		t.Fatal("clone shares inputs")
+	}
+	if s.Env["A"] != "1" {
+		t.Fatal("clone shares env")
+	}
+}
+
+func TestProductNameStability(t *testing.T) {
+	m1 := UntarSpec("url-abc")
+	m2 := UntarSpec("url-abc")
+	if m1.ProductName("output") != m2.ProductName("output") {
+		t.Fatal("identical minitasks named their product differently")
+	}
+	m3 := UntarSpec("url-OTHER")
+	if m1.ProductName("output") == m3.ProductName("output") {
+		t.Fatal("different input produced same product name")
+	}
+	// Recursive sensitivity: change in resources changes name.
+	m4 := UntarSpec("url-abc")
+	m4.Resources = resources.R{Cores: 8}
+	if m1.ProductName("output") == m4.ProductName("output") {
+		t.Fatal("resource change did not change product name")
+	}
+}
+
+func TestProductNameFunctionTask(t *testing.T) {
+	f := &Spec{Kind: KindFunction, Library: "optimizer", Function: "gradient", Args: []byte("1")}
+	g := &Spec{Kind: KindFunction, Library: "optimizer", Function: "gradient", Args: []byte("2")}
+	if f.ProductName("out") == g.ProductName("out") {
+		t.Fatal("different function args produced same product name")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := validCommand()
+	s.SetEnv("BLASTDB", "landmark")
+	s.Resources = resources.R{Cores: 4, Memory: 2 * resources.GB}
+	s.MaxRetries = 3
+	s.MaxRunSeconds = 12.5
+	b, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != s.Command || got.Resources != s.Resources ||
+		len(got.Inputs) != len(s.Inputs) || got.Env["BLASTDB"] != "landmark" ||
+		got.MaxRetries != 3 || got.MaxRunSeconds != 12.5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestKindAndStateStrings(t *testing.T) {
+	if KindCommand.String() != "command" || KindMini.String() != "minitask" {
+		t.Fatal("kind strings wrong")
+	}
+	if StateWaiting.String() != "waiting" || StateDone.String() != "done" {
+		t.Fatal("state strings wrong")
+	}
+	if Kind(99).String() == "" || State(99).String() == "" {
+		t.Fatal("unknown values should still render")
+	}
+}
+
+func TestInputIDs(t *testing.T) {
+	s := validCommand()
+	s.AddInput("file-ccc", "more")
+	ids := s.InputIDs()
+	if len(ids) != 2 || ids[0] != "file-aaa" || ids[1] != "file-ccc" {
+		t.Fatalf("InputIDs = %v", ids)
+	}
+}
+
+func TestBuiltinMiniTasks(t *testing.T) {
+	u := UntarSpec("url-1")
+	if u.Kind != KindMini || len(u.Inputs) != 1 || u.Inputs[0].Name != "input.tar" {
+		t.Fatalf("UntarSpec = %+v", u)
+	}
+	g := GunzipSpec("url-2")
+	if g.Kind != KindMini || g.Inputs[0].Name != "input.gz" {
+		t.Fatalf("GunzipSpec = %+v", g)
+	}
+}

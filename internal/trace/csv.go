@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses an event stream written by WriteCSV, enabling offline
+// analysis of recorded runs (vine-sim -csv, the manager's /trace endpoint).
+func ReadCSV(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(line, "time,") {
+			continue // header
+		}
+		fields := strings.SplitN(line, ",", 8)
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 8", lineNo, len(fields))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q", lineNo, fields[0])
+		}
+		kind, err := parseKind(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		taskID, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad task id %q", lineNo, fields[3])
+		}
+		bytes, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad bytes %q", lineNo, fields[5])
+		}
+		out = append(out, Event{
+			Time:   t,
+			Kind:   kind,
+			Worker: fields[2],
+			TaskID: taskID,
+			File:   fields[4],
+			Bytes:  bytes,
+			Source: fields[6],
+			Detail: fields[7],
+		})
+	}
+	return out, sc.Err()
+}
+
+func parseKind(s string) (Kind, error) {
+	for k := WorkerJoined; k <= FileEvicted; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown event kind %q", s)
+}

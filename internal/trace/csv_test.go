@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	events := []Event{
+		{Time: 0, Kind: WorkerJoined, Worker: "w1"},
+		{Time: 1.5, Kind: TransferEnd, Worker: "w1", File: "db", Bytes: 12345, Source: "url"},
+		{Time: 2.25, Kind: TaskStart, Worker: "w1", TaskID: 7, Detail: "blast"},
+		{Time: 9, Kind: TaskEnd, Worker: "w1", TaskID: 7, Detail: "blast"},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i, e := range events {
+		g := got[i]
+		// Times are written at millisecond precision.
+		if g.Kind != e.Kind || g.Worker != e.Worker || g.TaskID != e.TaskID ||
+			g.File != e.File || g.Bytes != e.Bytes || g.Source != e.Source || g.Detail != e.Detail {
+			t.Fatalf("row %d = %+v want %+v", i, g, e)
+		}
+		if diff := g.Time - e.Time; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("row %d time = %v want %v", i, g.Time, e.Time)
+		}
+	}
+	// A round-tripped trace summarizes identically.
+	if Summarize(got).TasksDone != 1 {
+		t.Fatal("summary of round-tripped trace wrong")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"time,kind\n1.0,task-end\n",    // wrong arity
+		"1.0,not-a-kind,w,0,f,0,s,d\n", // bad kind
+		"xx,task-end,w,0,f,0,s,d\n",    // bad time
+		"1.0,task-end,w,zz,f,0,s,d\n",  // bad task id
+		"1.0,task-end,w,0,f,zz,s,d\n",  // bad bytes
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadCSVEmptyAndHeaderOnly(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	got, err = ReadCSV(strings.NewReader("time,kind,worker,task,file,bytes,source,detail\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("header-only: %v %v", got, err)
+	}
+}

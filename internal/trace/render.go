@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderOptions controls the text renderings of task and worker views.
+type RenderOptions struct {
+	// Width is the number of character columns for the time axis
+	// (default 80).
+	Width int
+	// MaxRows caps the number of rows rendered; rows are downsampled
+	// evenly when there are more tasks/workers than rows (default 40).
+	MaxRows int
+}
+
+func (o RenderOptions) defaults() RenderOptions {
+	if o.Width <= 0 {
+		o.Width = 80
+	}
+	if o.MaxRows <= 0 {
+		o.MaxRows = 40
+	}
+	return o
+}
+
+// RenderTaskView writes the paper's task-view graph (Figures 12a-c) as
+// text: one row per task sorted by start time, '#' spanning the interval in
+// which the task executed, 'x' for failed tasks.
+func RenderTaskView(w io.Writer, events []Event, opts RenderOptions) error {
+	opts = opts.defaults()
+	view := TaskView(events)
+	if len(view) == 0 {
+		_, err := fmt.Fprintln(w, "(no tasks)")
+		return err
+	}
+	var tmax float64
+	for _, iv := range view {
+		if iv.End > tmax {
+			tmax = iv.End
+		}
+	}
+	if tmax <= 0 {
+		tmax = 1
+	}
+	rows := sampleIntervals(view, opts.MaxRows)
+	if _, err := fmt.Fprintf(w, "task view: %d tasks over %.1fs (each row = 1 task, sorted by start)\n",
+		len(view), tmax); err != nil {
+		return err
+	}
+	scale := float64(opts.Width) / tmax
+	for _, iv := range rows {
+		start := int(iv.Start * scale)
+		end := int(iv.End * scale)
+		if end <= start {
+			end = start + 1
+		}
+		if end > opts.Width {
+			end = opts.Width
+		}
+		mark := byte('#')
+		if iv.Failed {
+			mark = 'x'
+		}
+		line := make([]byte, opts.Width)
+		for i := range line {
+			switch {
+			case i >= start && i < end:
+				line[i] = mark
+			default:
+				line[i] = '.'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%6d |%s|\n", iv.TaskID, line); err != nil {
+			return err
+		}
+	}
+	return axis(w, tmax, opts.Width)
+}
+
+func sampleIntervals(view []TaskInterval, max int) []TaskInterval {
+	if len(view) <= max {
+		return view
+	}
+	out := make([]TaskInterval, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, view[i*len(view)/max])
+	}
+	return out
+}
+
+// RenderWorkerView writes the paper's worker-view graph (Figures 12d-f) as
+// text: one row per worker, '#' while running a task, '~' while
+// transferring or staging data, '.' while idle, ' ' before joining — the
+// dark-blue / orange / gray encoding of the paper.
+func RenderWorkerView(w io.Writer, events []Event, opts RenderOptions) error {
+	opts = opts.defaults()
+	view := WorkerView(events)
+	if len(view) == 0 {
+		_, err := fmt.Fprintln(w, "(no workers)")
+		return err
+	}
+	ids := make([]string, 0, len(view))
+	var tmax float64
+	for id, spans := range view {
+		ids = append(ids, id)
+		for _, s := range spans {
+			if s.End > tmax {
+				tmax = s.End
+			}
+		}
+	}
+	sort.Strings(ids)
+	if len(ids) > opts.MaxRows {
+		sampled := make([]string, 0, opts.MaxRows)
+		for i := 0; i < opts.MaxRows; i++ {
+			sampled = append(sampled, ids[i*len(ids)/opts.MaxRows])
+		}
+		ids = sampled
+	}
+	if tmax <= 0 {
+		tmax = 1
+	}
+	if _, err := fmt.Fprintf(w,
+		"worker view: %d workers over %.1fs (# running, ~ transferring, . idle)\n",
+		len(view), tmax); err != nil {
+		return err
+	}
+	scale := float64(opts.Width) / tmax
+	for _, id := range ids {
+		line := make([]byte, opts.Width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, s := range view[id] {
+			a, b := int(s.Start*scale), int(s.End*scale)
+			if b <= a {
+				b = a + 1
+			}
+			if b > opts.Width {
+				b = opts.Width
+			}
+			var c byte
+			switch s.State {
+			case Running:
+				c = '#'
+			case Transferring:
+				c = '~'
+			default:
+				c = '.'
+			}
+			for i := a; i < b; i++ {
+				line[i] = c
+			}
+		}
+		name := id
+		if len(name) > 8 {
+			name = name[len(name)-8:]
+		}
+		if _, err := fmt.Fprintf(w, "%8s |%s|\n", name, line); err != nil {
+			return err
+		}
+	}
+	return axis(w, tmax, opts.Width)
+}
+
+func axis(w io.Writer, tmax float64, width int) error {
+	labels := fmt.Sprintf("%-*s%s", width/2, "0s", fmt.Sprintf("%.0fs", tmax))
+	_, err := fmt.Fprintf(w, "%8s  %s\n", "", labels)
+	return err
+}
+
+// RenderSummary writes a compact textual summary of a run.
+func RenderSummary(w io.Writer, events []Event) error {
+	s := Summarize(events)
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.1fs, %d tasks done (%d failed) on %d workers\n",
+		s.Makespan, s.TasksDone, s.TasksFailed, s.Workers)
+	fmt.Fprintf(&b, "worker-seconds: %.0f running, %.0f transferring, %.0f staging\n",
+		s.RunTime, s.TransferTime, s.StageTime)
+	keys := make([]string, 0, len(s.BytesBySource))
+	for k := range s.BytesBySource {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-16s %10.1f MB in %d transfers\n",
+			k, float64(s.BytesBySource[k])/1e6, s.TransfersBySource[k])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

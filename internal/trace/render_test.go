@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Time: 0, Kind: WorkerJoined, Worker: "w1"},
+		{Time: 0, Kind: WorkerJoined, Worker: "w2"},
+		{Time: 0, Kind: TransferStart, Worker: "w1", File: "db"},
+		{Time: 2, Kind: TransferEnd, Worker: "w1", File: "db", Bytes: 1e6, Source: "url"},
+		{Time: 2, Kind: TaskStart, Worker: "w1", TaskID: 1},
+		{Time: 6, Kind: TaskEnd, Worker: "w1", TaskID: 1},
+		{Time: 3, Kind: TaskStart, Worker: "w2", TaskID: 2},
+		{Time: 8, Kind: TaskFailed, Worker: "w2", TaskID: 2},
+		{Time: 10, Kind: WorkerLeft, Worker: "w1"},
+	}
+}
+
+func TestRenderTaskView(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTaskView(&buf, sampleEvents(), RenderOptions{Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "task view: 2 tasks") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no execution bars rendered")
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatal("failed task not marked")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 2 rows + axis
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+}
+
+func TestRenderWorkerView(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderWorkerView(&buf, sampleEvents(), RenderOptions{Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "worker view: 2 workers") {
+		t.Fatalf("header missing: %q", out)
+	}
+	// w1 transfers (~) then runs (#).
+	var w1 string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "w1") {
+			w1 = l
+		}
+	}
+	ti := strings.Index(w1, "~")
+	ri := strings.Index(w1, "#")
+	if ti < 0 || ri < 0 || ti > ri {
+		t.Fatalf("w1 row wrong: %q", w1)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTaskView(&buf, nil, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no tasks") {
+		t.Fatal("empty task view")
+	}
+	buf.Reset()
+	if err := RenderWorkerView(&buf, nil, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no workers") {
+		t.Fatal("empty worker view")
+	}
+}
+
+func TestRenderDownsampling(t *testing.T) {
+	var events []Event
+	for i := 0; i < 500; i++ {
+		events = append(events,
+			Event{Time: float64(i), Kind: TaskStart, TaskID: i, Worker: "w"},
+			Event{Time: float64(i) + 0.5, Kind: TaskEnd, TaskID: i, Worker: "w"})
+	}
+	var buf bytes.Buffer
+	if err := RenderTaskView(&buf, events, RenderOptions{Width: 60, MaxRows: 10}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 12 { // header + 10 rows + axis
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderSummary(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 tasks done (1 failed) on 2 workers") {
+		t.Fatalf("summary = %q", out)
+	}
+	if !strings.Contains(out, "url") || !strings.Contains(out, "1.0 MB") {
+		t.Fatalf("byte accounting missing: %q", out)
+	}
+}

@@ -1,0 +1,126 @@
+package worker
+
+// Runtime resource monitoring (§2.1): each task's declared allocation is
+// monitored and enforced at execution time. Disk is checked against the
+// sandbox after the run (exec.go); memory is polled during the run via
+// /proc and the task is killed the moment it exceeds its allocation, so a
+// worker packed with many small tasks cannot be taken down by one of them.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// memoryPollInterval is how often a running task's RSS is sampled.
+const memoryPollInterval = 100 * time.Millisecond
+
+// processRSS returns the resident set size of a process in bytes, using
+// /proc/<pid>/status. On platforms or kernels without /proc it returns
+// (0, false) and enforcement degrades gracefully to declared-allocation
+// packing only.
+func processRSS(pid int) (int64, bool) {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb * 1024, true
+	}
+	return 0, false
+}
+
+// groupRSS sums the RSS of a process group by scanning /proc for members.
+// Scanning all of /proc per sample is acceptable at the poll interval and
+// catches children the task forked.
+func groupRSS(pgid int) (int64, bool) {
+	ents, err := os.ReadDir("/proc")
+	if err != nil {
+		return 0, false
+	}
+	var total int64
+	found := false
+	for _, e := range ents {
+		pid, err := strconv.Atoi(e.Name())
+		if err != nil {
+			continue
+		}
+		gotPgid, err := syscall.Getpgid(pid)
+		if err != nil || gotPgid != pgid {
+			continue
+		}
+		if rss, ok := processRSS(pid); ok {
+			total += rss
+			found = true
+		}
+	}
+	return total, found
+}
+
+// peakTracker records the largest RSS observed, safe for one writer and a
+// later reader.
+type peakTracker struct {
+	mu   sync.Mutex
+	peak int64
+}
+
+func (p *peakTracker) observe(v int64) {
+	p.mu.Lock()
+	if v > p.peak {
+		p.peak = v
+	}
+	p.mu.Unlock()
+}
+
+func (p *peakTracker) get() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// monitorMemory watches a task process group and calls kill when its
+// aggregate RSS exceeds limit bytes. It exits when ctx is done.
+func monitorMemory(ctx context.Context, pgid int, limit int64, kill func(observed int64)) {
+	monitorMemoryPeak(ctx, pgid, limit, &peakTracker{}, kill)
+}
+
+// monitorMemoryPeak is monitorMemory recording the observed peak RSS.
+func monitorMemoryPeak(ctx context.Context, pgid int, limit int64, peak *peakTracker, kill func(observed int64)) {
+	if limit <= 0 {
+		return
+	}
+	ticker := time.NewTicker(memoryPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			rss, ok := groupRSS(pgid)
+			if !ok {
+				continue
+			}
+			peak.observe(rss)
+			if rss > limit {
+				kill(rss)
+				return
+			}
+		}
+	}
+}

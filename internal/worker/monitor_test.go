@@ -1,0 +1,100 @@
+package worker
+
+import (
+	"context"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"taskvine/internal/protocol"
+	"taskvine/internal/resources"
+	"taskvine/internal/taskspec"
+)
+
+func TestProcessRSSSelf(t *testing.T) {
+	rss, ok := processRSS(os.Getpid())
+	if !ok {
+		t.Skip("/proc not available")
+	}
+	if rss <= 0 {
+		t.Fatalf("rss = %d", rss)
+	}
+}
+
+func TestGroupRSSSelf(t *testing.T) {
+	pgid, err := getpgid()
+	if err != nil {
+		t.Skip("getpgid unavailable")
+	}
+	rss, ok := groupRSS(pgid)
+	if !ok {
+		t.Skip("/proc not available")
+	}
+	if rss <= 0 {
+		t.Fatalf("group rss = %d", rss)
+	}
+}
+
+func getpgid() (int, error) {
+	return syscall.Getpgid(os.Getpid())
+}
+
+func TestMemoryEnforcementKillsHog(t *testing.T) {
+	if _, ok := processRSS(os.Getpid()); !ok {
+		t.Skip("/proc not available")
+	}
+	f := startFake(t)
+	startWorker(t, f, nil)
+	// awk doubles a string until it holds ~64MB — far over the 8MB budget —
+	// then sleeps while still resident so the monitor's poll observes it.
+	spec := &taskspec.Spec{
+		ID:   41,
+		Kind: taskspec.KindCommand,
+		Command: `awk 'BEGIN{s="xxxxxxxxxxxxxxxx"; while (length(s) < 67108864) s = s s; system("sleep 5"); print length(s)}'` +
+			`; echo done`,
+		Resources: resources.R{Cores: 1, Memory: 8 * resources.MB},
+	}
+	f.conn.Send(&protocol.Message{Type: protocol.TypeTask, TaskID: 41, Spec: spec})
+	res, _ := f.recvUntil(t, "memory kill", func(m *protocol.Message, _ []byte) bool {
+		return m.Type == protocol.TypeComplete && m.TaskID == 41
+	})
+	if res.Status == protocol.StatusOK {
+		t.Fatalf("memory hog succeeded: %+v", res)
+	}
+	if !strings.Contains(res.Error, "resource exhaustion") || !strings.Contains(res.Error, "memory") {
+		t.Fatalf("error = %q", res.Error)
+	}
+}
+
+func TestMemoryEnforcementAllowsModestTask(t *testing.T) {
+	f := startFake(t)
+	startWorker(t, f, nil)
+	spec := &taskspec.Spec{
+		ID: 42, Kind: taskspec.KindCommand, Command: "echo frugal",
+		Resources: resources.R{Cores: 1, Memory: 64 * resources.MB},
+	}
+	f.conn.Send(&protocol.Message{Type: protocol.TypeTask, TaskID: 42, Spec: spec})
+	res, _ := f.recvUntil(t, "complete", func(m *protocol.Message, _ []byte) bool {
+		return m.Type == protocol.TypeComplete && m.TaskID == 42
+	})
+	if res.Status != protocol.StatusOK {
+		t.Fatalf("modest task failed: %+v", res)
+	}
+}
+
+func TestMonitorMemoryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		monitorMemory(ctx, os.Getpid(), 1<<60, func(int64) {})
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("monitor leaked")
+	}
+}

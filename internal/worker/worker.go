@@ -1,0 +1,494 @@
+// Package worker implements the TaskVine worker (§2.2, Figure 4): the
+// process that manages one node's resources, executes tasks in isolation,
+// manages local storage, and performs file transfers asynchronously.
+//
+// The worker is pure mechanism; every policy decision (placement, transfer
+// routing, eviction, garbage collection) arrives as an instruction from the
+// manager. The worker reports each state change of interest — an object
+// becoming cached, a task completing — through asynchronous messages, so
+// the manager maintains a detailed picture of distributed state.
+package worker
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taskvine/internal/cache"
+	"taskvine/internal/protocol"
+	"taskvine/internal/resources"
+	"taskvine/internal/serverless"
+	"taskvine/internal/tardir"
+)
+
+// Config parameterizes a worker.
+type Config struct {
+	// ManagerAddr is the manager's host:port.
+	ManagerAddr string
+	// WorkDir is the worker's private directory; cache/ and sandboxes/
+	// live underneath. Created if missing.
+	WorkDir string
+	// Capacity is the node's resource vector offered to the manager.
+	Capacity resources.R
+	// CacheCapacity bounds cache disk use in bytes; defaults to
+	// Capacity.Disk, or 1 GB if that is also zero.
+	CacheCapacity int64
+	// ID identifies the worker; generated from the hostname and PID when
+	// empty.
+	ID string
+	// Libraries holds the serverless libraries compiled into this worker.
+	Libraries *serverless.Registry
+	// MaxConcurrentTransfers bounds simultaneous asynchronous fetches.
+	MaxConcurrentTransfers int
+	// Logger receives operational messages; nil silences them.
+	Logger *log.Logger
+}
+
+// Worker is a running worker process.
+type Worker struct {
+	cfg   Config
+	cache *cache.Cache
+	pool  *resources.Pool
+	conn  *protocol.Conn
+
+	peerLn   net.Listener
+	peerAddr string
+
+	transferSem chan struct{}
+
+	mu        sync.Mutex
+	instances map[string]*serverless.Instance
+	running   map[int]context.CancelFunc
+	libTasks  map[string]int // library name -> deploying task ID
+
+	// sandboxSeq disambiguates sandbox directories: distinct executions
+	// may share a task ID (identical MiniTask specs), but never a sandbox.
+	sandboxSeq atomic.Int64
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// sandboxName returns a unique sandbox directory name for one execution of
+// the given task ID.
+func (w *Worker) sandboxName(taskID int) string {
+	return fmt.Sprintf("t.%d.%d", taskID, w.sandboxSeq.Add(1))
+}
+
+// New prepares a worker but does not connect. The cache directory is
+// created (and prior worker-lifetime objects adopted) immediately.
+func New(cfg Config) (*Worker, error) {
+	if cfg.WorkDir == "" {
+		return nil, fmt.Errorf("worker: WorkDir required")
+	}
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = cfg.Capacity.Disk
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = resources.GB
+	}
+	if cfg.MaxConcurrentTransfers <= 0 {
+		cfg.MaxConcurrentTransfers = 8
+	}
+	if cfg.Libraries == nil {
+		cfg.Libraries = serverless.NewRegistry()
+	}
+	c, err := cache.New(filepath.Join(cfg.WorkDir, "cache"), cfg.CacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.WorkDir, "sandboxes"), 0o755); err != nil {
+		return nil, err
+	}
+	return &Worker{
+		cfg:         cfg,
+		cache:       c,
+		pool:        resources.NewPool(cfg.Capacity),
+		transferSem: make(chan struct{}, cfg.MaxConcurrentTransfers),
+		instances:   make(map[string]*serverless.Instance),
+		running:     make(map[int]context.CancelFunc),
+		libTasks:    make(map[string]int),
+		closed:      make(chan struct{}),
+	}, nil
+}
+
+// ID returns the worker's identity.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+// Cache exposes the worker's storage, primarily for tests.
+func (w *Worker) Cache() *cache.Cache { return w.cache }
+
+// PeerAddr returns the address of the worker's transfer service, valid
+// after Run has started it.
+func (w *Worker) PeerAddr() string { return w.peerAddr }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logger != nil {
+		w.cfg.Logger.Printf("worker %s: "+format, append([]any{w.cfg.ID}, args...)...)
+	}
+}
+
+// Run connects to the manager and serves until the context is cancelled,
+// the manager releases the worker, or the connection drops.
+func (w *Worker) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("worker: starting transfer service: %w", err)
+	}
+	w.peerLn = ln
+	w.peerAddr = ln.Addr().String()
+	defer ln.Close()
+	w.wg.Add(1)
+	go w.servePeers()
+
+	conn, err := protocol.Dial(w.cfg.ManagerAddr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	w.conn = conn
+	defer conn.Close()
+
+	cap := w.cfg.Capacity
+	if err := conn.Send(&protocol.Message{
+		Type:         protocol.TypeRegister,
+		WorkerID:     w.cfg.ID,
+		TransferAddr: w.peerAddr,
+		Capacity:     &cap,
+	}); err != nil {
+		return err
+	}
+	// Report adopted cache contents so the manager's replica table learns
+	// about persistent objects from previous workflows.
+	for _, e := range w.cache.List() {
+		if e.State == cache.StateReady {
+			conn.Send(&protocol.Message{
+				Type:      protocol.TypeCacheUpdate,
+				WorkerID:  w.cfg.ID,
+				CacheName: e.Name,
+				Size:      e.Size,
+				Status:    protocol.StatusOK,
+			})
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-w.closed:
+		}
+		conn.Close()
+		ln.Close()
+	}()
+
+	err = w.readLoop(ctx)
+	cancel()
+	w.stopInstances()
+	w.wg.Wait()
+	select {
+	case <-w.closed:
+		return nil // clean release
+	default:
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+func (w *Worker) readLoop(ctx context.Context) error {
+	for {
+		m, payload, err := w.conn.Recv()
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case protocol.TypePut:
+			w.handlePut(m, payload)
+		case protocol.TypeGet:
+			w.handleGet(m)
+		case protocol.TypeFetchURL:
+			w.async(func() { w.handleFetchURL(ctx, m) })
+		case protocol.TypeFetchPeer:
+			w.async(func() { w.handleFetchPeer(ctx, m) })
+		case protocol.TypeMini:
+			w.async(func() { w.handleMini(ctx, m) })
+		case protocol.TypeTask:
+			w.startTask(ctx, m.Spec)
+		case protocol.TypeKill:
+			w.killTask(m.TaskID)
+		case protocol.TypeUnlink:
+			w.cache.Delete(m.CacheName)
+		case protocol.TypeEndWorkflow:
+			w.cache.EndWorkflow()
+			w.stopInstances()
+		case protocol.TypeHeartbeat:
+			w.conn.Send(&protocol.Message{Type: protocol.TypeHeartbeat, WorkerID: w.cfg.ID})
+		case protocol.TypeRelease:
+			close(w.closed)
+			return nil
+		default:
+			w.logf("ignoring unknown message type %q", m.Type)
+		}
+	}
+}
+
+// async runs fn on its own goroutine, bounded by the transfer semaphore so
+// a queue of pending transfers never floods the node (§2.1).
+func (w *Worker) async(fn func()) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.transferSem <- struct{}{}
+		defer func() { <-w.transferSem }()
+		fn()
+	}()
+}
+
+// reportEvictions tells the manager about objects evicted for space, so
+// the File Replica Table stays accurate (§2.2: the worker informs the
+// manager of every status change of interest).
+func (w *Worker) reportEvictions() {
+	if w.conn == nil {
+		return
+	}
+	for _, name := range w.cache.DrainEvicted() {
+		w.conn.Send(&protocol.Message{
+			Type:      protocol.TypeCacheInvalid,
+			WorkerID:  w.cfg.ID,
+			CacheName: name,
+			Error:     "evicted for space",
+		})
+	}
+}
+
+// cacheUpdate reports an object's arrival (or failure) to the manager,
+// echoing the supervising transfer's UUID (§3.3).
+func (w *Worker) cacheUpdate(name string, size int64, transferID string, err error) {
+	w.reportEvictions()
+	m := &protocol.Message{
+		Type:       protocol.TypeCacheUpdate,
+		WorkerID:   w.cfg.ID,
+		CacheName:  name,
+		Size:       size,
+		TransferID: transferID,
+		Status:     protocol.StatusOK,
+	}
+	if err != nil {
+		m.Status = protocol.StatusFailed
+		m.Error = err.Error()
+	}
+	if w.conn != nil {
+		w.conn.Send(m)
+	}
+}
+
+func (w *Worker) handlePut(m *protocol.Message, payload io.Reader) {
+	var err error
+	if m.Dir {
+		err = w.putDir(m.CacheName, m.Size, cache.Lifetime(m.Lifetime), payload)
+	} else {
+		err = w.cache.Put(m.CacheName, m.Size, cache.Lifetime(m.Lifetime), payload)
+	}
+	size := m.Size
+	if e, ok := w.cache.Lookup(m.CacheName); ok {
+		size = e.Size
+	}
+	w.cacheUpdate(m.CacheName, size, m.TransferID, err)
+}
+
+// putDir materializes a directory object from a tar payload.
+func (w *Worker) putDir(name string, size int64, lt cache.Lifetime, payload io.Reader) error {
+	already, err := w.cache.Reserve(name, size, lt)
+	if err != nil {
+		return err
+	}
+	if already {
+		return fmt.Errorf("worker: %s is already being materialized", name)
+	}
+	if err := tardir.Unpack(io.LimitReader(payload, size), w.cache.Path(name)); err != nil {
+		w.cache.Fail(name, err)
+		return err
+	}
+	return w.cache.Commit(name)
+}
+
+// openObject returns a payload reader for a cached object, packing
+// directory objects into tar streams.
+func (w *Worker) openObject(name string) (r io.ReadCloser, size int64, dir bool, err error) {
+	e, ok := w.cache.Lookup(name)
+	if !ok || e.State != cache.StateReady {
+		return nil, 0, false, fmt.Errorf("worker: %s not present", name)
+	}
+	if !e.Dir {
+		rc, n, err := w.cache.Open(name)
+		return rc, n, false, err
+	}
+	blob, err := tardir.Pack(w.cache.Path(name))
+	if err != nil {
+		return nil, 0, true, err
+	}
+	return io.NopCloser(bytes.NewReader(blob)), int64(len(blob)), true, nil
+}
+
+func (w *Worker) handleGet(m *protocol.Message) {
+	r, size, dir, err := w.openObject(m.CacheName)
+	if err != nil {
+		w.conn.Send(&protocol.Message{Type: protocol.TypeError, CacheName: m.CacheName, Error: err.Error()})
+		return
+	}
+	defer r.Close()
+	if err := w.conn.SendPayload(&protocol.Message{
+		Type: protocol.TypeData, CacheName: m.CacheName, Size: size, Dir: dir,
+	}, r); err != nil {
+		w.logf("sending %s to manager: %v", m.CacheName, err)
+	}
+}
+
+func (w *Worker) handleFetchURL(ctx context.Context, m *protocol.Message) {
+	already, err := w.cache.Reserve(m.CacheName, m.Size, cache.Lifetime(m.Lifetime))
+	if err != nil || already {
+		if err == nil {
+			// Another instruction is already materializing the object; the
+			// manager's transfer record must still be closed.
+			err = fmt.Errorf("worker: %s already being materialized", m.CacheName)
+		}
+		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
+		return
+	}
+	size, err := w.downloadURL(ctx, m.URL, m.CacheName)
+	if err != nil {
+		w.cache.Fail(m.CacheName, err)
+		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
+		return
+	}
+	if err := w.cache.Commit(m.CacheName); err != nil {
+		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
+		return
+	}
+	w.cacheUpdate(m.CacheName, size, m.TransferID, nil)
+}
+
+func (w *Worker) downloadURL(ctx context.Context, url, name string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("worker: GET %s: %s", url, resp.Status)
+	}
+	f, err := os.Create(w.cache.Path(name))
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+func (w *Worker) handleFetchPeer(ctx context.Context, m *protocol.Message) {
+	already, err := w.cache.Reserve(m.CacheName, m.Size, cache.Lifetime(m.Lifetime))
+	if err != nil || already {
+		if err == nil {
+			err = fmt.Errorf("worker: %s already being materialized", m.CacheName)
+		}
+		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
+		return
+	}
+	size, err := w.fetchFromPeer(ctx, m.PeerAddr, m.CacheName)
+	if err != nil {
+		w.cache.Fail(m.CacheName, err)
+		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
+		return
+	}
+	if err := w.cache.Commit(m.CacheName); err != nil {
+		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
+		return
+	}
+	w.cacheUpdate(m.CacheName, size, m.TransferID, nil)
+}
+
+func (w *Worker) fetchFromPeer(ctx context.Context, addr, name string) (int64, error) {
+	conn, err := protocol.Dial(addr, 10*time.Second)
+	if err != nil {
+		return 0, fmt.Errorf("worker: dialing peer %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&protocol.Message{Type: protocol.TypeGet, CacheName: name}); err != nil {
+		return 0, err
+	}
+	m, payload, err := conn.Recv()
+	if err != nil {
+		return 0, err
+	}
+	if m.Type != protocol.TypeData {
+		return 0, fmt.Errorf("worker: peer %s: %s", addr, m.Error)
+	}
+	if m.Dir {
+		if err := tardir.Unpack(io.LimitReader(payload, m.Size), w.cache.Path(name)); err != nil {
+			return 0, err
+		}
+		return m.Size, nil
+	}
+	f, err := os.Create(w.cache.Path(name))
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(f, payload)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil && n != m.Size {
+		err = fmt.Errorf("worker: peer sent %d of %d bytes", n, m.Size)
+	}
+	return n, err
+}
+
+// servePeers answers worker-to-worker get requests from the cache.
+func (w *Worker) servePeers() {
+	defer w.wg.Done()
+	for {
+		nc, err := w.peerLn.Accept()
+		if err != nil {
+			return
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer nc.Close()
+			conn := protocol.NewConn(nc)
+			m, _, err := conn.Recv()
+			if err != nil || m.Type != protocol.TypeGet {
+				return
+			}
+			r, size, dir, err := w.openObject(m.CacheName)
+			if err != nil {
+				conn.Send(&protocol.Message{Type: protocol.TypeError, CacheName: m.CacheName, Error: err.Error()})
+				return
+			}
+			defer r.Close()
+			conn.SendPayload(&protocol.Message{Type: protocol.TypeData, CacheName: m.CacheName, Size: size, Dir: dir}, r)
+		}()
+	}
+}

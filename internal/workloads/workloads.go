@@ -1,0 +1,457 @@
+// Package workloads generates the synthetic equivalents of the paper's
+// evaluation applications (§4): high-throughput genome search (BLAST), high
+// energy physics analysis (TopEFT), AI-guided molecular simulation
+// (Colmena-XTB), and serverless machine learning (BGD) — plus the targeted
+// file-distribution experiment of Figure 11.
+//
+// Each generator reproduces the *data movement structure* of its
+// application: which inputs are shared, which outputs are ephemeral, how
+// output sizes grow, and how workers arrive. Runtimes and sizes default to
+// the values reported in the paper and scale down proportionally for quick
+// runs.
+package workloads
+
+import (
+	"fmt"
+
+	"taskvine/internal/files"
+	"taskvine/internal/sim"
+)
+
+// rng is a small deterministic linear congruential generator so workloads
+// are reproducible without seeding global state.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed*2862933555777941757 + 3037000493} }
+
+func (r *rng) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// float in [0,1)
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// between returns a float in [lo,hi).
+func (r *rng) between(lo, hi float64) float64 { return lo + (hi-lo)*r.float() }
+
+func workerIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%03d", i)
+	}
+	return out
+}
+
+// BlastConfig parameterizes the Figure 9 BLAST workflow: tasks sharing a
+// compressed software package and reference database drawn from archival
+// URLs, unpacked once per worker by MiniTasks.
+type BlastConfig struct {
+	Tasks          int     // paper: 2000
+	Workers        int     // paper: 100 (4-core)
+	CoresPerWorker int     //
+	SoftwareTarMB  float64 // compressed BLAST package
+	DatabaseTarMB  float64 // compressed landmark database
+	QueryRuntime   float64 // seconds per query task
+	UnpackRate     float64 // bytes/second of MiniTask unpacking
+	// Hot prestages the unpacked software and database on every worker,
+	// modeling the persistent cache of a previous run (Figure 9b).
+	Hot bool
+}
+
+// DefaultBlast returns the paper-scale configuration.
+func DefaultBlast() BlastConfig {
+	return BlastConfig{
+		Tasks:          2000,
+		Workers:        100,
+		CoresPerWorker: 4,
+		SoftwareTarMB:  100,
+		DatabaseTarMB:  500,
+		QueryRuntime:   30,
+		UnpackRate:     100e6,
+	}
+}
+
+// Blast builds the BLAST workload.
+func Blast(cfg BlastConfig) *sim.Workload {
+	swTar := int64(cfg.SoftwareTarMB * 1e6)
+	dbTar := int64(cfg.DatabaseTarMB * 1e6)
+	w := &sim.Workload{Files: map[string]*sim.File{
+		"url-blast.tar": {ID: "url-blast.tar", Size: swTar, Kind: sim.FromURL,
+			SourcePath: "/blast.tar.gz", Lifetime: files.LifetimeWorker},
+		"blast": {ID: "blast", Size: 2 * swTar, Kind: sim.MiniProduct,
+			MiniInputs: []string{"url-blast.tar"}, UnpackRate: cfg.UnpackRate,
+			Lifetime: files.LifetimeWorker},
+		"url-landmark.tar": {ID: "url-landmark.tar", Size: dbTar, Kind: sim.FromURL,
+			SourcePath: "/landmark.tar.gz", Lifetime: files.LifetimeWorker},
+		"landmark": {ID: "landmark", Size: 2 * dbTar, Kind: sim.MiniProduct,
+			MiniInputs: []string{"url-landmark.tar"}, UnpackRate: cfg.UnpackRate,
+			Lifetime: files.LifetimeWorker},
+	}}
+	r := newRNG(9)
+	for i := 0; i < cfg.Tasks; i++ {
+		qid := fmt.Sprintf("query-%d", i)
+		w.Files[qid] = &sim.File{ID: qid, Size: 2048, Kind: sim.FromManager,
+			Lifetime: files.LifetimeTask}
+		w.Tasks = append(w.Tasks, &sim.Task{
+			ID:       i + 1,
+			Inputs:   []string{qid, "blast", "landmark"},
+			Runtime:  cfg.QueryRuntime * r.between(0.8, 1.2),
+			Cores:    1,
+			Category: "blast",
+		})
+	}
+	for _, id := range workerIDs(cfg.Workers) {
+		ws := sim.WorkerSpec{ID: id, Cores: cfg.CoresPerWorker, Disk: 50e9}
+		if cfg.Hot {
+			ws.Prestaged = []string{"url-blast.tar", "blast", "url-landmark.tar", "landmark"}
+		}
+		w.Workers = append(w.Workers, ws)
+	}
+	return w
+}
+
+// EnvSharingConfig parameterizes the Figure 10 experiment: 1000 minimal
+// tasks that sleep for 10 seconds but depend on a 610 MB environment
+// package delivered via the manager.
+type EnvSharingConfig struct {
+	Tasks          int     // paper: 1000
+	Workers        int     // paper: 50 (4-core)
+	CoresPerWorker int     //
+	EnvMB          float64 // paper: 610
+	Sleep          float64 // paper: 10 s
+	UnpackRate     float64 // environment expansion speed
+	// Shared uses a shared MiniTask so each worker unpacks once
+	// (Figure 10b); otherwise every task unpacks the environment itself
+	// as part of its own definition (Figure 10a).
+	Shared bool
+}
+
+// DefaultEnvSharing returns the paper-scale configuration.
+func DefaultEnvSharing(shared bool) EnvSharingConfig {
+	return EnvSharingConfig{
+		Tasks:          1000,
+		Workers:        50,
+		CoresPerWorker: 4,
+		EnvMB:          610,
+		Sleep:          10,
+		UnpackRate:     20e6, // a large Python env expands slowly
+		Shared:         shared,
+	}
+}
+
+// EnvSharing builds the Figure 10 workload.
+func EnvSharing(cfg EnvSharingConfig) *sim.Workload {
+	env := int64(cfg.EnvMB * 1e6)
+	w := &sim.Workload{Files: map[string]*sim.File{
+		"env.tar": {ID: "env.tar", Size: env, Kind: sim.FromManager,
+			Lifetime: files.LifetimeWorkflow},
+	}}
+	unpackSeconds := float64(env) / cfg.UnpackRate
+	if cfg.Shared {
+		w.Files["env"] = &sim.File{ID: "env", Size: env, Kind: sim.MiniProduct,
+			MiniInputs: []string{"env.tar"}, UnpackRate: cfg.UnpackRate,
+			Lifetime: files.LifetimeWorkflow}
+	}
+	for i := 0; i < cfg.Tasks; i++ {
+		t := &sim.Task{ID: i + 1, Cores: 1, Category: "env-task"}
+		if cfg.Shared {
+			t.Inputs = []string{"env"}
+			t.Runtime = cfg.Sleep
+		} else {
+			// The task expands the environment itself, inside its own
+			// allocation, every single time.
+			t.Inputs = []string{"env.tar"}
+			t.Runtime = cfg.Sleep + unpackSeconds
+		}
+		w.Tasks = append(w.Tasks, t)
+	}
+	for _, id := range workerIDs(cfg.Workers) {
+		w.Workers = append(w.Workers, sim.WorkerSpec{ID: id, Cores: cfg.CoresPerWorker, Disk: 50e9})
+	}
+	return w
+}
+
+// DistributionConfig parameterizes the Figure 11 experiment: deliver one
+// common file to many workers under different transfer regimes.
+type DistributionConfig struct {
+	Workers int     // paper: 500
+	FileMB  float64 // paper: 200
+}
+
+// DefaultDistribution returns the paper-scale configuration.
+func DefaultDistribution() DistributionConfig {
+	return DistributionConfig{Workers: 500, FileMB: 200}
+}
+
+// Distribution builds the common-data distribution workload: one task per
+// worker, each consuming the same file.
+func Distribution(cfg DistributionConfig) *sim.Workload {
+	size := int64(cfg.FileMB * 1e6)
+	w := &sim.Workload{Files: map[string]*sim.File{
+		"common": {ID: "common", Size: size, Kind: sim.FromURL, SourcePath: "/common",
+			Lifetime: files.LifetimeWorkflow},
+	}}
+	ids := workerIDs(cfg.Workers)
+	for i, id := range ids {
+		w.Workers = append(w.Workers, sim.WorkerSpec{ID: id, Cores: 1, Disk: 10e9})
+		w.Tasks = append(w.Tasks, &sim.Task{
+			ID: i + 1, Inputs: []string{"common"}, Runtime: 1, Cores: 1,
+			Category: "consume",
+		})
+	}
+	return w
+}
+
+// TopEFTConfig parameterizes the Figures 12a/d and 13 physics analysis: a
+// preprocess → process → accumulate DAG over collision datasets whose
+// partial-histogram outputs grow with each accumulation level.
+type TopEFTConfig struct {
+	// ProcessTasks counts leaf processing tasks (paper run: ~27K tasks
+	// total across phases).
+	ProcessTasks int
+	// FanIn is how many partial histograms one accumulation merges.
+	FanIn          int
+	Workers        int
+	CoresPerWorker int
+	// ChunkMB is the collision-data chunk each processing task reads from
+	// the shared filesystem.
+	ChunkMB float64
+	// HistMB is the size of a leaf partial histogram; each accumulation
+	// level multiplies size by HistGrowth.
+	HistMB     float64
+	HistGrowth float64
+	// ProcessRuntime and AccumulateRuntime are per-task seconds.
+	ProcessRuntime    float64
+	AccumulateRuntime float64
+	// MCFraction splits the run into a real-data phase and a simulated-
+	// collision phase needing more resources (the 30-minute stall of
+	// Figure 12a): MC tasks take MCRuntimeFactor times longer.
+	MCFraction      float64
+	MCRuntimeFactor float64
+	// SharedStorage returns every accumulation output to the manager
+	// (Figure 13a); otherwise partial histograms stay in-cluster as temps
+	// (Figure 13b).
+	SharedStorage bool
+	// WorkerRampSeconds spreads worker arrival over this window (shared
+	// cluster behaviour of Figure 12d).
+	WorkerRampSeconds float64
+}
+
+// DefaultTopEFT returns a configuration scaled to 1/10 of the paper run
+// (2,700 of ~27K tasks) so it simulates quickly while preserving shape.
+func DefaultTopEFT(shared bool) TopEFTConfig {
+	return TopEFTConfig{
+		ProcessTasks:      2430,
+		FanIn:             9,
+		Workers:           100,
+		CoresPerWorker:    4,
+		ChunkMB:           120,
+		HistMB:            25,
+		HistGrowth:        3.0,
+		ProcessRuntime:    60,
+		AccumulateRuntime: 30,
+		MCFraction:        0.6,
+		MCRuntimeFactor:   1.8,
+		SharedStorage:     shared,
+		WorkerRampSeconds: 900,
+	}
+}
+
+// TopEFT builds the physics analysis workload.
+func TopEFT(cfg TopEFTConfig) *sim.Workload {
+	w := &sim.Workload{Files: map[string]*sim.File{}}
+	r := newRNG(17)
+	nextTask := 1
+	var addTask func(t *sim.Task) int
+	addTask = func(t *sim.Task) int {
+		t.ID = nextTask
+		nextTask++
+		w.Tasks = append(w.Tasks, t)
+		return t.ID
+	}
+
+	mcStart := int(float64(cfg.ProcessTasks) * (1 - cfg.MCFraction))
+	// Leaf processing tasks read dataset chunks from the shared FS and
+	// emit partial histograms.
+	level := make([]string, 0, cfg.ProcessTasks)
+	for i := 0; i < cfg.ProcessTasks; i++ {
+		chunk := fmt.Sprintf("chunk-%d", i)
+		w.Files[chunk] = &sim.File{ID: chunk, Size: int64(cfg.ChunkMB * 1e6),
+			Kind: sim.FromSharedFS, SourcePath: fmt.Sprintf("/data/chunk-%d", i),
+			Lifetime: files.LifetimeTask}
+		hist := fmt.Sprintf("hist-0-%d", i)
+		w.Files[hist] = &sim.File{ID: hist, Size: int64(cfg.HistMB * 1e6), Kind: sim.Produced}
+		runtime := cfg.ProcessRuntime * r.between(0.7, 1.3)
+		category := "process-data"
+		if i >= mcStart {
+			runtime *= cfg.MCRuntimeFactor
+			category = "process-mc"
+		}
+		addTask(&sim.Task{
+			Inputs:  []string{chunk},
+			Outputs: []sim.Output{{ID: hist, Size: w.Files[hist].Size}},
+			Runtime: runtime, Cores: 1, Category: category,
+			ReturnOutputs: cfg.SharedStorage,
+		})
+		level = append(level, hist)
+	}
+	// Accumulation tree: merge FanIn histograms per task; output sizes
+	// grow geometrically until the final gigabyte-scale accumulations.
+	lvl := 1
+	histSize := cfg.HistMB * 1e6
+	for len(level) > 1 {
+		histSize *= cfg.HistGrowth
+		var next []string
+		for i := 0; i < len(level); i += cfg.FanIn {
+			j := i + cfg.FanIn
+			if j > len(level) {
+				j = len(level)
+			}
+			group := level[i:j]
+			out := fmt.Sprintf("hist-%d-%d", lvl, i/cfg.FanIn)
+			w.Files[out] = &sim.File{ID: out, Size: int64(histSize), Kind: sim.Produced}
+			addTask(&sim.Task{
+				Inputs:  group,
+				Outputs: []sim.Output{{ID: out, Size: int64(histSize)}},
+				Runtime: cfg.AccumulateRuntime * r.between(0.8, 1.2),
+				Cores:   1, Category: "accumulate",
+				ReturnOutputs: cfg.SharedStorage,
+			})
+			next = append(next, out)
+		}
+		level = next
+		lvl++
+	}
+	ids := workerIDs(cfg.Workers)
+	for i, id := range ids {
+		join := 0.0
+		if cfg.WorkerRampSeconds > 0 {
+			join = cfg.WorkerRampSeconds * float64(i) / float64(len(ids))
+		}
+		w.Workers = append(w.Workers, sim.WorkerSpec{
+			ID: id, Cores: cfg.CoresPerWorker, Disk: 200e9, JoinTime: join,
+		})
+	}
+	return w
+}
+
+// ColmenaConfig parameterizes the Figures 12b/e molecular-design workload:
+// inference and simulation tasks sharing a 1.4 GB software environment
+// distributed worker-to-worker.
+type ColmenaConfig struct {
+	InferenceTasks  int // paper: 228
+	SimulationTasks int // paper: 1000
+	Workers         int // paper observation: 108 tarball deliveries
+	CoresPerWorker  int
+	EnvTarMB        float64 // paper: 1400 (301 packages)
+	UnpackRate      float64
+	InferenceTime   float64
+	SimulationTime  float64
+}
+
+// DefaultColmena returns the paper-scale configuration.
+func DefaultColmena() ColmenaConfig {
+	return ColmenaConfig{
+		InferenceTasks:  228,
+		SimulationTasks: 1000,
+		Workers:         108,
+		CoresPerWorker:  4,
+		EnvTarMB:        1400,
+		UnpackRate:      100e6,
+		InferenceTime:   45,
+		SimulationTime:  120,
+	}
+}
+
+// Colmena builds the molecular-design workload. The software tarball lives
+// on the shared filesystem; with worker transfers enabled only a few
+// workers fetch it from the FS and the rest receive copies from peers.
+func Colmena(cfg ColmenaConfig) *sim.Workload {
+	env := int64(cfg.EnvTarMB * 1e6)
+	w := &sim.Workload{Files: map[string]*sim.File{
+		"env.tar": {ID: "env.tar", Size: env, Kind: sim.FromSharedFS,
+			SourcePath: "/colmena/env.tar.gz", Lifetime: files.LifetimeWorkflow},
+		"env": {ID: "env", Size: 2 * env, Kind: sim.MiniProduct,
+			MiniInputs: []string{"env.tar"}, UnpackRate: cfg.UnpackRate,
+			Lifetime: files.LifetimeWorkflow},
+	}}
+	r := newRNG(23)
+	id := 0
+	for i := 0; i < cfg.InferenceTasks; i++ {
+		id++
+		w.Tasks = append(w.Tasks, &sim.Task{
+			ID: id, Inputs: []string{"env"}, Cores: 1,
+			Runtime: cfg.InferenceTime * r.between(0.6, 1.6), Category: "inference",
+		})
+	}
+	for i := 0; i < cfg.SimulationTasks; i++ {
+		id++
+		w.Tasks = append(w.Tasks, &sim.Task{
+			ID: id, Inputs: []string{"env"}, Cores: 1,
+			Runtime: cfg.SimulationTime * r.between(0.5, 1.8), Category: "simulation",
+		})
+	}
+	for _, wid := range workerIDs(cfg.Workers) {
+		w.Workers = append(w.Workers, sim.WorkerSpec{ID: wid, Cores: cfg.CoresPerWorker, Disk: 100e9})
+	}
+	return w
+}
+
+// BGDConfig parameterizes the Figures 12c/f serverless batch-gradient-
+// descent workload: 2000 FunctionCall tasks served by library instances
+// whose 89 MB environment is deployed once per worker.
+type BGDConfig struct {
+	FunctionCalls  int // paper: 2000
+	Workers        int // paper: 200
+	CoresPerWorker int
+	EnvMB          float64 // paper: 89
+	BootTime       float64 // per-instance initialization
+	MinCallTime    float64 // paper: 50
+	MaxCallTime    float64 // paper: 100
+	UnpackRate     float64
+}
+
+// DefaultBGD returns the paper-scale configuration.
+func DefaultBGD() BGDConfig {
+	return BGDConfig{
+		FunctionCalls:  2000,
+		Workers:        200,
+		CoresPerWorker: 4,
+		EnvMB:          89,
+		BootTime:       20,
+		MinCallTime:    50,
+		MaxCallTime:    100,
+		UnpackRate:     50e6,
+	}
+}
+
+// BGD builds the serverless ML workload. MiniTasks deploy the environment
+// for the Library Instance at each worker (§4.2).
+func BGD(cfg BGDConfig) *sim.Workload {
+	env := int64(cfg.EnvMB * 1e6)
+	w := &sim.Workload{
+		Files: map[string]*sim.File{
+			"libenv.tar": {ID: "libenv.tar", Size: env, Kind: sim.FromManager,
+				Lifetime: files.LifetimeWorkflow},
+			"libenv": {ID: "libenv", Size: 2 * env, Kind: sim.MiniProduct,
+				MiniInputs: []string{"libenv.tar"}, UnpackRate: cfg.UnpackRate,
+				Lifetime: files.LifetimeWorkflow},
+		},
+		Libraries: []*sim.Library{{
+			Name: "bgd", EnvFile: "libenv", BootTime: cfg.BootTime, Cores: 1,
+		}},
+	}
+	r := newRNG(31)
+	for i := 0; i < cfg.FunctionCalls; i++ {
+		w.Tasks = append(w.Tasks, &sim.Task{
+			ID: i + 1, Library: "bgd", Cores: 1,
+			Runtime:  r.between(cfg.MinCallTime, cfg.MaxCallTime),
+			Category: "bgd-call",
+		})
+	}
+	for _, wid := range workerIDs(cfg.Workers) {
+		w.Workers = append(w.Workers, sim.WorkerSpec{ID: wid, Cores: cfg.CoresPerWorker, Disk: 20e9})
+	}
+	return w
+}

@@ -1,0 +1,290 @@
+package workloads
+
+import (
+	"testing"
+
+	"taskvine/internal/files"
+	"taskvine/internal/policy"
+	"taskvine/internal/sim"
+)
+
+func validate(t *testing.T, w *sim.Workload) {
+	t.Helper()
+	if len(w.Tasks) == 0 || len(w.Workers) == 0 {
+		t.Fatal("empty workload")
+	}
+	ids := map[int]bool{}
+	for _, task := range w.Tasks {
+		if ids[task.ID] {
+			t.Fatalf("duplicate task id %d", task.ID)
+		}
+		ids[task.ID] = true
+		for _, in := range task.Inputs {
+			if w.Files[in] == nil {
+				t.Fatalf("task %d references unknown file %s", task.ID, in)
+			}
+		}
+		for _, out := range task.Outputs {
+			if w.Files[out.ID] == nil {
+				t.Fatalf("task %d outputs unknown file %s", task.ID, out.ID)
+			}
+		}
+	}
+	for id, f := range w.Files {
+		if f.ID != id {
+			t.Fatalf("file map key %s != ID %s", id, f.ID)
+		}
+		for _, in := range f.MiniInputs {
+			if w.Files[in] == nil {
+				t.Fatalf("minitask %s references unknown input %s", id, in)
+			}
+		}
+	}
+	for _, lib := range w.Libraries {
+		if lib.EnvFile != "" && w.Files[lib.EnvFile] == nil {
+			t.Fatalf("library %s references unknown env %s", lib.Name, lib.EnvFile)
+		}
+	}
+	seen := map[string]bool{}
+	for _, ws := range w.Workers {
+		if seen[ws.ID] {
+			t.Fatalf("duplicate worker %s", ws.ID)
+		}
+		seen[ws.ID] = true
+		for _, p := range ws.Prestaged {
+			if w.Files[p] == nil {
+				t.Fatalf("worker %s prestages unknown file %s", ws.ID, p)
+			}
+		}
+	}
+}
+
+func TestBlastStructure(t *testing.T) {
+	cfg := DefaultBlast()
+	cfg.Tasks = 50
+	cfg.Workers = 5
+	w := Blast(cfg)
+	validate(t, w)
+	if len(w.Tasks) != 50 || len(w.Workers) != 5 {
+		t.Fatalf("counts = %d tasks %d workers", len(w.Tasks), len(w.Workers))
+	}
+	// Software and DB are worker-lifetime MiniTask products of URL inputs.
+	sw := w.Files["blast"]
+	if sw.Kind != sim.MiniProduct || sw.Lifetime != files.LifetimeWorker ||
+		len(sw.MiniInputs) != 1 || sw.MiniInputs[0] != "url-blast.tar" {
+		t.Fatalf("blast file = %+v", sw)
+	}
+	// Paper scale defaults.
+	d := DefaultBlast()
+	if d.Tasks != 2000 || d.Workers != 100 || d.CoresPerWorker != 4 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}
+
+func TestBlastHotPrestages(t *testing.T) {
+	cfg := DefaultBlast()
+	cfg.Tasks = 4
+	cfg.Workers = 2
+	cfg.Hot = true
+	w := Blast(cfg)
+	validate(t, w)
+	for _, ws := range w.Workers {
+		if len(ws.Prestaged) != 4 {
+			t.Fatalf("hot worker prestages %v", ws.Prestaged)
+		}
+	}
+}
+
+func TestEnvSharingModes(t *testing.T) {
+	shared := EnvSharing(DefaultEnvSharing(true))
+	validate(t, shared)
+	indep := EnvSharing(DefaultEnvSharing(false))
+	validate(t, indep)
+	// Shared mode: tasks consume the unpacked product, runtime is the pure
+	// sleep. Independent: tasks consume the tarball and pay unpack in
+	// their runtime.
+	if shared.Tasks[0].Inputs[0] != "env" || shared.Tasks[0].Runtime != 10 {
+		t.Fatalf("shared task = %+v", shared.Tasks[0])
+	}
+	if indep.Tasks[0].Inputs[0] != "env.tar" || indep.Tasks[0].Runtime <= 10 {
+		t.Fatalf("independent task = %+v", indep.Tasks[0])
+	}
+	// Paper numbers: 1000 tasks, 50 workers, 610MB.
+	d := DefaultEnvSharing(true)
+	if d.Tasks != 1000 || d.Workers != 50 || d.EnvMB != 610 || d.Sleep != 10 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}
+
+func TestDistributionStructure(t *testing.T) {
+	w := Distribution(DistributionConfig{Workers: 10, FileMB: 200})
+	validate(t, w)
+	if len(w.Tasks) != 10 || len(w.Workers) != 10 {
+		t.Fatal("one task per worker expected")
+	}
+	if w.Files["common"].Size != 200e6 {
+		t.Fatalf("file size = %d", w.Files["common"].Size)
+	}
+	d := DefaultDistribution()
+	if d.Workers != 500 || d.FileMB != 200 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}
+
+func TestTopEFTStructure(t *testing.T) {
+	cfg := DefaultTopEFT(false)
+	cfg.ProcessTasks = 81
+	cfg.Workers = 10
+	w := TopEFT(cfg)
+	validate(t, w)
+	// 81 leaves with fan-in 9: 81 + 9 + 1 = 91 tasks.
+	if len(w.Tasks) != 91 {
+		t.Fatalf("tasks = %d want 91", len(w.Tasks))
+	}
+	// Accumulation outputs grow with level.
+	leaf := w.Files["hist-0-0"].Size
+	l1 := w.Files["hist-1-0"].Size
+	l2 := w.Files["hist-2-0"].Size
+	if !(leaf < l1 && l1 < l2) {
+		t.Fatalf("histogram sizes do not grow: %d %d %d", leaf, l1, l2)
+	}
+	// MC tasks take longer than data tasks on average (the Figure 12a
+	// stall at the phase shift).
+	var dataSum, mcSum float64
+	var dataN, mcN int
+	for _, task := range w.Tasks {
+		switch task.Category {
+		case "process-data":
+			dataSum += task.Runtime
+			dataN++
+		case "process-mc":
+			mcSum += task.Runtime
+			mcN++
+		}
+	}
+	if dataN == 0 || mcN == 0 {
+		t.Fatal("missing phases")
+	}
+	if mcSum/float64(mcN) <= dataSum/float64(dataN) {
+		t.Fatal("MC tasks not slower than data tasks")
+	}
+	// Workers ramp up over the configured window.
+	if w.Workers[0].JoinTime != 0 || w.Workers[len(w.Workers)-1].JoinTime <= 0 {
+		t.Fatalf("worker ramp broken: %+v", w.Workers)
+	}
+}
+
+func TestTopEFTSharedStorageFlag(t *testing.T) {
+	cfg := DefaultTopEFT(true)
+	cfg.ProcessTasks = 9
+	cfg.Workers = 2
+	w := TopEFT(cfg)
+	for _, task := range w.Tasks {
+		if !task.ReturnOutputs {
+			t.Fatalf("shared-storage task %d does not return outputs", task.ID)
+		}
+	}
+}
+
+func TestColmenaStructure(t *testing.T) {
+	cfg := DefaultColmena()
+	cfg.InferenceTasks = 5
+	cfg.SimulationTasks = 7
+	cfg.Workers = 3
+	w := Colmena(cfg)
+	validate(t, w)
+	if len(w.Tasks) != 12 {
+		t.Fatalf("tasks = %d", len(w.Tasks))
+	}
+	// Every task shares the single unpacked environment from the shared FS.
+	env := w.Files["env.tar"]
+	if env.Kind != sim.FromSharedFS {
+		t.Fatalf("env.tar kind = %v", env.Kind)
+	}
+	for _, task := range w.Tasks {
+		if task.Inputs[0] != "env" {
+			t.Fatalf("task %d inputs = %v", task.ID, task.Inputs)
+		}
+	}
+	// Paper numbers.
+	d := DefaultColmena()
+	if d.InferenceTasks != 228 || d.SimulationTasks != 1000 || d.Workers != 108 || d.EnvTarMB != 1400 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}
+
+func TestBGDStructure(t *testing.T) {
+	cfg := DefaultBGD()
+	cfg.FunctionCalls = 10
+	cfg.Workers = 2
+	w := BGD(cfg)
+	validate(t, w)
+	if len(w.Libraries) != 1 || w.Libraries[0].Name != "bgd" {
+		t.Fatalf("libraries = %+v", w.Libraries)
+	}
+	for _, task := range w.Tasks {
+		if task.Library != "bgd" {
+			t.Fatalf("task %d is not a FunctionCall", task.ID)
+		}
+		if task.Runtime < 50 || task.Runtime > 100 {
+			t.Fatalf("call runtime %v outside the paper's 50-100s", task.Runtime)
+		}
+	}
+	d := DefaultBGD()
+	if d.FunctionCalls != 2000 || d.Workers != 200 || d.EnvMB != 89 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}
+
+func TestWorkloadsRunToCompletion(t *testing.T) {
+	// Every generator must produce a workload the simulator can finish.
+	cases := map[string]*sim.Workload{
+		"blast": Blast(BlastConfig{Tasks: 12, Workers: 3, CoresPerWorker: 4,
+			SoftwareTarMB: 10, DatabaseTarMB: 20, QueryRuntime: 5, UnpackRate: 100e6}),
+		"env-shared": EnvSharing(EnvSharingConfig{Tasks: 12, Workers: 3, CoresPerWorker: 4,
+			EnvMB: 50, Sleep: 2, UnpackRate: 50e6, Shared: true}),
+		"distribution": Distribution(DistributionConfig{Workers: 8, FileMB: 10}),
+		"topeft": TopEFT(TopEFTConfig{ProcessTasks: 9, FanIn: 3, Workers: 3,
+			CoresPerWorker: 4, ChunkMB: 10, HistMB: 1, HistGrowth: 2,
+			ProcessRuntime: 3, AccumulateRuntime: 1, MCFraction: 0.5, MCRuntimeFactor: 2}),
+		"colmena": Colmena(ColmenaConfig{InferenceTasks: 3, SimulationTasks: 5, Workers: 3,
+			CoresPerWorker: 4, EnvTarMB: 20, UnpackRate: 50e6, InferenceTime: 2, SimulationTime: 3}),
+		"bgd": BGD(BGDConfig{FunctionCalls: 8, Workers: 2, CoresPerWorker: 4,
+			EnvMB: 10, BootTime: 1, MinCallTime: 1, MaxCallTime: 2, UnpackRate: 50e6}),
+	}
+	for name, w := range cases {
+		validate(t, w)
+		c := sim.NewCluster(w, sim.DefaultParams(), policy.Limits{})
+		c.Run()
+		if c.CompletedTasks() != len(w.Tasks) {
+			t.Errorf("%s: completed %d of %d tasks", name, c.CompletedTasks(), len(w.Tasks))
+		}
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(5), newRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.float() != b.float() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	x := newRNG(5)
+	y := newRNG(6)
+	same := true
+	for i := 0; i < 10; i++ {
+		if x.float() != y.float() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+	r := newRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.between(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("between out of range: %v", v)
+		}
+	}
+}

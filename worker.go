@@ -1,0 +1,74 @@
+package taskvine
+
+import (
+	"context"
+	"log"
+
+	"taskvine/internal/resources"
+	"taskvine/internal/serverless"
+	"taskvine/internal/worker"
+)
+
+// Function is an invocable serverless unit: serialized arguments in,
+// serialized result out. Implementations must tolerate concurrent calls.
+type Function = serverless.Function
+
+// Library is a named collection of functions plus a one-time Boot step
+// standing in for the expensive initialization the serverless model
+// amortizes (§3.4).
+type Library = serverless.Library
+
+// WorkerConfig parameterizes a worker process.
+type WorkerConfig struct {
+	// ManagerAddr is the manager's host:port.
+	ManagerAddr string
+	// WorkDir holds the worker's cache and sandboxes.
+	WorkDir string
+	// Capacity is the node's resource vector (cores, memory, disk, GPUs).
+	Capacity Resources
+	// CacheCapacity bounds cache disk in bytes (default Capacity.Disk).
+	CacheCapacity int64
+	// ID names the worker; generated when empty.
+	ID string
+	// Libraries are the serverless libraries this worker can instantiate.
+	Libraries []*Library
+	// Logger receives operational logs; nil silences them.
+	Logger *log.Logger
+}
+
+// Worker manages the resources of one node on the manager's behalf: local
+// storage, task sandboxes, peer transfers, and library instances (§2.2).
+type Worker struct {
+	w *worker.Worker
+}
+
+// NewWorker prepares a worker. Its persistent cache directory is created
+// (and prior worker-lifetime objects adopted) immediately.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	reg := serverless.NewRegistry()
+	for _, lib := range cfg.Libraries {
+		if err := reg.Register(lib); err != nil {
+			return nil, err
+		}
+	}
+	w, err := worker.New(worker.Config{
+		ManagerAddr:   cfg.ManagerAddr,
+		WorkDir:       cfg.WorkDir,
+		Capacity:      resources.R(cfg.Capacity),
+		CacheCapacity: cfg.CacheCapacity,
+		ID:            cfg.ID,
+		Libraries:     reg,
+		Logger:        cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{w: w}, nil
+}
+
+// ID returns the worker's identity.
+func (w *Worker) ID() string { return w.w.ID() }
+
+// Run connects to the manager and serves until the context is cancelled or
+// the manager releases the worker.
+func (w *Worker) Run(ctx context.Context) error { return w.w.Run(ctx) }
