@@ -1,0 +1,41 @@
+# TaskVine build and verification targets.
+#
+# `make ci` is the gate the CI workflow runs: build, vet, vinelint, the
+# full test suite under the race detector, and a fuzz smoke pass over the
+# protocol codec. Each target is also usable on its own during
+# development.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test lint vet race fuzz ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs the domain-specific analyzer suite (tools/vinelint): simulator
+# determinism, "guarded by" lock discipline, wire-protocol completeness,
+# and finalization error handling.
+lint:
+	$(GO) run ./tools/vinelint ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs every test twice under the race detector; -count=2 defeats
+# test caching and shakes out order-dependent schedules.
+race:
+	$(GO) test -race -count=2 ./...
+
+# fuzz smoke-tests the protocol codec from the seeded corpus for a short,
+# CI-friendly interval per target.
+fuzz:
+	$(GO) test ./internal/protocol -run '^$$' -fuzz FuzzRecv -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/protocol -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME)
+
+ci: build vet lint race fuzz

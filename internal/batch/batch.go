@@ -99,8 +99,8 @@ type Pool struct {
 	cancel context.CancelFunc
 
 	mu   sync.Mutex
-	jobs map[int]*jobRecord
-	next int
+	jobs map[int]*jobRecord // guarded by mu
+	next int                // guarded by mu
 
 	wg sync.WaitGroup
 }

@@ -73,12 +73,14 @@ type Cache struct {
 	mu       sync.Mutex
 	dir      string
 	capacity int64
-	used     int64
-	entries  map[string]*Entry
-	clock    func() time.Time
+	used     int64             // guarded by mu
+	entries  map[string]*Entry // guarded by mu
+	clock    func() time.Time  // guarded by mu
 	// evicted records names evicted since the last DrainEvicted call, so
 	// the worker can send cache-invalid messages to the manager.
-	evicted []string
+	evicted []string // guarded by mu
+	// logf receives cleanup failures that have no caller to return to.
+	logf func(format string, args ...any) // guarded by mu
 }
 
 // New creates a cache rooted at dir with the given capacity in bytes. The
@@ -123,6 +125,22 @@ func (c *Cache) SetClock(clock func() time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.clock = clock
+}
+
+// SetLogger installs a destination for operational messages — cleanup
+// failures on eviction paths that have no caller to return an error to.
+// A nil logger silences them.
+func (c *Cache) SetLogger(logf func(format string, args ...any)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.logf = logf
+}
+
+// logErrLocked reports a background failure; the caller holds c.mu.
+func (c *Cache) logErrLocked(format string, args ...any) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
 }
 
 func diskUsage(path string) (int64, bool) {
@@ -297,7 +315,11 @@ func (c *Cache) Fail(name string, cause error) {
 	e.Size = 0
 	e.State = StateFailed
 	e.Err = cause
-	os.RemoveAll(c.Path(name))
+	if err := os.RemoveAll(c.Path(name)); err != nil {
+		// The entry stays failed either way, but leftover bytes are no
+		// longer accounted — surface that the disk disagrees with the books.
+		c.logErrLocked("cache: removing failed object %s: %v", name, err)
+	}
 }
 
 // Put stores an object read from r (size bytes) directly into the cache,
@@ -394,7 +416,11 @@ func (c *Cache) removeLocked(name string, recordEviction bool) {
 	}
 	c.used -= e.Size
 	delete(c.entries, name)
-	os.RemoveAll(c.Path(name))
+	if err := os.RemoveAll(c.Path(name)); err != nil {
+		// Failing to delete an evicted object means its bytes still occupy
+		// the disk while the accounting says they don't; make it visible.
+		c.logErrLocked("cache: removing %s: %v", name, err)
+	}
 	if recordEviction {
 		c.evicted = append(c.evicted, name)
 	}

@@ -39,11 +39,11 @@ type Entry struct {
 // Server is a running catalog.
 type Server struct {
 	mu      sync.Mutex
-	entries map[string]Entry // key: name
+	entries map[string]Entry // guarded by mu; key: name
 	ttl     time.Duration
 	ln      net.Listener
 	srv     *http.Server
-	clock   func() time.Time
+	clock   func() time.Time // guarded by mu
 }
 
 // NewServer starts a catalog on addr ("" means a loopback port). Entries

@@ -71,7 +71,8 @@ func (m *Manager) checkLiveness() {
 func (m *Manager) registerWorker(conn *protocol.Conn, msg *protocol.Message) {
 	if _, dup := m.workers[msg.WorkerID]; dup {
 		m.logf("duplicate worker id %s; rejecting", msg.WorkerID)
-		conn.Close()
+		// The rejected connection is already dead to us.
+		_ = conn.Close()
 		return
 	}
 	cap := resources.R{Cores: 1}
@@ -153,7 +154,12 @@ func (m *Manager) handleComplete(workerID string, msg *protocol.Message) {
 	}
 
 	ok := msg.Status == protocol.StatusOK && msg.ExitCode == 0
-	if !ok && isResourceExhaustion(msg.Error) {
+	if t.cancelled {
+		// The application aborted this task; deliver whatever the worker
+		// reported, but never retry.
+		ok = false
+	}
+	if !ok && !t.cancelled && isResourceExhaustion(msg.Error) {
 		// §2.1: the task exceeded its declared allocation; depending on
 		// configuration, execute it elsewhere with a larger allocation.
 		if t.retries < t.spec.MaxRetries {
@@ -168,7 +174,7 @@ func (m *Manager) handleComplete(workerID string, msg *protocol.Message) {
 			return
 		}
 	}
-	if !ok && t.retries < t.spec.MaxRetries {
+	if !ok && !t.cancelled && t.retries < t.spec.MaxRetries {
 		m.requeue(msg.TaskID, t, true)
 		return
 	}
@@ -314,7 +320,8 @@ func (m *Manager) workerGone(workerID string) {
 		return
 	}
 	w.gone = true
-	w.conn.Close()
+	// The connection is usually already broken by the time we get here.
+	_ = w.conn.Close()
 	m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.WorkerLeft, Worker: workerID})
 	m.logf("worker %s left", workerID)
 
@@ -337,6 +344,12 @@ func (m *Manager) workerGone(workerID string) {
 		if t.library {
 			delete(w.running, id)
 			delete(m.tasks, id)
+			continue
+		}
+		if t.cancelled {
+			m.finishTask(id, t, &Result{
+				TaskID: id, Worker: workerID, OK: false, ExitCode: -1, Error: "cancelled",
+			})
 			continue
 		}
 		m.requeue(id, t, false)
@@ -391,8 +404,93 @@ func (m *Manager) dumpTrace() {
 		m.logf("writing trace file: %v", err)
 		return
 	}
-	defer f.Close()
-	if err := trace.WriteCSV(f, m.tlog.Events()); err != nil {
+	err = trace.WriteCSV(f, m.tlog.Events())
+	// A close failure after writing means the log may be truncated on disk;
+	// that is a write failure, not a cleanup detail.
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		m.logf("writing trace file: %v", err)
 	}
+}
+
+// handleInvoke places a function-call submission: routed directly when an
+// instance of the library is ready, queued for normal scheduling otherwise.
+func (m *Manager) handleInvoke(ev event) {
+	m.nextID++
+	id := m.nextID
+	ev.spec.ID = id
+	t := &taskState{spec: ev.spec, state: taskspec.StateWaiting, submitTime: m.now()}
+	m.tasks[id] = t
+	m.pendingWk++
+	w := m.readyLibraryWorker(ev.spec.Library)
+	if w == nil {
+		m.waiting = append(m.waiting, id)
+		ev.replyInt <- id
+		return
+	}
+	// Direct route: the instance's static allocation covers execution, so
+	// the task itself holds a zero allocation (balanced by finishTask's
+	// release).
+	t.state = taskspec.StateRunning
+	t.worker = w.id
+	w.running[id] = true
+	w.pool.Alloc(resources.R{})
+	m.tlog.Add(trace.Event{
+		Time: m.now(), Kind: trace.TaskStart, Worker: w.id, TaskID: id,
+		Detail: t.spec.Category,
+	})
+	if err := w.conn.Send(&protocol.Message{Type: protocol.TypeInvoke, TaskID: id, Spec: ev.spec}); err != nil {
+		m.logf("invoking %s.%s on %s: %v", ev.spec.Library, ev.spec.Function, w.id, err)
+		m.requeue(id, t, false)
+	}
+	ev.replyInt <- id
+}
+
+// readyLibraryWorker picks the earliest-joined live worker running an
+// instance of the library (join order keeps the choice deterministic).
+func (m *Manager) readyLibraryWorker(lib string) *workerConn {
+	var best *workerConn
+	for _, w := range m.workers {
+		if w.gone || !w.libsReady[lib] {
+			continue
+		}
+		if best == nil || w.joinOrder < best.joinOrder {
+			best = w
+		}
+	}
+	return best
+}
+
+// cancelTask aborts a task on the application's behalf; reports whether the
+// task was cancellable.
+func (m *Manager) cancelTask(id int) bool {
+	t := m.tasks[id]
+	if t == nil || t.library {
+		return false
+	}
+	switch t.state {
+	case taskspec.StateWaiting, taskspec.StateStaging:
+		t.cancelled = true
+		for i, wid := range m.waiting {
+			if wid == id {
+				m.waiting = append(m.waiting[:i], m.waiting[i+1:]...)
+				break
+			}
+		}
+		m.finishTask(id, t, &Result{
+			TaskID: id, Worker: t.worker, OK: false, ExitCode: -1, Error: "cancelled",
+		})
+		return true
+	case taskspec.StateRunning:
+		t.cancelled = true
+		if w := m.workers[t.worker]; w != nil && !w.gone {
+			if err := w.conn.Send(&protocol.Message{Type: protocol.TypeKill, TaskID: id}); err != nil {
+				m.logf("killing task %d on %s: %v", id, t.worker, err)
+			}
+		}
+		return true
+	}
+	return false
 }

@@ -1,0 +1,173 @@
+package core
+
+// Tests for the direct function-invocation path (§3.4): Invoke routes a
+// call straight to a running library instance with a lightweight invoke
+// message, and Cancel aborts tasks at every lifecycle stage.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"taskvine/internal/resources"
+	"taskvine/internal/serverless"
+	"taskvine/internal/trace"
+	"taskvine/internal/worker"
+)
+
+func doubleLibrary() *serverless.Registry {
+	libs := serverless.NewRegistry()
+	libs.Register(&serverless.Library{
+		Name: "math",
+		Functions: map[string]serverless.Function{
+			"double": func(args []byte) ([]byte, error) {
+				return append(args, args...), nil
+			},
+		},
+	})
+	return libs
+}
+
+// waitLibraryReady polls the trace until a library instance reports ready.
+func waitLibraryReady(t *testing.T, m *Manager) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, e := range m.Trace().Events() {
+			if e.Kind == trace.LibraryReady {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("library instance never became ready")
+}
+
+func TestInvokeRoutesToLibraryInstance(t *testing.T) {
+	h := newHarness(t, 0, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := worker.New(worker.Config{
+		ManagerAddr: h.m.Addr(),
+		WorkDir:     t.TempDir(),
+		Capacity:    resources.R{Cores: 4, Memory: 4 * resources.GB, Disk: resources.GB},
+		ID:          "w-lib",
+		Libraries:   doubleLibrary(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		w.Run(ctx)
+	}()
+
+	h.m.InstallLibrary("math", resources.R{Cores: 1})
+	waitLibraryReady(t, h.m)
+
+	id, err := h.m.Invoke("math", "double", []byte("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := waitResult(t, h.m)
+	if r.TaskID != id || !r.OK || string(r.Output) != "abab" {
+		t.Fatalf("invoke result = %+v output=%q", r, r.Output)
+	}
+}
+
+func TestInvokeUnknownFunctionFails(t *testing.T) {
+	h := newHarness(t, 0, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := worker.New(worker.Config{
+		ManagerAddr: h.m.Addr(),
+		WorkDir:     t.TempDir(),
+		Capacity:    resources.R{Cores: 4, Memory: 4 * resources.GB, Disk: resources.GB},
+		ID:          "w-lib2",
+		Libraries:   doubleLibrary(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		w.Run(ctx)
+	}()
+
+	h.m.InstallLibrary("math", resources.R{Cores: 1})
+	waitLibraryReady(t, h.m)
+
+	if _, err := h.m.Invoke("math", "nope", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	r := waitResult(t, h.m)
+	if r.OK || !strings.Contains(r.Error, "nope") {
+		t.Fatalf("expected function-not-found failure, got %+v", r)
+	}
+}
+
+func TestInvokeValidatesSpec(t *testing.T) {
+	h := newHarness(t, 0, Config{})
+	if _, err := h.m.Invoke("math", "", nil); err == nil {
+		t.Fatal("empty function name accepted")
+	}
+}
+
+func TestCancelWaitingTask(t *testing.T) {
+	// No workers: the task stays waiting and must finish as cancelled.
+	h := newHarness(t, 0, Config{})
+	id, err := h.m.Submit(command("echo never runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	r := waitResult(t, h.m)
+	if r.TaskID != id || r.OK || r.Error != "cancelled" {
+		t.Fatalf("cancel result = %+v", r)
+	}
+	// The task is finished; cancelling again must fail.
+	if err := h.m.Cancel(id); err == nil {
+		t.Fatal("second cancel of a finished task succeeded")
+	}
+}
+
+func TestCancelRunningTask(t *testing.T) {
+	h := newHarness(t, 1, Config{})
+	id, err := h.m.Submit(command("sleep 30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the task to reach its worker before killing it.
+	deadline := time.Now().Add(10 * time.Second)
+	started := false
+	for !started && time.Now().Before(deadline) {
+		for _, e := range h.m.Trace().Events() {
+			if e.Kind == trace.TaskStart && e.TaskID == id {
+				started = true
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !started {
+		t.Fatal("task never started")
+	}
+	if err := h.m.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	r := waitResult(t, h.m)
+	if r.TaskID != id || r.OK {
+		t.Fatalf("cancelled running task reported %+v", r)
+	}
+}
+
+func TestCancelUnknownTask(t *testing.T) {
+	h := newHarness(t, 0, Config{})
+	if err := h.m.Cancel(12345); err == nil {
+		t.Fatal("cancel of unknown task succeeded")
+	}
+}

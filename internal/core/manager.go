@@ -144,6 +144,9 @@ type taskState struct {
 	// notified suppresses duplicate result delivery when a task is
 	// re-executed for recovery.
 	notified bool
+	// cancelled marks a task the application aborted: its completion
+	// report, whatever it says, finishes the task without retries.
+	cancelled bool
 	// submitTime for metrics.
 	submitTime float64
 }
@@ -171,6 +174,7 @@ type event struct {
 	err        error
 	status     chan Status
 	goal       int
+	taskID     int
 	categories chan []CategoryStats
 }
 
@@ -187,6 +191,8 @@ const (
 	evStatus
 	evReplicate
 	evCategories
+	evInvoke
+	evCancel
 )
 
 type fetchResult struct {
@@ -283,6 +289,61 @@ func (m *Manager) Submit(spec *taskspec.Spec) (int, error) {
 	return id, nil
 }
 
+// Invoke submits a serverless function call (§3.4). When a worker already
+// runs an instance of the library, the call is routed straight to it with a
+// lightweight invoke message, consuming no additional resource allocation;
+// otherwise it falls back to normal task scheduling, which boots an
+// ephemeral instance. The result arrives through Wait like any task's.
+func (m *Manager) Invoke(library, function string, args []byte) (int, error) {
+	spec := &taskspec.Spec{
+		Kind:     taskspec.KindFunction,
+		Library:  library,
+		Function: function,
+		Args:     append([]byte(nil), args...),
+		Category: "function",
+	}
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	reply := make(chan int, 1)
+	select {
+	case m.events <- event{kind: evInvoke, spec: spec, replyInt: reply}:
+	case <-m.loopDone:
+		return 0, fmt.Errorf("core: manager is shutting down")
+	}
+	select {
+	case id := <-reply:
+		if id < 0 {
+			return 0, fmt.Errorf("core: manager is shutting down")
+		}
+		return id, nil
+	case <-m.loopDone:
+		return 0, fmt.Errorf("core: manager is shutting down")
+	}
+}
+
+// Cancel aborts a submitted task. Waiting and staging tasks finish
+// immediately with a cancellation result; running tasks are killed at their
+// worker and finish when the worker's completion report arrives. Cancelling
+// an unknown or already-finished task is an error.
+func (m *Manager) Cancel(taskID int) error {
+	reply := make(chan int, 1)
+	select {
+	case m.events <- event{kind: evCancel, taskID: taskID, replyInt: reply}:
+	case <-m.loopDone:
+		return fmt.Errorf("core: manager is shutting down")
+	}
+	select {
+	case n := <-reply:
+		if n < 0 {
+			return fmt.Errorf("core: no cancellable task %d", taskID)
+		}
+		return nil
+	case <-m.loopDone:
+		return fmt.Errorf("core: manager is shutting down")
+	}
+}
+
 // Wait returns the next completed task result, blocking until one is
 // available or the context is cancelled.
 func (m *Manager) Wait(ctx context.Context) (*Result, error) {
@@ -355,7 +416,8 @@ func (m *Manager) Close() {
 		case <-m.loopDone:
 		}
 	}
-	m.ln.Close()
+	// The accept loop exits on this close; its error carries no news.
+	_ = m.ln.Close()
 }
 
 var errClosing = fmt.Errorf("closing")
@@ -376,7 +438,8 @@ func (m *Manager) acceptLoop() {
 func (m *Manager) handleConn(conn *protocol.Conn) {
 	regMsg, _, err := conn.Recv()
 	if err != nil || regMsg.Type != protocol.TypeRegister || regMsg.WorkerID == "" {
-		conn.Close()
+		// Not a worker; nothing to report the close error to.
+		_ = conn.Close()
 		return
 	}
 	m.events <- event{kind: evMsg, conn: conn, msg: regMsg}
@@ -473,6 +536,18 @@ func (m *Manager) handleEvent(ev event) bool {
 		ev.status <- m.buildStatus()
 	case evReplicate:
 		m.replicaGoals[ev.file] = ev.goal
+	case evInvoke:
+		if m.closing {
+			ev.replyInt <- -1
+			return false
+		}
+		m.handleInvoke(ev)
+	case evCancel:
+		if m.cancelTask(ev.taskID) {
+			ev.replyInt <- 0
+		} else {
+			ev.replyInt <- -1
+		}
 	case evCategories:
 		ev.categories <- m.buildCategories()
 	}

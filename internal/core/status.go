@@ -137,7 +137,8 @@ func (m *Manager) ServeStatus(addr string) (string, error) {
 	go srv.Serve(ln)
 	go func() {
 		<-m.loopDone
-		srv.Close()
+		// Best-effort teardown of the monitoring endpoint.
+		_ = srv.Close()
 	}()
 	return ln.Addr().String(), nil
 }

@@ -24,7 +24,9 @@ func writeFileAtomic(path string, data []byte) error {
 	}
 	name := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		// The write error is what the caller needs; the temp file is
+		// discarded regardless.
+		_ = tmp.Close()
 		os.Remove(name)
 		return err
 	}

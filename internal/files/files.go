@@ -128,14 +128,14 @@ type HeadFunc func(url string) (hashing.URLMetadata, int64, error)
 // which task produces each on-demand file.
 type Registry struct {
 	mu    sync.Mutex
-	files map[string]*File
+	files map[string]*File // guarded by mu
 	// refs counts submitted-but-unfinished tasks consuming each file.
-	refs map[string]int
+	refs map[string]int // guarded by mu
 	// producers maps an on-demand file ID to the ID of the submitted task
 	// that outputs it, for recovery after worker loss.
-	producers map[string]int
+	producers map[string]int // guarded by mu
 	head      HeadFunc
-	randNames map[string]bool
+	randNames map[string]bool // guarded by mu
 }
 
 // NewRegistry returns an empty registry. head may be nil if no URL files
@@ -150,11 +150,11 @@ func NewRegistry(head HeadFunc) *Registry {
 	}
 }
 
-// randomName generates a workflow-private random name with the given prefix
+// randomNameLocked generates a workflow-private random name with the given prefix
 // and guarantees it cannot collide with another name issued by this
 // registry (§3.2: random names never escape a single workflow run, so
 // collision avoidance within the run suffices).
-func (r *Registry) randomName(prefix string) string {
+func (r *Registry) randomNameLocked(prefix string) string {
 	for {
 		var b [12]byte
 		if _, err := rand.Read(b[:]); err != nil {
@@ -168,7 +168,7 @@ func (r *Registry) randomName(prefix string) string {
 	}
 }
 
-func (r *Registry) insert(f *File) (*File, error) {
+func (r *Registry) insertLocked(f *File) (*File, error) {
 	if existing, ok := r.files[f.ID]; ok {
 		// Content-addressed redeclaration of the same object is idempotent.
 		if existing.Type == f.Type && existing.Lifetime == f.Lifetime {
@@ -203,13 +203,13 @@ func (r *Registry) DeclareLocal(path string, lifetime Lifetime) (*File, error) {
 		}
 		id = hashing.Name(prefix, d)
 	} else {
-		id = r.randomName(hashing.PrefixFile)
+		id = r.randomNameLocked(hashing.PrefixFile)
 	}
 	size := info.Size()
 	if info.IsDir() {
 		size = treeSize(path)
 	}
-	return r.insert(&File{ID: id, Type: Local, Source: path, Size: size, Lifetime: lifetime})
+	return r.insertLocked(&File{ID: id, Type: Local, Source: path, Size: size, Lifetime: lifetime})
 }
 
 func treeSize(path string) int64 {
@@ -238,10 +238,10 @@ func (r *Registry) DeclareBuffer(content []byte, lifetime Lifetime) (*File, erro
 	if lifetime == LifetimeWorker {
 		id = hashing.Name(hashing.PrefixBuffer, hashing.HashBytes(content))
 	} else {
-		id = r.randomName(hashing.PrefixBuffer)
+		id = r.randomNameLocked(hashing.PrefixBuffer)
 	}
 	c := append([]byte(nil), content...)
-	return r.insert(&File{ID: id, Type: Buffer, Content: c, Size: int64(len(c)), Lifetime: lifetime})
+	return r.insertLocked(&File{ID: id, Type: Buffer, Content: c, Size: int64(len(c)), Lifetime: lifetime})
 }
 
 // DeclareURL declares a remote object to be downloaded by workers on
@@ -275,9 +275,9 @@ func (r *Registry) DeclareURL(url string, lifetime Lifetime) (*File, error) {
 				size = n
 			}
 		}
-		id = r.randomName(hashing.PrefixURL)
+		id = r.randomNameLocked(hashing.PrefixURL)
 	}
-	return r.insert(&File{ID: id, Type: URL, Source: url, Size: size, Lifetime: lifetime})
+	return r.insertLocked(&File{ID: id, Type: URL, Source: url, Size: size, Lifetime: lifetime})
 }
 
 // DeclareTemp declares an ephemeral intra-cluster file, the output of a
@@ -286,7 +286,7 @@ func (r *Registry) DeclareURL(url string, lifetime Lifetime) (*File, error) {
 func (r *Registry) DeclareTemp() *File {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	f := &File{ID: r.randomName(hashing.PrefixTemp), Type: Temp, Size: -1, Lifetime: LifetimeWorkflow}
+	f := &File{ID: r.randomNameLocked(hashing.PrefixTemp), Type: Temp, Size: -1, Lifetime: LifetimeWorkflow}
 	r.files[f.ID] = f
 	return f
 }
@@ -315,7 +315,7 @@ func (r *Registry) DeclareMiniTask(spec *taskspec.Spec, lifetime Lifetime) (*Fil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.insert(&File{ID: id, Type: Mini, Size: -1, Lifetime: lifetime, MiniTask: spec})
+	return r.insertLocked(&File{ID: id, Type: Mini, Size: -1, Lifetime: lifetime, MiniTask: spec})
 }
 
 // Lookup returns the declared file with the given cache name.

@@ -40,11 +40,11 @@ type Object struct {
 // Server is an in-process archival HTTP server.
 type Server struct {
 	mu      sync.Mutex
-	objects map[string]*Object
+	objects map[string]*Object // guarded by mu
 	ts      *httptest.Server
 	// fetches counts GET requests per path — the "queries to the shared
 	// file system / archive" quantity in the Colmena evaluation.
-	fetches map[string]*int64
+	fetches map[string]*int64 // guarded by mu
 	modTime time.Time
 }
 

@@ -137,7 +137,7 @@ type Message struct {
 type Conn struct {
 	raw net.Conn
 	r   *bufio.Reader
-	w   *bufio.Writer
+	w   *bufio.Writer // guarded by wmu
 	wmu sync.Mutex
 	// pending is the unread remainder of the previous message's payload;
 	// it must be drained before the next control message can be decoded.

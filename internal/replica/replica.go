@@ -32,9 +32,9 @@ const (
 type Table struct {
 	mu sync.Mutex
 	// byFile maps cache name -> worker ID -> state.
-	byFile map[string]map[string]ReplicaState
+	byFile map[string]map[string]ReplicaState // guarded by mu
 	// byWorker maps worker ID -> set of cache names (any state).
-	byWorker map[string]map[string]bool
+	byWorker map[string]map[string]bool // guarded by mu
 }
 
 // NewTable returns an empty replica table.
@@ -216,10 +216,10 @@ type Transfer struct {
 // Transfers is the Current Transfer Table.
 type Transfers struct {
 	mu       sync.Mutex
-	inflight map[string]Transfer
-	bySource map[Source]int
-	byDest   map[string]int
-	nextID   func() string
+	inflight map[string]Transfer // guarded by mu
+	bySource map[Source]int      // guarded by mu
+	byDest   map[string]int      // guarded by mu
+	nextID   func() string       // guarded by mu
 }
 
 // NewTransfers returns an empty transfer table.

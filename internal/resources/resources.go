@@ -126,8 +126,8 @@ type Pool struct {
 	Capacity R
 
 	mu        sync.Mutex
-	committed R
-	count     int
+	committed R   // guarded by mu
+	count     int // guarded by mu
 }
 
 // NewPool returns a pool with the given total capacity and nothing committed.

@@ -42,7 +42,7 @@ type Library struct {
 // module) and referenced by name in LibraryTasks.
 type Registry struct {
 	mu   sync.RWMutex
-	libs map[string]*Library
+	libs map[string]*Library // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -113,8 +113,8 @@ type Instance struct {
 	lib *Library
 
 	mu      sync.Mutex
-	booted  bool
-	stopped bool
+	booted  bool // guarded by mu
+	stopped bool // guarded by mu
 	active  sync.WaitGroup
 }
 

@@ -158,8 +158,15 @@ func (c *Cluster) workerJoin(w *simWorker) {
 		}
 		c.store(w, fid, f.Size)
 	}
-	for _, lib := range c.libs {
-		c.deployLibrary(w, lib)
+	// Deploy in name order: deployLibrary consumes cores, so the order in
+	// which libraries land must not depend on map iteration.
+	names := make([]string, 0, len(c.libs))
+	for name := range c.libs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c.deployLibrary(w, c.libs[name])
 	}
 	c.requestSchedule()
 }

@@ -59,7 +59,12 @@ func (c *Cluster) admit(w *simWorker, f *File) bool {
 		if li != lj {
 			return li < lj
 		}
-		return victims[i].lastUse < victims[j].lastUse
+		if victims[i].lastUse != victims[j].lastUse {
+			return victims[i].lastUse < victims[j].lastUse
+		}
+		// The ID tie-break pins the eviction order when lifetimes and last
+		// uses are equal, since victims were gathered in map order.
+		return victims[i].id < victims[j].id
 	})
 	for _, v := range victims {
 		if w.cacheUsed+f.Size <= w.spec.Disk {

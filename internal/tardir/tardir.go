@@ -57,7 +57,9 @@ func Pack(dir string) ([]byte, error) {
 				return err
 			}
 			_, err = io.Copy(tw, f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				return err
 			}
@@ -114,7 +116,8 @@ func Unpack(r io.Reader, dst string) error {
 				return err
 			}
 			if _, err := io.Copy(f, tr); err != nil {
-				f.Close()
+				// The copy error supersedes any close error on this path.
+				_ = f.Close()
 				return err
 			}
 			if err := f.Close(); err != nil {

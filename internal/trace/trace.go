@@ -77,7 +77,7 @@ type Event struct {
 // Log is an append-only event collection, safe for concurrent use.
 type Log struct {
 	mu     sync.Mutex
-	events []Event
+	events []Event // guarded by mu
 }
 
 // NewLog returns an empty log.

@@ -139,7 +139,7 @@ func (w *Worker) runCommandTask(ctx context.Context, spec *taskspec.Spec) {
 		w.sendComplete(spec, true, 1, nil, nil, 0, 0, err)
 		return
 	}
-	defer sb.Destroy()
+	defer w.destroySandbox(sb)
 	staged := time.Since(t0)
 
 	t1 := time.Now()
@@ -401,6 +401,38 @@ func (w *Worker) runFunction(ctx context.Context, spec *taskspec.Spec) {
 	w.sendComplete(spec, true, 0, res.Result, outputs, stagedMS, runMS, nil)
 }
 
+// handleInvoke routes a FunctionCall directly to a running library
+// instance (§3.4). Unlike TypeTask dispatch, an invocation consumes no
+// worker-side allocation — the instance's static allocation covers it — so
+// there is nothing to release on completion. If the instance is missing
+// (stopped since the manager last looked), the failure report lets the
+// manager reschedule through the normal path.
+func (w *Worker) handleInvoke(spec *taskspec.Spec) {
+	if spec == nil {
+		return
+	}
+	w.mu.Lock()
+	inst := w.instances[spec.Library]
+	w.mu.Unlock()
+	if inst == nil {
+		w.sendComplete(spec, false, 1, nil, nil, 0, 0,
+			fmt.Errorf("no running instance of library %q", spec.Library))
+		return
+	}
+	t0 := time.Now()
+	res := inst.Invoke(serverless.InvokeMessage{
+		InvocationID: spec.ID,
+		Function:     spec.Function,
+		Args:         json.RawMessage(spec.Args),
+	})
+	runMS := time.Since(t0).Milliseconds()
+	if !res.OK {
+		w.sendComplete(spec, false, 1, nil, nil, 0, runMS, fmt.Errorf("%s", res.Error))
+		return
+	}
+	w.sendComplete(spec, false, 0, res.Result, nil, 0, runMS, nil)
+}
+
 // handleMini materializes a file by executing its MiniTask specification
 // (§3.1): a sandboxed command whose single output lands in the cache under
 // the product's content-independent name.
@@ -437,7 +469,7 @@ func (w *Worker) handleMini(ctx context.Context, m *protocol.Message) {
 		fail(err)
 		return
 	}
-	defer sb.Destroy()
+	defer w.destroySandbox(sb)
 	exit, out, _, runErr := runCommand(ctx, spec, sb.Dir)
 	if runErr != nil || exit != 0 {
 		if runErr == nil {
@@ -458,6 +490,15 @@ func (w *Worker) handleMini(ctx context.Context, m *protocol.Message) {
 	}
 	w.unpin(pinned)
 	w.cacheUpdate(name, extracted[0].Size, m.TransferID, nil)
+}
+
+// destroySandbox removes a task's sandbox, logging a failure instead of
+// swallowing it: a lingering sandbox silently eats the disk the resource
+// pool believes is free.
+func (w *Worker) destroySandbox(sb *sandbox.Sandbox) {
+	if err := sb.Destroy(); err != nil {
+		w.logf("removing sandbox %s: %v", sb.Dir, err)
+	}
 }
 
 func (w *Worker) unpin(names []string) {

@@ -77,7 +77,7 @@ func groupRSS(pgid int) (int64, bool) {
 // later reader.
 type peakTracker struct {
 	mu   sync.Mutex
-	peak int64
+	peak int64 // guarded by mu
 }
 
 func (p *peakTracker) observe(v int64) {

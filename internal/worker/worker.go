@@ -66,9 +66,9 @@ type Worker struct {
 	transferSem chan struct{}
 
 	mu        sync.Mutex
-	instances map[string]*serverless.Instance
-	running   map[int]context.CancelFunc
-	libTasks  map[string]int // library name -> deploying task ID
+	instances map[string]*serverless.Instance // guarded by mu
+	running   map[int]context.CancelFunc      // guarded by mu
+	libTasks  map[string]int                  // guarded by mu; library name -> deploying task ID
 
 	// sandboxSeq disambiguates sandbox directories: distinct executions
 	// may share a task ID (identical MiniTask specs), but never a sandbox.
@@ -109,6 +109,10 @@ func New(cfg Config) (*Worker, error) {
 	c, err := cache.New(filepath.Join(cfg.WorkDir, "cache"), cfg.CacheCapacity)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Logger != nil {
+		logger := cfg.Logger
+		c.SetLogger(func(format string, args ...any) { logger.Printf(format, args...) })
 	}
 	if err := os.MkdirAll(filepath.Join(cfg.WorkDir, "sandboxes"), 0o755); err != nil {
 		return nil, err
@@ -191,8 +195,10 @@ func (w *Worker) Run(ctx context.Context) error {
 		case <-ctx.Done():
 		case <-w.closed:
 		}
-		conn.Close()
-		ln.Close()
+		// Shutdown path: closing unblocks the read loop and peer accept
+		// loop; their errors are the signal, not these.
+		_ = conn.Close()
+		_ = ln.Close()
 	}()
 
 	err = w.readLoop(ctx)
@@ -229,6 +235,14 @@ func (w *Worker) readLoop(ctx context.Context) error {
 			w.async(func() { w.handleMini(ctx, m) })
 		case protocol.TypeTask:
 			w.startTask(ctx, m.Spec)
+		case protocol.TypeInvoke:
+			// Invocations are not transfers; they bypass the transfer
+			// semaphore so a queue of fetches never delays a function call.
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				w.handleInvoke(m.Spec)
+			}()
 		case protocol.TypeKill:
 			w.killTask(m.TaskID)
 		case protocol.TypeUnlink:
@@ -488,7 +502,9 @@ func (w *Worker) servePeers() {
 				return
 			}
 			defer r.Close()
-			conn.SendPayload(&protocol.Message{Type: protocol.TypeData, CacheName: m.CacheName, Size: size, Dir: dir}, r)
+			if err := conn.SendPayload(&protocol.Message{Type: protocol.TypeData, CacheName: m.CacheName, Size: size, Dir: dir}, r); err != nil {
+				w.logf("sending %s to peer %s: %v", m.CacheName, conn.RemoteAddr(), err)
+			}
 		}()
 	}
 }

@@ -317,6 +317,21 @@ func (m *Manager) WaitTimeout(d time.Duration) (*Result, error) {
 	return m.core.Wait(ctx)
 }
 
+// Invoke calls a function of an installed library. When a worker already
+// runs an instance, the call is routed straight to it with a lightweight
+// invoke message and pays neither scheduling nor startup cost; otherwise
+// it falls back to Submit-style scheduling of a FunctionCall task. The
+// result arrives through Wait like any task's, carrying the serialized
+// return value in Output.
+func (m *Manager) Invoke(library, function string, args []byte) (int, error) {
+	return m.core.Invoke(library, function, args)
+}
+
+// Cancel aborts a submitted task. Waiting tasks finish immediately with a
+// cancellation result; running tasks are killed at their worker and finish
+// when the worker confirms. Cancelling an unknown or finished task errors.
+func (m *Manager) Cancel(taskID int) error { return m.core.Cancel(taskID) }
+
 // Empty reports whether every submitted task has completed.
 func (m *Manager) Empty() bool { return m.core.Empty() }
 

@@ -1,0 +1,16 @@
+// Package analyzers holds vinelint's domain-specific checks for the
+// TaskVine codebase. Each analyzer enforces one invariant the generic Go
+// toolchain cannot see; see the individual files for the rules.
+package analyzers
+
+import "taskvine/tools/vinelint/internal/lint"
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		SimDeterminism,
+		LockGuard,
+		ProtoComplete,
+		CloseCheck,
+	}
+}

@@ -1,0 +1,109 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"taskvine/tools/vinelint/internal/lint"
+)
+
+// CloseCheck flags dropped errors from finalization calls — Close, Flush,
+// Sync, SendPayload, RemoveAll — on the cache, transfer, and protocol
+// paths. On these paths a swallowed error is not cosmetic: a failed Close
+// after writing a cache object means the content-addressable store now
+// holds a file whose declared size/content may be wrong, and a failed
+// SendPayload means the peer never learns a transfer finished.
+//
+// Only bare expression statements (`f.Close()`) are flagged. A deferred
+// call is a DeferStmt, and an explicit discard (`_ = f.Close()`) is an
+// AssignStmt, so both are structurally exempt — the latter being the
+// sanctioned way to say "this error is genuinely unactionable here".
+var CloseCheck = &lint.Analyzer{
+	Name: "closecheck",
+	Doc: `flag dropped errors from Close/Flush/Sync/SendPayload/RemoveAll
+calls on cache, transfer, and protocol paths`,
+	Run: runCloseCheck,
+}
+
+// closeScopes are the import-path segments where finalization errors are
+// load-bearing.
+var closeScopes = []string{
+	"internal/cache",
+	"internal/worker",
+	"internal/sandbox",
+	"internal/tardir",
+	"internal/protocol",
+	"internal/core",
+}
+
+// finalizers are the method/function names whose error results must not be
+// dropped in scope.
+var finalizers = map[string]bool{
+	"Close":       true,
+	"Flush":       true,
+	"Sync":        true,
+	"SendPayload": true,
+	"RemoveAll":   true,
+}
+
+func runCloseCheck(pass *lint.Pass) error {
+	inScope := false
+	for _, s := range closeScopes {
+		if lint.PathHasSegment(pass.Pkg.Path, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if !finalizers[name] {
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			pass.Report(call.Pos(),
+				"error from %s is dropped: handle it, or discard explicitly with `_ = ...` and a reason", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(pass *lint.Pass, call *ast.CallExpr) bool {
+	t := pass.Pkg.Info.TypeOf(call.Fun)
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,216 @@
+package analyzers
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"taskvine/tools/vinelint/internal/lint"
+)
+
+// LockGuard enforces the "guarded by" comment convention: a struct field
+// annotated `// guarded by mu` may only be touched by methods that acquire
+// that mutex (recv.mu.Lock or recv.mu.RLock somewhere in the body), unless
+// the method opts out of checking by naming convention.
+//
+// The check is flow-insensitive on purpose: it catches the common failure
+// mode — a new method added months later that forgets the lock entirely —
+// without trying to prove lock ordering. Helper methods that run with the
+// lock already held declare so by carrying the "Locked" name suffix or a
+// doc comment containing "must hold" / "caller holds".
+var LockGuard = &lint.Analyzer{
+	Name: "lockguard",
+	Doc: `verify that struct fields annotated "guarded by <mu>" are only
+accessed by methods that acquire <mu>`,
+	Run: runLockGuard,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedStruct records a struct's annotated fields: field name -> mutex
+// field name.
+type guardedStruct struct {
+	fields    map[string]string
+	allFields map[string]bool
+	spec      *ast.TypeSpec
+}
+
+func runLockGuard(pass *lint.Pass) error {
+	structs := collectGuardedStructs(pass)
+	if len(structs) == 0 {
+		return nil
+	}
+	// A named mutex must actually be a field of the struct, otherwise the
+	// annotation is typo'd and silently checks nothing.
+	for name, gs := range structs {
+		for field, mu := range gs.fields {
+			if !gs.allFields[mu] {
+				pass.Report(gs.spec.Pos(),
+					"field %s.%s is guarded by %q, but %s has no field named %q",
+					name, field, mu, name, mu)
+			}
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			checkMethod(pass, structs, fd)
+		}
+	}
+	return nil
+}
+
+// collectGuardedStructs scans the package's struct declarations for
+// "guarded by" field annotations.
+func collectGuardedStructs(pass *lint.Pass) map[string]*guardedStruct {
+	out := make(map[string]*guardedStruct)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs := &guardedStruct{
+				fields:    make(map[string]string),
+				allFields: make(map[string]bool),
+				spec:      ts,
+			}
+			for _, f := range st.Fields.List {
+				var mu string
+				for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+						mu = m[1]
+					}
+				}
+				for _, name := range f.Names {
+					gs.allFields[name.Name] = true
+					if mu != "" {
+						gs.fields[name.Name] = mu
+					}
+				}
+			}
+			if len(gs.fields) > 0 {
+				out[ts.Name.Name] = gs
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkMethod flags guarded-field accesses in a method whose body never
+// acquires the guarding mutex.
+func checkMethod(pass *lint.Pass, structs map[string]*guardedStruct, fd *ast.FuncDecl) {
+	recvName, typeName := receiverInfo(fd)
+	gs, ok := structs[typeName]
+	if !ok || recvName == "" || recvName == "_" {
+		return
+	}
+	if exemptMethod(fd) {
+		return
+	}
+	recvObj := pass.Pkg.Info.Defs[recvIdent(fd)]
+	if recvObj == nil {
+		return
+	}
+
+	// First pass: which of the struct's mutexes does this body acquire?
+	held := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := inner.X.(*ast.Ident)
+		if !ok || pass.Pkg.Info.Uses[base] != recvObj {
+			return true
+		}
+		held[inner.Sel.Name] = true
+		return true
+	})
+
+	// Second pass: flag guarded accesses whose mutex was never acquired.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || pass.Pkg.Info.Uses[base] != recvObj {
+			return true
+		}
+		mu, guarded := gs.fields[sel.Sel.Name]
+		if !guarded || held[mu] {
+			return true
+		}
+		pass.Report(sel.Pos(),
+			"%s.%s accesses %s.%s (guarded by %s) without acquiring %s.%s",
+			typeName, fd.Name.Name, recvName, sel.Sel.Name, mu, recvName, mu)
+		return true
+	})
+}
+
+// exemptMethod reports whether a method declares that it runs with the
+// lock already held.
+func exemptMethod(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	if fd.Doc != nil {
+		doc := strings.ToLower(fd.Doc.Text())
+		if strings.Contains(doc, "must hold") || strings.Contains(doc, "caller holds") {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverInfo extracts the receiver variable name and the base type name
+// from a method declaration.
+func receiverInfo(fd *ast.FuncDecl) (recvName, typeName string) {
+	if len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	field := fd.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName
+}
+
+// recvIdent returns the receiver's identifier, or nil for anonymous
+// receivers.
+func recvIdent(fd *ast.FuncDecl) *ast.Ident {
+	if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		return fd.Recv.List[0].Names[0]
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"taskvine/tools/vinelint/internal/lint"
+)
+
+// ProtoComplete cross-checks the wire protocol: every message-type constant
+// declared in internal/protocol must be (a) produced somewhere in the
+// module — assigned or composite-literal'd into a Message.Type — and
+// (b) dispatched by the receiving side's switch. The receiving side is read
+// off the constant's doc comment: "manager→worker" messages must have a
+// dispatch arm in an internal/worker package, "worker→manager" messages in
+// internal/core, and bidirectional or undocumented messages anywhere.
+//
+// This is the analyzer that catches the classic protocol drift: a message
+// added to the sender but never wired into the receiver's switch (or
+// vice versa), which at runtime degrades into a silently ignored frame.
+var ProtoComplete = &lint.Analyzer{
+	Name: "protocomplete",
+	Doc: `cross-check that every Type* message constant in internal/protocol
+has a producer and a dispatch arm on the correct side of the wire`,
+	Run: runProtoComplete,
+}
+
+type direction int
+
+const (
+	dirEither direction = iota
+	dirWorkerToManager
+	dirManagerToWorker
+)
+
+// protoConst is one wire-message constant and what the module does with it.
+type protoConst struct {
+	name string
+	obj  types.Object
+	pos  token.Pos
+	dir  direction
+
+	produced     bool
+	dispatchPkgs []string // import paths containing a dispatch arm
+}
+
+func runProtoComplete(pass *lint.Pass) error {
+	// Run once, from the protocol package itself; everything else is
+	// scanned via pass.All.
+	if !lint.PathHasSegment(pass.Pkg.Path, "internal/protocol") {
+		return nil
+	}
+	consts := collectProtoConsts(pass)
+	if len(consts) == 0 {
+		return nil
+	}
+	byObj := make(map[types.Object]*protoConst, len(consts))
+	for _, c := range consts {
+		byObj[c.obj] = c
+	}
+	for _, pkg := range pass.All {
+		scanUsage(pkg, byObj)
+	}
+	for _, c := range consts {
+		if !c.produced {
+			pass.Report(c.pos,
+				"protocol message %s is never produced: no Message literal or assignment sets Type to it anywhere in the module", c.name)
+		}
+		if want, label := requiredDispatchScope(c.dir); want != "" {
+			ok := false
+			for _, p := range c.dispatchPkgs {
+				if lint.PathHasSegment(p, want) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				pass.Report(c.pos,
+					"protocol message %s (%s) has no dispatch arm in %s: the receiver will drop it on the floor", c.name, label, want)
+			}
+		} else if len(c.dispatchPkgs) == 0 {
+			pass.Report(c.pos,
+				"protocol message %s is never dispatched: no switch case or comparison consumes it anywhere in the module", c.name)
+		}
+	}
+	return nil
+}
+
+// requiredDispatchScope maps a message direction to the import-path segment
+// that must contain its dispatch arm.
+func requiredDispatchScope(d direction) (segment, label string) {
+	switch d {
+	case dirWorkerToManager:
+		return "internal/core", "worker→manager"
+	case dirManagerToWorker:
+		return "internal/worker", "manager→worker"
+	}
+	return "", ""
+}
+
+// collectProtoConsts gathers the Type* string constants and their wire
+// direction from doc comments.
+func collectProtoConsts(pass *lint.Pass) []*protoConst {
+	var out []*protoConst
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				dir := parseDirection(vs.Doc.Text() + " " + vs.Comment.Text())
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Type") {
+						continue
+					}
+					obj := pass.Pkg.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+						continue
+					}
+					out = append(out, &protoConst{
+						name: name.Name,
+						obj:  obj,
+						pos:  name.Pos(),
+						dir:  dir,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseDirection reads "worker→manager" / "manager→worker" (arrow or ASCII
+// "->") from a constant's doc text. Mentions of both, or neither, mean the
+// message flows either way.
+func parseDirection(doc string) direction {
+	doc = strings.ReplaceAll(doc, "->", "→")
+	doc = strings.ReplaceAll(doc, " ", "")
+	w2m := strings.Contains(doc, "worker→manager")
+	m2w := strings.Contains(doc, "manager→worker")
+	switch {
+	case w2m && !m2w:
+		return dirWorkerToManager
+	case m2w && !w2m:
+		return dirManagerToWorker
+	}
+	return dirEither
+}
+
+// scanUsage records, for one package, which protocol constants it produces
+// and which it dispatches on.
+func scanUsage(pkg *lint.Package, byObj map[types.Object]*protoConst) {
+	resolve := func(e ast.Expr) *protoConst {
+		var id *ast.Ident
+		switch e := e.(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return nil
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			return byObj[obj]
+		}
+		return nil
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					if c := resolve(e); c != nil {
+						c.dispatchPkgs = append(c.dispatchPkgs, pkg.Path)
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					for _, e := range []ast.Expr{n.X, n.Y} {
+						if c := resolve(e); c != nil {
+							c.dispatchPkgs = append(c.dispatchPkgs, pkg.Path)
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && key.Name == "Type" {
+					if c := resolve(n.Value); c != nil {
+						c.produced = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Type" || i >= len(n.Rhs) {
+						continue
+					}
+					if c := resolve(n.Rhs[i]); c != nil {
+						c.produced = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,149 @@
+// Package lint is a minimal, dependency-free analysis framework in the
+// spirit of golang.org/x/tools/go/analysis, built on the standard library
+// only (go/ast, go/types, go/importer). It exists because vinelint's
+// invariants are domain-specific — simulator determinism, lock discipline,
+// wire-protocol completeness, transfer finalization — and the container
+// image this repository builds in carries no third-party modules.
+//
+// The shape mirrors go/analysis closely (Analyzer, Pass, Diagnostic) so the
+// analyzers can be ported to the real multichecker verbatim if x/tools ever
+// becomes available.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //vinelint:allow suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// All lists every loaded module package, for cross-package analyzers
+	// (protocomplete cross-checks protocol constants against dispatch
+	// switches in other packages).
+	All  []*Package
+	Fset *token.FileSet
+
+	report func(Diagnostic)
+}
+
+// Report records a finding.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path (e.g. taskvine/internal/sim).
+	Path string
+	// Dir is the on-disk directory.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Fset  *token.FileSet
+}
+
+// allowRe matches suppression comments: //vinelint:allow <name>[ reason].
+// A suppression on a line silences that analyzer's diagnostics on the same
+// line; a suppression comment standing alone silences the following line.
+var allowRe = regexp.MustCompile(`//\s*vinelint:allow\s+([a-z]+)`)
+
+// suppressions maps "file:line" -> set of analyzer names silenced there.
+func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	sup := make(map[string]map[string]bool)
+	add := func(file string, line int, name string) {
+		key := fmt.Sprintf("%s:%d", file, line)
+		if sup[key] == nil {
+			sup[key] = make(map[string]bool)
+		}
+		sup[key][name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// Same line and the next: a standalone comment suppresses
+				// the statement below it, a trailing comment its own line.
+				add(pos.Filename, pos.Line, m[1])
+				add(pos.Filename, pos.Line+1, m[1])
+			}
+		}
+	}
+	return sup
+}
+
+// Run applies every analyzer to every package and returns surviving
+// diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := suppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				All:      pkgs,
+				Fset:     pkg.Fset,
+			}
+			pass.report = func(d Diagnostic) {
+				p := pkg.Fset.Position(d.Pos)
+				if sup[fmt.Sprintf("%s:%d", p.Filename, p.Line)][d.Analyzer] {
+					return
+				}
+				out = append(out, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// PathHasSegment reports whether the import path contains the given
+// slash-separated segment sequence on segment boundaries, e.g.
+// PathHasSegment("taskvine/internal/sim", "internal/sim") is true but
+// PathHasSegment("taskvine/internal/simx", "internal/sim") is not.
+func PathHasSegment(path, segment string) bool {
+	if path == segment {
+		return true
+	}
+	if strings.HasSuffix(path, "/"+segment) {
+		return true
+	}
+	return strings.Contains(path, "/"+segment+"/") || strings.HasPrefix(path, segment+"/")
+}

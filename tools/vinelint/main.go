@@ -1,0 +1,82 @@
+// Command vinelint runs TaskVine's domain-specific static analyzers:
+//
+//	simdeterminism  no wall-clock time or global randomness in simulator code
+//	lockguard       struct fields marked "guarded by <mu>" are accessed under it
+//	protocomplete   every protocol message type is produced and dispatched
+//	closecheck      no dropped errors from Close/Flush/transfer finalization
+//
+// Usage: go run ./tools/vinelint ./...
+//
+// The only accepted package pattern is "./..." rooted at the module
+// directory; the tool always analyzes the whole module because
+// protocomplete is inherently cross-package.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"taskvine/tools/vinelint/internal/analyzers"
+	"taskvine/tools/vinelint/internal/lint"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vinelint:", err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
+	root, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	// The linter does not lint itself or fixture trees.
+	pkgs, err := loader.LoadAll(func(rel string) bool {
+		return rel == "tools" || strings.HasPrefix(rel, "tools/")
+	})
+	if err != nil {
+		return err
+	}
+	diags, err := lint.Run(pkgs, analyzers.All())
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		rel, rerr := filepath.Rel(root, pos.Filename)
+		if rerr != nil {
+			rel = pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,55 @@
+// Package cache is a fixture for the closecheck analyzer.
+package cache
+
+import "os"
+
+// Write drops the Close error, losing the only signal that the object
+// actually reached disk.
+func Write(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	f.Close() // want:closecheck "error from Close is dropped"
+	return nil
+}
+
+// WriteChecked propagates the Close error, the fixed form of Write.
+func WriteChecked(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(b)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// Scratch removes a directory whose deletion failure is unactionable; the
+// explicit discard is the sanctioned exemption.
+func Scratch(dir string) {
+	_ = os.RemoveAll(dir)
+}
+
+// Read closes via defer, which is structurally exempt.
+func Read(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	return buf[:n], nil
+}
+
+// Spill drops a Sync error under an explicit suppression comment, which
+// exercises the //vinelint:allow machinery.
+func Spill(f *os.File) {
+	f.Sync() //vinelint:allow closecheck fixture exercises suppression
+}

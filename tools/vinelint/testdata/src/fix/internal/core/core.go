@@ -1,0 +1,15 @@
+// Package core is the fixture receiver side for worker→manager messages.
+package core
+
+import "fix/internal/protocol"
+
+// Handle dispatches inbound messages from workers via comparison rather
+// than a switch, which protocomplete also counts as a dispatch arm.
+func Handle(m *protocol.Message) bool {
+	return m.Type == protocol.TypePong
+}
+
+// Ping produces the manager→worker liveness probe.
+func Ping() *protocol.Message {
+	return &protocol.Message{Type: protocol.TypePing}
+}

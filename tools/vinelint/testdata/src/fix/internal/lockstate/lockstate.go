@@ -1,0 +1,43 @@
+// Package lockstate is a fixture for the lockguard analyzer.
+package lockstate
+
+import "sync"
+
+// Counter carries a field annotated with the guarded-by convention.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Good acquires the mutex before touching n.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad forgets the lock entirely.
+func (c *Counter) Bad() int {
+	return c.n // want:lockguard "Counter.Bad accesses c.n (guarded by mu)"
+}
+
+// bumpLocked runs with the lock held; the name suffix exempts it.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// Peek reads n without locking; the caller holds c.mu.
+func (c *Counter) Peek() int { return c.n }
+
+// Typod names a guard mutex that is not a field of the struct, so the
+// annotation silently checks nothing.
+type Typod struct { // want:lockguard "has no field named \"lock\""
+	mu sync.Mutex
+	v  int // guarded by lock
+}
+
+// Get acquires the real mutex, but the broken annotation names "lock",
+// so no acquisition can ever satisfy it.
+func (t *Typod) Get() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.v // want:lockguard "without acquiring t.lock"
+}

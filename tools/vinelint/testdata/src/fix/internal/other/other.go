@@ -1,0 +1,20 @@
+// Package other is a fixture outside every analyzer's scope: wall-clock
+// reads and bare Close calls here are legitimate and must not be flagged.
+package other
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock, fine outside simulator scope.
+func Stamp() time.Time { return time.Now() }
+
+// Touch drops a Close error, fine outside the cache/transfer scopes.
+func Touch(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Close()
+}

@@ -1,0 +1,23 @@
+// Package protocol is a fixture wire protocol for the protocomplete
+// analyzer.
+package protocol
+
+// Message is the single wire message shape.
+type Message struct {
+	Type string
+}
+
+// Message type tags, with wire direction noted in the doc comment exactly
+// as the real protocol package does.
+const (
+	// TypePing (manager→worker) checks worker liveness.
+	TypePing = "ping"
+	// TypePong (worker→manager) answers TypePing.
+	TypePong = "pong"
+	// TypeGhost (manager→worker) has a receiver arm wired but no sender
+	// anywhere in the module.
+	TypeGhost = "ghost" // want:protocomplete "TypeGhost is never produced"
+	// TypeDeaf (worker→manager) is produced by workers but the manager
+	// side never dispatches it.
+	TypeDeaf = "deaf" // want:protocomplete "no dispatch arm in internal/core"
+)

@@ -1,0 +1,44 @@
+// Package sim is a fixture: simulator-scoped code violating the
+// determinism invariants that simdeterminism enforces.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock reads the wall clock, which is forbidden in simulator scope.
+func Clock() time.Time {
+	return time.Now() // want:simdeterminism "time.Now in simulator code"
+}
+
+// Pause sleeps real time instead of advancing the simulated clock.
+func Pause() {
+	time.Sleep(time.Millisecond) // want:simdeterminism "time.Sleep in simulator code"
+}
+
+// Roll uses the process-seeded global generator.
+func Roll() int {
+	return rand.Intn(6) // want:simdeterminism "global rand.Intn in simulator code"
+}
+
+// Keys leaks map iteration order into its result slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want:simdeterminism "appends to out without a later sort"
+		out = append(out, k)
+	}
+	return out
+}
+
+var sink []string
+
+// Effects calls a side-effecting function per iteration, so the order of
+// the side effects is random.
+func Effects(m map[string]bool) {
+	for k := range m { // want:simdeterminism "side-effecting calls"
+		record(k)
+	}
+}
+
+func record(k string) { sink = append(sink, k) }

@@ -1,0 +1,29 @@
+// Package worker is the fixture receiver side for manager→worker messages.
+package worker
+
+import "fix/internal/protocol"
+
+// Handle dispatches inbound messages from the manager.
+func Handle(m *protocol.Message) {
+	switch m.Type {
+	case protocol.TypePing:
+		reply()
+	case protocol.TypeGhost:
+		// Receiver wired, but no producer exists anywhere: protocomplete
+		// reports the constant, not this arm.
+	}
+}
+
+func reply() {}
+
+// Send produces the worker→manager answer.
+func Send() *protocol.Message {
+	return &protocol.Message{Type: protocol.TypePong}
+}
+
+// Report produces TypeDeaf, which the manager side never dispatches.
+func Report() *protocol.Message {
+	m := &protocol.Message{}
+	m.Type = protocol.TypeDeaf
+	return m
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"taskvine/tools/vinelint/internal/analyzers"
+	"taskvine/tools/vinelint/internal/lint"
+)
+
+// wantRe matches expectation comments in fixture files:
+//
+//	f.Close() // want:closecheck "error from Close is dropped"
+//
+// The analyzer named after the colon must report a diagnostic on that line
+// whose message contains the quoted substring.
+var wantRe = regexp.MustCompile(`//\s*want:(\w+)\s+"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file     string // relative to the fixture module root
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+// collectWants scans every fixture .go file for want comments.
+func collectWants(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, _ := filepath.Rel(root, p)
+		sc := bufio.NewScanner(f)
+		for lineNo := 1; sc.Scan(); lineNo++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				wants = append(wants, &expectation{
+					file:     filepath.ToSlash(rel),
+					line:     lineNo,
+					analyzer: m[1],
+					substr:   strings.ReplaceAll(m[2], `\"`, `"`),
+				})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("scanning fixtures: %v", err)
+	}
+	return wants
+}
+
+// TestAnalyzersAgainstFixtures runs the full analyzer suite over the
+// fixture module and requires an exact match between diagnostics and the
+// // want: expectations — every expectation fires, and nothing else does.
+func TestAnalyzersAgainstFixtures(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "fix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, root)
+	if len(wants) == 0 {
+		t.Fatal("no // want: expectations found in fixtures")
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("creating loader: %v", err)
+	}
+	pkgs, err := loader.LoadAll(nil)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	diags, err := lint.Run(pkgs, analyzers.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		rel, err := filepath.Rel(root, pos.Filename)
+		if err != nil {
+			rel = pos.Filename
+		}
+		rel = filepath.ToSlash(rel)
+		matched := false
+		for _, w := range wants {
+			if w.file == rel && w.line == pos.Line && w.analyzer == d.Analyzer &&
+				strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s:%d: [%s] %s", rel, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("expected diagnostic did not fire: %s:%d: [%s] containing %q",
+				w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+// TestCoverage asserts each analyzer has at least one firing fixture, so a
+// future analyzer cannot silently ship untested.
+func TestCoverage(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "fix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[string]bool)
+	for _, w := range collectWants(t, root) {
+		covered[w.analyzer] = true
+	}
+	for _, a := range analyzers.All() {
+		if !covered[a.Name] {
+			t.Errorf("analyzer %s has no positive fixture under testdata/src/fix", a.Name)
+		}
+	}
+}
+
+// TestSuppression checks that a //vinelint:allow comment present in the
+// fixtures silences the diagnostic it names: the Spill function in the
+// cache fixture drops a Sync error under suppression and must not appear
+// in the results (covered by the exact-match property of
+// TestAnalyzersAgainstFixtures, re-asserted here directly).
+func TestSuppression(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "fix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkgs, analyzers.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		if strings.Contains(d.Message, "Sync") {
+			t.Errorf("suppressed diagnostic leaked: %s: %s", fmt.Sprintf("%s:%d", pos.Filename, pos.Line), d.Message)
+		}
+	}
+}
