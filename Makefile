@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet race fuzz ci
+.PHONY: all build test lint vet race fuzz chaos ci
 
 all: build
 
@@ -38,4 +38,11 @@ fuzz:
 	$(GO) test ./internal/protocol -run '^$$' -fuzz FuzzRecv -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/protocol -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME)
 
-ci: build vet lint race fuzz
+# chaos runs the seeded fault-injection suite (sim, core, worker, batch)
+# under the race detector for two fixed seeds. Fixed seeds keep failures
+# reproducible: a red chaos run replays bit-for-bit with the same seed.
+chaos:
+	VINE_CHAOS_SEED=1 $(GO) test -race -count=1 -run Chaos ./...
+	VINE_CHAOS_SEED=2 $(GO) test -race -count=1 -run Chaos ./...
+
+ci: build vet lint race chaos fuzz

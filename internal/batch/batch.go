@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"taskvine/internal/chaos"
 	"taskvine/internal/resources"
 	"taskvine/internal/worker"
 )
@@ -77,6 +78,10 @@ type Config struct {
 	RestartDelay time.Duration
 	// Logger receives supervision messages; nil silences them.
 	Logger *log.Logger
+	// Faults is a test-only fault injector; a Crash fired at the job-start
+	// point preempts that run shortly after launch, exercising the pool's
+	// restart supervision. Nil disables injection.
+	Faults *chaos.Injector
 }
 
 // WorkerFactory returns a Factory producing real TaskVine workers that
@@ -203,7 +208,9 @@ func (p *Pool) supervise(ctx context.Context, idx int, r Runner) {
 	defer p.wg.Done()
 	for {
 		p.setState(idx, Running)
-		err := r.Run(ctx)
+		rctx, stop := p.injectPreemption(ctx, idx)
+		err := r.Run(rctx)
+		stop()
 		p.mu.Lock()
 		rec := p.jobs[idx]
 		wanted := rec.wanted && ctx.Err() == nil
@@ -237,6 +244,28 @@ func (p *Pool) supervise(ctx context.Context, idx int, r Runner) {
 		}
 		r = nr
 	}
+}
+
+// injectPreemption arms one chaos-driven preemption of a job run: a Crash
+// fired at the job-start point cancels the run's context after the fault's
+// delay (default 50ms), modeling the batch system revoking the node
+// mid-run. The supervise loop observes only its own context, so a preempted
+// run still counts as an unexpected exit and is restarted.
+func (p *Pool) injectPreemption(ctx context.Context, idx int) (context.Context, func()) {
+	f := p.cfg.Faults.At(chaos.JobStart, fmt.Sprintf("job%d", idx), "")
+	if f.Action != chaos.Crash {
+		return ctx, func() {}
+	}
+	d := f.Delay
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	t := time.AfterFunc(d, func() {
+		p.logf("job%d preempted (chaos injection)", idx)
+		cancel()
+	})
+	return rctx, func() { t.Stop(); cancel() }
 }
 
 func (p *Pool) setState(idx int, s JobState) {

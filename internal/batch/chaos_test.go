@@ -1,0 +1,112 @@
+package batch
+
+// Chaos tests for the pool's preemption supervision: injected JobStart
+// crashes model the batch system revoking a node mid-run, and the pool must
+// resubmit the job until the fault budget — or its own restart budget — is
+// exhausted.
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"taskvine/internal/chaos"
+)
+
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("VINE_CHAOS_SEED")
+	if s == "" {
+		return 1
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad VINE_CHAOS_SEED %q: %v", s, err)
+	}
+	return n
+}
+
+// blockingRunner models a healthy worker: it serves until its context — the
+// pool's, or a chaos preemption's — is cancelled.
+type blockingRunner struct{}
+
+func (blockingRunner) Run(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func pollJob(t *testing.T, p *Pool, what string, pred func(Job) bool) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if jobs := p.Jobs(); len(jobs) > 0 && pred(jobs[0]) {
+			return jobs[0]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; jobs = %+v", what, p.Jobs())
+	return Job{}
+}
+
+// TestChaosPreemptionRestartsJob preempts the same job three times; the pool
+// must resubmit after each preemption and end up with the job live and
+// exactly three restarts on its record.
+func TestChaosPreemptionRestartsJob(t *testing.T) {
+	inj := chaos.New(chaosSeed(t)).Add(chaos.Rule{
+		Point: chaos.JobStart, Action: chaos.Crash, Count: 3, Delay: 20 * time.Millisecond,
+	})
+	p := NewPool(Config{
+		Size:         1,
+		Factory:      func(int) (Runner, error) { return blockingRunner{}, nil },
+		MaxRestarts:  5,
+		RestartDelay: 10 * time.Millisecond,
+		Faults:       inj,
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	pollJob(t, p, "3 restarts", func(j Job) bool { return j.Restarts == 3 })
+	if got := inj.Fired(chaos.JobStart); got != 3 {
+		t.Fatalf("preemption fault fired %d times, want 3", got)
+	}
+	// The fourth incarnation draws no fault and stays up.
+	time.Sleep(100 * time.Millisecond)
+	if j := p.Jobs()[0]; j.State != Running || j.Restarts != 3 {
+		t.Fatalf("after fault budget drained: %+v, want running with 3 restarts", j)
+	}
+	if p.Live() != 1 {
+		t.Fatalf("Live() = %d, want 1", p.Live())
+	}
+}
+
+// TestChaosPreemptionExhaustsRestartBudget preempts every incarnation; once
+// MaxRestarts is spent the pool must abandon the job rather than loop
+// forever.
+func TestChaosPreemptionExhaustsRestartBudget(t *testing.T) {
+	inj := chaos.New(chaosSeed(t)).Add(chaos.Rule{
+		Point: chaos.JobStart, Action: chaos.Crash, Delay: 10 * time.Millisecond,
+	})
+	p := NewPool(Config{
+		Size:         1,
+		Factory:      func(int) (Runner, error) { return blockingRunner{}, nil },
+		MaxRestarts:  2,
+		RestartDelay: 10 * time.Millisecond,
+		Faults:       inj,
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	j := pollJob(t, p, "job abandoned", func(j Job) bool { return j.State == Exited })
+	if j.Restarts != 2 {
+		t.Fatalf("abandoned after %d restarts, want 2 (MaxRestarts)", j.Restarts)
+	}
+	if p.Live() != 0 {
+		t.Fatalf("Live() = %d, want 0 after abandonment", p.Live())
+	}
+}

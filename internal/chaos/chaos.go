@@ -1,0 +1,272 @@
+// Package chaos is a small seeded fault-injection engine for exercising
+// TaskVine's failure paths in both execution substrates: the discrete-event
+// simulator (internal/sim) and the real manager/worker/batch stack.
+//
+// The paper's central reliability claim (§2.2, §4) is that workflows keep
+// running while workers join, crash, and fill their disks mid-run. Rules
+// describe where faults strike (a Point), what happens (an Action), and how
+// often; an Injector evaluates them deterministically from a seed, so a
+// chaos scenario replays identically for the same seed. Decisions are
+// derived by hashing (seed, rule, site, occurrence) rather than by drawing
+// from a shared stream, so concurrent real-mode call sites cannot perturb
+// one another's outcomes.
+//
+// Production code consults the injector through nil-safe methods: a nil
+// *Injector injects nothing and costs one pointer comparison, so hooks can
+// stay in place permanently and be enabled only by tests.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Point names an instrumented failure site. Constants below cover the sites
+// wired into the codebase; packages may define additional points.
+type Point string
+
+const (
+	// PeerDial covers connection establishment to a peer worker.
+	PeerDial Point = "peer-dial"
+	// PeerRead covers payload reads during a peer fetch (corruption site).
+	PeerRead Point = "peer-read"
+	// PeerServe covers the serving side of a peer transfer.
+	PeerServe Point = "peer-serve"
+	// CacheInsert covers admission of an object into a worker cache
+	// (disk-full site).
+	CacheInsert Point = "cache-insert"
+	// TaskRun covers the start of task execution at a worker (crash site).
+	TaskRun Point = "task-run"
+	// Transfer covers a manager-supervised transfer as a whole: in the
+	// simulator the decision is taken when the flow starts; in the real
+	// manager it is taken when the instruction is issued.
+	Transfer Point = "transfer"
+	// JobStart covers a batch job starting to serve (preemption site).
+	JobStart Point = "job-start"
+)
+
+// Action is what an injected fault does at its site.
+type Action int
+
+const (
+	// None means no fault.
+	None Action = iota
+	// Fail makes the operation report an error immediately.
+	Fail
+	// Hang makes the operation stall (for Delay, or until a deadline trips).
+	Hang
+	// Reset drops a connection mid-stream.
+	Reset
+	// Corrupt flips payload bits so checksums mismatch.
+	Corrupt
+	// Crash terminates the whole worker or job, not just the operation.
+	Crash
+	// Slow adds Delay to the operation's latency without failing it.
+	Slow
+)
+
+// String returns a readable name for the action.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Fail:
+		return "fail"
+	case Hang:
+		return "hang"
+	case Reset:
+		return "reset"
+	case Corrupt:
+		return "corrupt"
+	case Crash:
+		return "crash"
+	case Slow:
+		return "slow"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Rule describes one fault source. Zero-valued selector fields match any
+// site; rules are evaluated in the order they were added and the first rule
+// that fires wins.
+type Rule struct {
+	// Point selects the failure site; empty matches every point.
+	Point Point
+	// Action is the fault to inject.
+	Action Action
+	// P is the per-opportunity injection probability in (0,1]; zero means
+	// always (deterministic rules are the common case in regression tests).
+	P float64
+	// Worker restricts the rule to one worker/job ID; empty matches any.
+	Worker string
+	// File restricts the rule to one cache name; empty matches any.
+	File string
+	// After skips the first N matching opportunities before the rule may
+	// fire, e.g. "crash at the third task start".
+	After int
+	// Count bounds how many times the rule fires; zero means unlimited.
+	Count int
+	// Delay is the magnitude for Slow and Hang faults.
+	Delay time.Duration
+}
+
+// Fault is the decision returned at a site; the zero value means proceed
+// normally.
+type Fault struct {
+	Action Action
+	Delay  time.Duration
+}
+
+// Injection records one fired fault, for assertions in tests.
+type Injection struct {
+	Point  Point
+	Action Action
+	Worker string
+	File   string
+}
+
+// ruleState pairs a Rule with its occurrence counters. The counters are
+// only touched under the owning Injector's mutex.
+type ruleState struct {
+	rule  Rule
+	seen  int // matching opportunities observed
+	fired int // injections performed
+}
+
+// Injector evaluates rules at instrumented sites. All methods are safe for
+// concurrent use and safe on a nil receiver (which injects nothing).
+type Injector struct {
+	seed int64
+
+	mu    sync.Mutex
+	rules []*ruleState // guarded by mu
+	hits  []Injection  // guarded by mu
+}
+
+// New returns an injector whose probabilistic decisions derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed}
+}
+
+// Add appends a rule. Rules are immutable once added.
+func (i *Injector) Add(r Rule) *Injector {
+	i.mu.Lock()
+	i.rules = append(i.rules, &ruleState{rule: r})
+	i.mu.Unlock()
+	return i
+}
+
+// At evaluates the rules for one opportunity at a site and returns the
+// fault to inject, if any. Each matching rule observes the opportunity
+// (advancing its After/Count accounting) even when an earlier rule fires.
+func (i *Injector) At(p Point, worker, file string) Fault {
+	if i == nil {
+		return Fault{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var out Fault
+	for idx, rs := range i.rules {
+		r := &rs.rule
+		if r.Point != "" && r.Point != p {
+			continue
+		}
+		if r.Worker != "" && r.Worker != worker {
+			continue
+		}
+		if r.File != "" && r.File != file {
+			continue
+		}
+		rs.seen++
+		if out.Action != None {
+			continue // an earlier rule already fired for this opportunity
+		}
+		if rs.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && rs.fired >= r.Count {
+			continue
+		}
+		if r.P > 0 && decide(i.seed, idx, p, worker, file, rs.seen) >= r.P {
+			continue
+		}
+		rs.fired++
+		out = Fault{Action: r.Action, Delay: r.Delay}
+		i.hits = append(i.hits, Injection{Point: p, Action: r.Action, Worker: worker, File: file})
+	}
+	return out
+}
+
+// Injections returns a copy of every fired fault, in firing order.
+func (i *Injector) Injections() []Injection {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]Injection(nil), i.hits...)
+}
+
+// Fired counts fired faults at a point (any point when p is empty).
+func (i *Injector) Fired(p Point) int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := 0
+	for _, h := range i.hits {
+		if p == "" || h.Point == p {
+			n++
+		}
+	}
+	return n
+}
+
+// decide maps one opportunity to a uniform value in [0,1). Hashing the full
+// site identity plus the per-rule occurrence number makes the decision a
+// pure function of the seed and the site's own history: goroutine
+// interleaving across different sites cannot change any site's outcomes.
+func decide(seed int64, ruleIdx int, p Point, worker, file string, occurrence int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%s|%s|%d", seed, ruleIdx, p, worker, file, occurrence)
+	const mask = 1<<53 - 1 // float64 has 53 significand bits
+	return float64(h.Sum64()&mask) / float64(1<<53)
+}
+
+// Backoff returns the pause before retry number attempt (1-based) of the
+// operation identified by key: capped exponential growth from base with
+// deterministic ±25% jitter derived from seed and key. It reads no clock
+// and no global randomness, so it is usable from simulator code and gives
+// reproducible schedules in tests.
+func Backoff(base, max time.Duration, attempt int, seed int64, key string) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for n := 1; n < attempt; n++ {
+		d *= 2
+		if d >= max || d < 0 { // overflow guard
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter multiplier in [0.75, 1.25): spreads retries from concurrent
+	// failures without wall-clock or global-rand dependence.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", seed, key, attempt)
+	frac := float64(h.Sum64()&(1<<53-1)) / float64(1<<53)
+	return time.Duration(float64(d) * (0.75 + frac/2))
+}

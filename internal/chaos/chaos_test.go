@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	if f := inj.At(PeerDial, "w1", "file-a"); f.Action != None {
+		t.Fatalf("nil injector returned %v", f)
+	}
+	if got := inj.Injections(); got != nil {
+		t.Fatalf("nil injector recorded %v", got)
+	}
+	if inj.Fired("") != 0 {
+		t.Fatal("nil injector counted fired faults")
+	}
+}
+
+func TestDeterministicRuleMatchesSelectors(t *testing.T) {
+	inj := New(1).Add(Rule{Point: CacheInsert, Action: Fail, Worker: "w2", File: "obj"})
+	if f := inj.At(CacheInsert, "w1", "obj"); f.Action != None {
+		t.Fatalf("wrong worker matched: %v", f)
+	}
+	if f := inj.At(CacheInsert, "w2", "other"); f.Action != None {
+		t.Fatalf("wrong file matched: %v", f)
+	}
+	if f := inj.At(TaskRun, "w2", "obj"); f.Action != None {
+		t.Fatalf("wrong point matched: %v", f)
+	}
+	if f := inj.At(CacheInsert, "w2", "obj"); f.Action != Fail {
+		t.Fatalf("exact site did not match: %v", f)
+	}
+	hits := inj.Injections()
+	if len(hits) != 1 || hits[0].Worker != "w2" || hits[0].File != "obj" {
+		t.Fatalf("injections = %v", hits)
+	}
+}
+
+func TestAfterAndCountBoundFiring(t *testing.T) {
+	inj := New(1).Add(Rule{Point: TaskRun, Action: Crash, After: 2, Count: 3})
+	var fired []int
+	for n := 1; n <= 10; n++ {
+		if inj.At(TaskRun, "w", "").Action == Crash {
+			fired = append(fired, n)
+		}
+	}
+	want := []int{3, 4, 5} // skips the first two opportunities, fires thrice
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestProbabilisticDecisionsAreSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		inj := New(seed).Add(Rule{Point: Transfer, Action: Fail, P: 0.5})
+		out := make([]bool, 100)
+		for n := range out {
+			out[n] = inj.At(Transfer, "w1", "f").Action == Fail
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	fires := 0
+	for n := range a {
+		if a[n] != b[n] {
+			t.Fatalf("same seed diverged at opportunity %d", n)
+		}
+		if a[n] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("P=0.5 fired %d/%d times; expected a mixture", fires, len(a))
+	}
+	c := run(8)
+	same := 0
+	for n := range a {
+		if a[n] == c[n] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func TestDecisionsIndependentAcrossSites(t *testing.T) {
+	// Interleaving opportunities at another site must not change the
+	// decisions observed at this one: real-mode goroutine scheduling is
+	// nondeterministic across sites but each site's history is its own.
+	seq := func(interleave bool) []bool {
+		inj := New(3).Add(Rule{Point: Transfer, Action: Fail, P: 0.5, File: "a"}).
+			Add(Rule{Point: Transfer, Action: Fail, P: 0.5, File: "b"})
+		var out []bool
+		for n := 0; n < 50; n++ {
+			if interleave {
+				inj.At(Transfer, "w", "b")
+			}
+			out = append(out, inj.At(Transfer, "w", "a").Action == Fail)
+		}
+		return out
+	}
+	plain, mixed := seq(false), seq(true)
+	for n := range plain {
+		if plain[n] != mixed[n] {
+			t.Fatalf("site-a decision %d changed when site-b traffic was interleaved", n)
+		}
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	inj := New(1).
+		Add(Rule{Point: Transfer, Action: Fail, Count: 1}).
+		Add(Rule{Point: Transfer, Action: Slow, Delay: time.Second})
+	if f := inj.At(Transfer, "w", "f"); f.Action != Fail {
+		t.Fatalf("first = %v", f)
+	}
+	// Rule one is exhausted; rule two takes over and carries its delay.
+	if f := inj.At(Transfer, "w", "f"); f.Action != Slow || f.Delay != time.Second {
+		t.Fatalf("second = %v", f)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := Backoff(base, max, attempt, 1, "k")
+		if d < base/2 || d > max+max/4 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, base/2, max+max/4)
+		}
+		if attempt > 6 && d < max/2 {
+			t.Fatalf("attempt %d: backoff %v did not approach cap %v", attempt, d, max)
+		}
+		_ = prev
+		prev = d
+	}
+	// Deterministic for identical inputs.
+	if Backoff(base, max, 3, 9, "x") != Backoff(base, max, 3, 9, "x") {
+		t.Fatal("backoff not deterministic")
+	}
+	// Jitter differentiates keys.
+	if Backoff(base, max, 3, 9, "x") == Backoff(base, max, 3, 9, "y") &&
+		Backoff(base, max, 4, 9, "x") == Backoff(base, max, 4, 9, "y") {
+		t.Fatal("jitter identical across keys for two attempts; suspicious")
+	}
+}
+
+func TestBackoffOverflowSafe(t *testing.T) {
+	d := Backoff(time.Hour, 24*time.Hour, 500, 1, "k")
+	if d <= 0 || d > 30*time.Hour {
+		t.Fatalf("huge attempt produced %v", d)
+	}
+}

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"taskvine/internal/files"
+	"taskvine/internal/hashing"
 	"taskvine/internal/protocol"
 	"taskvine/internal/resources"
 	"taskvine/internal/taskspec"
@@ -31,7 +33,12 @@ func (m *Manager) handleMessage(ev event) {
 	case protocol.TypeComplete:
 		m.handleComplete(ev.workerID, msg)
 	case protocol.TypeData:
-		m.deliverFetch(msg.CacheName, fetchResult{data: ev.data})
+		if msg.Checksum != "" && string(hashing.HashBytes(ev.data)) != msg.Checksum {
+			m.deliverFetch(msg.CacheName, fetchResult{err: fmt.Errorf(
+				"core: fetched %s from %s failed checksum verification", msg.CacheName, ev.workerID)})
+		} else {
+			m.deliverFetch(msg.CacheName, fetchResult{data: ev.data})
+		}
 	case protocol.TypeError:
 		if msg.CacheName != "" {
 			m.deliverFetch(msg.CacheName, fetchResult{err: fmt.Errorf("%s", msg.Error)})
@@ -109,11 +116,13 @@ func (m *Manager) handleCacheUpdate(msg *protocol.Message) {
 				Time: m.now(), Kind: trace.TransferEnd, Worker: msg.WorkerID,
 				File: msg.CacheName, Bytes: msg.Size, Source: sourceLabel(tr.Source),
 			})
+			m.clearTransferFailure(msg.CacheName, msg.WorkerID)
 		} else if ok {
 			m.tlog.Add(trace.Event{
 				Time: m.now(), Kind: trace.TransferFailed, Worker: msg.WorkerID,
 				File: msg.CacheName, Source: sourceLabel(tr.Source), Detail: msg.Error,
 			})
+			m.noteTransferFailure(msg.CacheName, msg.WorkerID)
 		}
 	} else if msg.Status == protocol.StatusOK {
 		// Materialization (MiniTask) or adopted cache content.
@@ -238,7 +247,10 @@ func (m *Manager) returnOutputs(t *taskState) {
 	}
 }
 
-// startFetch begins retrieving a file's content back to the manager.
+// startFetch begins retrieving a file's content back to the manager. All
+// live holders are candidates, tried in sorted order until one accepts the
+// request; the reply (or the holder's death, which restarts the fetch via
+// workerGone) resolves every waiter.
 func (m *Manager) startFetch(fileID string, reply chan fetchResult) {
 	f, ok := m.reg.Lookup(fileID)
 	if !ok {
@@ -246,7 +258,14 @@ func (m *Manager) startFetch(fileID string, reply chan fetchResult) {
 		return
 	}
 	holders := m.reps.Locate(fileID)
-	if len(holders) == 0 {
+	sort.Strings(holders)
+	var live []*workerConn
+	for _, h := range holders {
+		if w := m.workers[h]; w != nil && !w.gone {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
 		// No cluster replica: local files can be read from the manager's
 		// own filesystem.
 		if f.Type == files.Local {
@@ -257,18 +276,17 @@ func (m *Manager) startFetch(fileID string, reply chan fetchResult) {
 		reply <- fetchResult{err: fmt.Errorf("core: no replica of %s in the cluster", fileID)}
 		return
 	}
-	w := m.workers[holders[0]]
-	if w == nil || w.gone {
-		reply <- fetchResult{err: fmt.Errorf("core: replica holder of %s is gone", fileID)}
-		return
-	}
 	waiting := m.fetches[fileID]
 	m.fetches[fileID] = append(waiting, reply)
-	if len(waiting) == 0 { // first waiter issues the request
-		if err := w.conn.Send(&protocol.Message{Type: protocol.TypeGet, CacheName: fileID}); err != nil {
-			m.deliverFetch(fileID, fetchResult{err: err})
+	if len(waiting) > 0 {
+		return // a request is already outstanding; ride along
+	}
+	for _, w := range live {
+		if err := w.conn.Send(&protocol.Message{Type: protocol.TypeGet, CacheName: fileID}); err == nil {
+			return
 		}
 	}
+	m.deliverFetch(fileID, fetchResult{err: fmt.Errorf("core: every holder of %s refused the fetch", fileID)})
 }
 
 func (m *Manager) deliverFetch(fileID string, r fetchResult) {
@@ -290,7 +308,9 @@ func (m *Manager) deployLibraryTo(w *workerConn, lib *librarySpec) {
 		}
 	}
 	if !w.pool.Alloc(lib.res) {
-		return // retried on a later tick when resources free up
+		// No room now; reconcileLibraries re-attempts on every scheduling
+		// pass until an instance fits.
+		return
 	}
 	m.nextID++
 	id := m.nextID
@@ -326,7 +346,6 @@ func (m *Manager) workerGone(workerID string) {
 	m.logf("worker %s left", workerID)
 
 	affected := m.reps.DropWorker(workerID)
-	_ = affected
 	cancelled := m.trs.DropWorker(workerID)
 	for _, tr := range cancelled {
 		if tr.Dest != workerID {
@@ -336,12 +355,20 @@ func (m *Manager) workerGone(workerID string) {
 			m.reps.Remove(tr.File, tr.Dest)
 		}
 	}
+	// Forget the dead worker's transfer failure history.
+	for key := range m.transferRetry {
+		if key.dest == workerID {
+			delete(m.transferRetry, key)
+		}
+	}
 	for id := range w.running {
 		t := m.tasks[id]
 		if t == nil {
 			continue
 		}
 		if t.library {
+			// The instance died with its node; reconcileLibraries redeploys
+			// on the survivors (and here again, should this worker return).
 			delete(w.running, id)
 			delete(m.tasks, id)
 			continue
@@ -355,11 +382,23 @@ func (m *Manager) workerGone(workerID string) {
 		m.requeue(id, t, false)
 	}
 	delete(m.workers, workerID)
-	// Pending manager fetches served by this worker must be retried.
-	for fileID, waiters := range m.fetches {
-		delete(m.fetches, fileID)
-		for _, ch := range waiters {
-			m.startFetch(fileID, ch)
+	// Repair what the departure broke: top up under-replicated files and
+	// re-execute producers of temp files that lost their last replica.
+	m.repairReplicas(workerID, affected)
+	// Pending manager fetches served by this worker must be restarted
+	// against a surviving holder. Snapshot-and-reset first: startFetch
+	// re-registers waiters in m.fetches, and mutating a map mid-range can
+	// revisit re-added keys, which would enqueue a waiter twice.
+	pending := m.fetches
+	m.fetches = make(map[string][]chan fetchResult)
+	var fids []string
+	for fid := range pending {
+		fids = append(fids, fid)
+	}
+	sort.Strings(fids)
+	for _, fid := range fids {
+		for _, ch := range pending[fid] {
+			m.startFetch(fid, ch)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"taskvine/internal/chaos"
 	"taskvine/internal/files"
 	"taskvine/internal/policy"
 	"taskvine/internal/protocol"
@@ -47,6 +48,7 @@ func (m *Manager) schedule() {
 			m.progressStaging(id, t)
 		}
 	}
+	m.reconcileLibraries()
 	m.reconcileReplication()
 	if len(m.waiting) == 0 {
 		return
@@ -252,9 +254,14 @@ func (m *Manager) progressStaging(id int, t *taskState) {
 }
 
 // startTransfer records and issues one supervised transfer instruction.
+// Placements inside a retry backoff window are silently skipped: the
+// per-tick replanner re-offers them until the window opens.
 func (m *Manager) startTransfer(fileID string, src replica.Source, w *workerConn) {
 	f, ok := m.reg.Lookup(fileID)
 	if !ok {
+		return
+	}
+	if m.transferBlocked(fileID, w.id) {
 		return
 	}
 	tr := m.trs.Start(fileID, src, w.id)
@@ -264,30 +271,35 @@ func (m *Manager) startTransfer(fileID string, src replica.Source, w *workerConn
 		Source: sourceLabel(src),
 	})
 	var err error
-	switch src.Kind {
-	case replica.SourceURL:
-		err = w.conn.Send(&protocol.Message{
-			Type: protocol.TypeFetchURL, CacheName: fileID, URL: f.Source,
-			Size: f.Size, Lifetime: int(f.Lifetime), TransferID: tr.ID,
-		})
-	case replica.SourceWorker:
-		peer := m.workers[src.ID]
-		if peer == nil || peer.gone {
-			err = fmt.Errorf("peer %s is gone", src.ID)
-		} else {
+	if fault := m.cfg.Faults.At(chaos.Transfer, w.id, fileID); fault.Action != chaos.None {
+		err = fmt.Errorf("chaos: injected %s", fault.Action)
+	} else {
+		switch src.Kind {
+		case replica.SourceURL:
 			err = w.conn.Send(&protocol.Message{
-				Type: protocol.TypeFetchPeer, CacheName: fileID, PeerAddr: peer.transferAddr,
+				Type: protocol.TypeFetchURL, CacheName: fileID, URL: f.Source,
 				Size: f.Size, Lifetime: int(f.Lifetime), TransferID: tr.ID,
 			})
+		case replica.SourceWorker:
+			peer := m.workers[src.ID]
+			if peer == nil || peer.gone {
+				err = fmt.Errorf("peer %s is gone", src.ID)
+			} else {
+				err = w.conn.Send(&protocol.Message{
+					Type: protocol.TypeFetchPeer, CacheName: fileID, PeerAddr: peer.transferAddr,
+					Size: f.Size, Lifetime: int(f.Lifetime), TransferID: tr.ID,
+				})
+			}
+		case replica.SourceManager:
+			err = m.sendPut(w, f, tr.ID)
 		}
-	case replica.SourceManager:
-		err = m.sendPut(w, f, tr.ID)
 	}
 	if err != nil {
 		m.logf("transfer of %s to %s failed to start: %v", fileID, w.id, err)
 		m.trs.Complete(tr.ID)
 		m.reps.Remove(fileID, w.id)
-		m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.TransferFailed, Worker: w.id, File: fileID})
+		m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.TransferFailed, Worker: w.id, File: fileID, Source: sourceLabel(src), Detail: err.Error()})
+		m.noteTransferFailure(fileID, w.id)
 	}
 }
 

@@ -124,6 +124,10 @@ type Message struct {
 	URL        string `json:"url,omitempty"`
 	PeerAddr   string `json:"peer_addr,omitempty"`
 	TransferID string `json:"transfer_id,omitempty"`
+	// Checksum is the hex MD5 digest of the payload accompanying a data
+	// message; receivers that find it non-empty verify the payload against
+	// it and treat a mismatch as a transfer failure.
+	Checksum string `json:"checksum,omitempty"`
 
 	// Status reporting.
 	Status string `json:"status,omitempty"`
@@ -161,6 +165,15 @@ func (c *Conn) RemoteAddr() string { return c.raw.RemoteAddr().String() }
 
 // SetDeadline sets the read/write deadline on the underlying connection.
 func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetReadDeadline bounds future reads, so a wedged sender fails the
+// transfer instead of hanging a goroutine forever. Refresh it before each
+// read to express an idle timeout rather than a whole-transfer bound.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds future writes, the mirror-image defense against a
+// receiver that stops draining.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
 
 // Send writes a control message with no payload.
 func (c *Conn) Send(m *Message) error {

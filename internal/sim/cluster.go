@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"taskvine/internal/chaos"
 	"taskvine/internal/policy"
 	"taskvine/internal/replica"
 	"taskvine/internal/resources"
@@ -30,6 +31,9 @@ type Cluster struct {
 	workers map[string]*simWorker
 	tasks   map[int]*simTask
 	waiting []int
+	// producers maps produced file ID -> producing task ID, for recovery
+	// re-execution when a temp loses its last replica.
+	producers map[string]int
 
 	// libraries to deploy per worker.
 	libs map[string]*Library
@@ -40,6 +44,11 @@ type Cluster struct {
 
 	scheduled bool // a schedule pass is queued
 	completed int
+
+	// faults is the seeded fault injector; nil disables injection. Because
+	// the injector's decisions depend only on its seed and each site's
+	// opportunity history, a faulted simulation replays bit-for-bit.
+	faults *chaos.Injector
 }
 
 type simWorker struct {
@@ -91,6 +100,7 @@ func NewCluster(w *Workload, params Params, limits policy.Limits) *Cluster {
 		sharedFS:  capped(NewEndpoint("shared-fs", params.SharedFSBW), params.PerFlowBW),
 		workers:   make(map[string]*simWorker),
 		tasks:     make(map[int]*simTask),
+		producers: make(map[string]int),
 		libs:      make(map[string]*Library),
 		atManager: make(map[string]bool),
 	}
@@ -127,10 +137,17 @@ func NewCluster(w *Workload, params Params, limits policy.Limits) *Cluster {
 	for _, t := range w.Tasks {
 		c.tasks[t.ID] = &simTask{t: t}
 		c.waiting = append(c.waiting, t.ID)
+		for _, out := range t.Outputs {
+			c.producers[out.ID] = t.ID
+		}
 	}
 	sort.Ints(c.waiting)
 	return c
 }
+
+// InjectFaults arms the cluster with a seeded fault injector. Call before
+// Run; a nil injector leaves the simulation fault-free.
+func (c *Cluster) InjectFaults(inj *chaos.Injector) { c.faults = inj }
 
 // Trace returns the recorded event log.
 func (c *Cluster) Trace() *trace.Log { return c.log }
@@ -180,12 +197,13 @@ func (c *Cluster) workerLeave(w *simWorker) {
 	}
 	w.joined = false
 	c.log.Add(trace.Event{Time: c.eng.Now(), Kind: trace.WorkerLeft, Worker: w.spec.ID})
-	c.reps.DropWorker(w.spec.ID)
+	affected := c.reps.DropWorker(w.spec.ID)
 	for _, tr := range c.trs.DropWorker(w.spec.ID) {
 		if tr.Dest != w.spec.ID {
 			c.reps.Remove(tr.File, tr.Dest)
 		}
 	}
+	c.recoverLostTemps(w.spec.ID, affected)
 	for id := range w.running {
 		t := c.tasks[id]
 		if t == nil {
@@ -208,6 +226,58 @@ func (c *Cluster) workerLeave(w *simWorker) {
 	w.libBoot = make(map[string]bool)
 	sort.Ints(c.waiting)
 	c.requestSchedule()
+}
+
+// recoverLostTemps mirrors the real manager's recovery re-execution: a
+// produced file whose last replica left with a worker is regenerated by
+// requeueing its completed producer, provided some unfinished task still
+// consumes it (§2.2). The producer's completion counter entry is returned
+// so re-completion does not double-count.
+func (c *Cluster) recoverLostTemps(workerID string, affected []string) {
+	sort.Strings(affected)
+	requeued := false
+	for _, fid := range affected {
+		f := c.workload.Files[fid]
+		if f == nil || f.Kind != Produced || c.atManager[fid] || c.reps.CountReplicas(fid) > 0 {
+			continue
+		}
+		prodID, ok := c.producers[fid]
+		if !ok {
+			continue
+		}
+		p := c.tasks[prodID]
+		if p == nil || p.state != 4 || !c.tempNeeded(fid) {
+			continue
+		}
+		c.log.Add(trace.Event{
+			Time: c.eng.Now(), Kind: trace.RecoveryStart, Worker: workerID,
+			File: fid, TaskID: prodID, Detail: "temp lost with worker; re-executing producer",
+		})
+		p.state = 0
+		p.worker = ""
+		p.epoch++
+		c.completed--
+		c.waiting = append(c.waiting, prodID)
+		requeued = true
+	}
+	if requeued {
+		sort.Ints(c.waiting)
+	}
+}
+
+// tempNeeded reports whether any unfinished task consumes the file.
+func (c *Cluster) tempNeeded(fid string) bool {
+	for _, t := range c.tasks {
+		if t.state == 4 {
+			continue
+		}
+		for _, in := range t.t.Inputs {
+			if in == fid {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // requestSchedule coalesces schedule passes: at most one pending pass,
@@ -426,6 +496,10 @@ func (c *Cluster) startTransfer(fileID string, src replica.Source, w *simWorker)
 		// staged and is retried when space frees up.
 		return
 	}
+	// One fault decision per transfer attempt: Slow stretches the flow's
+	// latency, anything else fails the transfer on arrival — modeling a
+	// mid-stream reset or corrupted payload detected at the receiver.
+	fault := c.faults.At(chaos.Transfer, w.spec.ID, fileID)
 	tr := c.trs.Start(fileID, src, w.spec.ID)
 	c.reps.Add(fileID, w.spec.ID, replica.Pending)
 	c.log.Add(trace.Event{
@@ -434,6 +508,9 @@ func (c *Cluster) startTransfer(fileID string, src replica.Source, w *simWorker)
 	})
 	var from *Endpoint
 	latency := c.params.TransferLatency
+	if fault.Action == chaos.Slow {
+		latency += fault.Delay.Seconds()
+	}
 	switch src.Kind {
 	case replica.SourceURL:
 		if len(src.ID) > 3 && src.ID[:3] == "fs:" {
@@ -452,6 +529,15 @@ func (c *Cluster) startTransfer(fileID string, src replica.Source, w *simWorker)
 		c.trs.Complete(tr.ID)
 		if !w.joined {
 			return // worker preempted while the transfer was in flight
+		}
+		if fault.Action != chaos.None && fault.Action != chaos.Slow {
+			c.reps.Remove(fileID, w.spec.ID)
+			c.log.Add(trace.Event{
+				Time: c.eng.Now(), Kind: trace.TransferFailed, Worker: w.spec.ID,
+				File: fileID, Source: c.sourceLabel(srcCopy), Detail: "chaos: " + fault.Action.String(),
+			})
+			c.requestSchedule()
+			return
 		}
 		c.store(w, fileID, f.Size)
 		c.log.Add(trace.Event{
@@ -504,6 +590,13 @@ func (c *Cluster) materialize(f *File, w *simWorker) {
 }
 
 func (c *Cluster) startRun(id int, t *simTask, w *simWorker) {
+	if c.faults.At(chaos.TaskRun, w.spec.ID, "").Action == chaos.Crash {
+		// The node dies at dispatch. The task is still staged on this
+		// worker, so workerLeave requeues it along with everything else the
+		// node held.
+		c.eng.After(0, func() { c.workerLeave(w) })
+		return
+	}
 	t.state = 2
 	t.started = c.eng.Now()
 	c.pin(w, t.t.Inputs)

@@ -329,12 +329,23 @@ func TestPreemptionLosesReplicasAndRecovers(t *testing.T) {
 	c := NewCluster(w, DefaultParams(), policy.Limits{})
 	c.Run()
 	// The producer completes (~2s) on w0; the consumer starts there and is
-	// preempted at 5s along with the only temp replica. Unlike the real
-	// manager, the simulator does not re-execute producers of lost temps,
-	// so the requeued consumer starves. Verify the simulator handles this
-	// gracefully — terminating with exactly the producer completed rather
-	// than hanging or double-completing.
-	if c.CompletedTasks() != 1 {
-		t.Fatalf("completed %d, want 1 (consumer starves without recovery)", c.CompletedTasks())
+	// preempted at 5s along with the only temp replica. The simulator now
+	// mirrors the real manager's recovery re-execution (§2.2): the lost
+	// temp's producer is requeued, reruns on w1 after it joins at 10s, and
+	// the consumer then completes.
+	if c.CompletedTasks() != 2 {
+		t.Fatalf("completed %d, want 2 (recovery re-executes the producer)", c.CompletedTasks())
+	}
+	recoveries := 0
+	for _, ev := range c.Trace().Events() {
+		if ev.Kind == trace.RecoveryStart {
+			recoveries++
+			if ev.File != "temp-x" || ev.TaskID != 1 {
+				t.Fatalf("recovery event for file %q task %d, want temp-x task 1", ev.File, ev.TaskID)
+			}
+		}
+	}
+	if recoveries != 1 {
+		t.Fatalf("RecoveryStart events = %d, want 1", recoveries)
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"sort"
 
+	"taskvine/internal/chaos"
 	"taskvine/internal/files"
 	"taskvine/internal/trace"
 )
@@ -34,6 +35,11 @@ func (w *simWorker) storage() map[string]*cachedObject {
 // if necessary. Returns false when the object cannot fit even after
 // eviction; evicted objects are reported so the replica table stays true.
 func (c *Cluster) admit(w *simWorker, f *File) bool {
+	if c.faults.At(chaos.CacheInsert, w.spec.ID, f.ID).Action == chaos.Fail {
+		// Injected disk-full: the object is refused exactly as if eviction
+		// could not make room; the consumer is retried on a later pass.
+		return false
+	}
 	if w.spec.Disk <= 0 {
 		// Unlimited disk: common for shape experiments.
 		return true

@@ -130,8 +130,17 @@ type Spec struct {
 	// it is monitored and enforced at execution time (§2.1).
 	Resources resources.R `json:"resources"`
 
-	// MaxRetries bounds how many times the manager re-dispatches the task
-	// after worker failure or resource exhaustion before reporting failure.
+	// MaxRetries is the retry contract: after a FAILED EXECUTION (nonzero
+	// exit, worker-reported error, or resource exhaustion) the manager
+	// re-executes the task up to MaxRetries times, so MaxRetries = N means
+	// at most N+1 executions and exactly N re-executions before the task is
+	// reported failed. Requeues that are not the task's fault consume NO
+	// retry budget: dispatch failures (the send to the worker failed),
+	// worker loss while staging or running, transfer failures during
+	// staging (those have their own retry accounting in the manager), and
+	// recovery re-execution of a completed producer whose temp output was
+	// lost. MaxRetries = 0 (the default) therefore means one execution
+	// attempt, retried only for the no-fault reasons above.
 	MaxRetries int `json:"max_retries,omitempty"`
 
 	// MaxRunSeconds bounds the task's execution wall time at the worker;

@@ -42,6 +42,15 @@ const (
 	LibraryReady
 	// FileEvicted marks cache eviction.
 	FileEvicted
+	// TransferRetry marks a supervised transfer being re-issued with
+	// backoff after a failure (distinct from task retries).
+	TransferRetry
+	// ReplicaLost marks a file falling below its requested replica count
+	// when a holder departed; Detail carries "<have>/<goal>".
+	ReplicaLost
+	// RecoveryStart marks the re-submission of a completed producer task to
+	// regenerate a lost temp file (§2.2 recovery re-execution).
+	RecoveryStart
 )
 
 // String returns a readable name for the kind.
@@ -50,6 +59,7 @@ func (k Kind) String() string {
 		"worker-joined", "worker-left", "transfer-start", "transfer-end",
 		"transfer-failed", "stage-start", "stage-end", "task-start",
 		"task-end", "task-failed", "library-ready", "file-evicted",
+		"transfer-retry", "replica-lost", "recovery-start",
 	}
 	if int(k) < len(names) {
 		return names[k]

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"taskvine/internal/cache"
+	"taskvine/internal/chaos"
 	"taskvine/internal/protocol"
 	"taskvine/internal/sandbox"
 	"taskvine/internal/serverless"
@@ -27,6 +28,12 @@ const resultLimit = 64 * 1024
 // worker only provides the mechanism.
 func (w *Worker) startTask(ctx context.Context, spec *taskspec.Spec) {
 	if spec == nil {
+		return
+	}
+	if w.cfg.Faults.At(chaos.TaskRun, w.cfg.ID, "").Action == chaos.Crash {
+		// The node "dies" at dispatch: no completion message is ever sent.
+		// The manager's liveness check reclaims the task.
+		w.crash()
 		return
 	}
 	if !w.pool.Alloc(spec.Resources) {

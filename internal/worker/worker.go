@@ -12,7 +12,10 @@ package worker
 import (
 	"bytes"
 	"context"
+	"crypto/md5"
+	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 	"log"
 	"net"
@@ -24,6 +27,8 @@ import (
 	"time"
 
 	"taskvine/internal/cache"
+	"taskvine/internal/chaos"
+	"taskvine/internal/hashing"
 	"taskvine/internal/protocol"
 	"taskvine/internal/resources"
 	"taskvine/internal/serverless"
@@ -51,6 +56,21 @@ type Config struct {
 	MaxConcurrentTransfers int
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
+	// PeerDialTimeout bounds connection establishment to a peer during
+	// worker-to-worker transfers; defaults to 5s.
+	PeerDialTimeout time.Duration
+	// PeerIOTimeout bounds each read or write making progress during a
+	// peer transfer, so a wedged peer fails the fetch instead of leaking a
+	// goroutine; defaults to 30s. The deadline is refreshed per chunk, so
+	// large objects that keep moving are never cut off.
+	PeerIOTimeout time.Duration
+	// PeerFetchRetries is how many times a failed peer fetch is re-dialed
+	// locally, with capped exponential backoff, before the failure is
+	// reported to the manager; defaults to 2 (negative disables retries).
+	PeerFetchRetries int
+	// Faults is a test-only fault injector consulted at the worker's
+	// instrumented failure points; nil (the default) disables injection.
+	Faults *chaos.Injector
 }
 
 // Worker is a running worker process.
@@ -102,6 +122,18 @@ func New(cfg Config) (*Worker, error) {
 	}
 	if cfg.MaxConcurrentTransfers <= 0 {
 		cfg.MaxConcurrentTransfers = 8
+	}
+	if cfg.PeerDialTimeout <= 0 {
+		cfg.PeerDialTimeout = 5 * time.Second
+	}
+	if cfg.PeerIOTimeout <= 0 {
+		cfg.PeerIOTimeout = 30 * time.Second
+	}
+	if cfg.PeerFetchRetries == 0 {
+		cfg.PeerFetchRetries = 2
+	}
+	if cfg.PeerFetchRetries < 0 {
+		cfg.PeerFetchRetries = 0
 	}
 	if cfg.Libraries == nil {
 		cfg.Libraries = serverless.NewRegistry()
@@ -311,7 +343,22 @@ func (w *Worker) cacheUpdate(name string, size int64, transferID string, err err
 	}
 }
 
+// insertFault consults the injector's cache-insert point, modeling a disk
+// filling up at the moment an object lands. Returning a non-nil error makes
+// the caller report a failed cache-update exactly as a real ENOSPC would.
+func (w *Worker) insertFault(name string) error {
+	if w.cfg.Faults.At(chaos.CacheInsert, w.cfg.ID, name).Action != chaos.None {
+		return fmt.Errorf("worker: cache insert of %s: no space left on device (injected)", name)
+	}
+	return nil
+}
+
 func (w *Worker) handlePut(m *protocol.Message, payload io.Reader) {
+	if err := w.insertFault(m.CacheName); err != nil {
+		// The unread payload is drained by the next Recv.
+		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
+		return
+	}
 	var err error
 	if m.Dir {
 		err = w.putDir(m.CacheName, m.Size, cache.Lifetime(m.Lifetime), payload)
@@ -342,38 +389,49 @@ func (w *Worker) putDir(name string, size int64, lt cache.Lifetime, payload io.R
 }
 
 // openObject returns a payload reader for a cached object, packing
-// directory objects into tar streams.
-func (w *Worker) openObject(name string) (r io.ReadCloser, size int64, dir bool, err error) {
+// directory objects into tar streams, along with the payload's hex MD5 so
+// receivers can verify integrity end to end. An unhashable file (raced
+// deletion, IO error) yields an empty checksum rather than a failure:
+// integrity checking is best-effort, presence is not.
+func (w *Worker) openObject(name string) (r io.ReadCloser, size int64, dir bool, sum string, err error) {
 	e, ok := w.cache.Lookup(name)
 	if !ok || e.State != cache.StateReady {
-		return nil, 0, false, fmt.Errorf("worker: %s not present", name)
+		return nil, 0, false, "", fmt.Errorf("worker: %s not present", name)
 	}
 	if !e.Dir {
+		if d, herr := hashing.HashFile(w.cache.Path(name)); herr == nil {
+			sum = string(d)
+		}
 		rc, n, err := w.cache.Open(name)
-		return rc, n, false, err
+		return rc, n, false, sum, err
 	}
 	blob, err := tardir.Pack(w.cache.Path(name))
 	if err != nil {
-		return nil, 0, true, err
+		return nil, 0, true, "", err
 	}
-	return io.NopCloser(bytes.NewReader(blob)), int64(len(blob)), true, nil
+	sum = string(hashing.HashBytes(blob))
+	return io.NopCloser(bytes.NewReader(blob)), int64(len(blob)), true, sum, nil
 }
 
 func (w *Worker) handleGet(m *protocol.Message) {
-	r, size, dir, err := w.openObject(m.CacheName)
+	r, size, dir, sum, err := w.openObject(m.CacheName)
 	if err != nil {
 		w.conn.Send(&protocol.Message{Type: protocol.TypeError, CacheName: m.CacheName, Error: err.Error()})
 		return
 	}
 	defer r.Close()
 	if err := w.conn.SendPayload(&protocol.Message{
-		Type: protocol.TypeData, CacheName: m.CacheName, Size: size, Dir: dir,
+		Type: protocol.TypeData, CacheName: m.CacheName, Size: size, Dir: dir, Checksum: sum,
 	}, r); err != nil {
 		w.logf("sending %s to manager: %v", m.CacheName, err)
 	}
 }
 
 func (w *Worker) handleFetchURL(ctx context.Context, m *protocol.Message) {
+	if err := w.insertFault(m.CacheName); err != nil {
+		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
+		return
+	}
 	already, err := w.cache.Reserve(m.CacheName, m.Size, cache.Lifetime(m.Lifetime))
 	if err != nil || already {
 		if err == nil {
@@ -422,6 +480,10 @@ func (w *Worker) downloadURL(ctx context.Context, url, name string) (int64, erro
 }
 
 func (w *Worker) handleFetchPeer(ctx context.Context, m *protocol.Message) {
+	if err := w.insertFault(m.CacheName); err != nil {
+		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
+		return
+	}
 	already, err := w.cache.Reserve(m.CacheName, m.Size, cache.Lifetime(m.Lifetime))
 	if err != nil || already {
 		if err == nil {
@@ -443,12 +505,75 @@ func (w *Worker) handleFetchPeer(ctx context.Context, m *protocol.Message) {
 	w.cacheUpdate(m.CacheName, size, m.TransferID, nil)
 }
 
+// fetchFromPeer pulls an object from a peer's transfer service, retrying
+// locally with capped exponential backoff before the failure propagates to
+// the manager. Local retries absorb transient faults (connection resets,
+// momentary peer restarts) without a round trip through the manager's
+// transfer supervisor; only a persistently failing source escalates.
 func (w *Worker) fetchFromPeer(ctx context.Context, addr, name string) (int64, error) {
-	conn, err := protocol.Dial(addr, 10*time.Second)
+	attempts := w.cfg.PeerFetchRetries + 1
+	var err error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(chaos.Backoff(0, 0, a-1, 0, name)):
+			}
+			w.logf("retrying peer fetch of %s from %s (attempt %d/%d)", name, addr, a, attempts)
+		}
+		var n int64
+		n, err = w.fetchFromPeerOnce(addr, name)
+		if err == nil {
+			return n, nil
+		}
+	}
+	return 0, err
+}
+
+// idleReader refreshes the connection's read deadline before every read, so
+// the timeout bounds idleness (a wedged or vanished peer) rather than total
+// transfer duration — a large object that keeps moving never trips it.
+type idleReader struct {
+	c       *protocol.Conn
+	r       io.Reader
+	timeout time.Duration
+}
+
+func (ir *idleReader) Read(b []byte) (int, error) {
+	ir.c.SetReadDeadline(time.Now().Add(ir.timeout))
+	return ir.r.Read(b)
+}
+
+// corruptReader flips one bit of the first byte it passes through — the
+// injector's model of a payload damaged in flight. Checksum verification
+// must catch it.
+type corruptReader struct {
+	r    io.Reader
+	done bool
+}
+
+func (cr *corruptReader) Read(b []byte) (int, error) {
+	n, err := cr.r.Read(b)
+	if n > 0 && !cr.done {
+		b[0] ^= 0x01
+		cr.done = true
+	}
+	return n, err
+}
+
+func (w *Worker) fetchFromPeerOnce(addr, name string) (int64, error) {
+	if f := w.cfg.Faults.At(chaos.PeerDial, w.cfg.ID, name); f.Action != chaos.None {
+		return 0, fmt.Errorf("worker: dialing peer %s: %s (injected)", addr, f.Action)
+	}
+	conn, err := protocol.Dial(addr, w.cfg.PeerDialTimeout)
 	if err != nil {
 		return 0, fmt.Errorf("worker: dialing peer %s: %w", addr, err)
 	}
 	defer conn.Close()
+	// One deadline covers the request and the response header; the payload
+	// then switches to a per-read idle deadline.
+	conn.SetDeadline(time.Now().Add(w.cfg.PeerIOTimeout))
 	if err := conn.Send(&protocol.Message{Type: protocol.TypeGet, CacheName: name}); err != nil {
 		return 0, err
 	}
@@ -459,27 +584,54 @@ func (w *Worker) fetchFromPeer(ctx context.Context, addr, name string) (int64, e
 	if m.Type != protocol.TypeData {
 		return 0, fmt.Errorf("worker: peer %s: %s", addr, m.Error)
 	}
+	var body io.Reader = &idleReader{c: conn, r: payload, timeout: w.cfg.PeerIOTimeout}
+	if f := w.cfg.Faults.At(chaos.PeerRead, w.cfg.ID, name); f.Action == chaos.Corrupt {
+		body = &corruptReader{r: body}
+	}
+	var digest hash.Hash
+	if m.Checksum != "" {
+		digest = md5.New()
+		body = io.TeeReader(body, digest)
+	}
+	var n int64
 	if m.Dir {
-		if err := tardir.Unpack(io.LimitReader(payload, m.Size), w.cache.Path(name)); err != nil {
+		lim := io.LimitReader(body, m.Size)
+		if err := tardir.Unpack(lim, w.cache.Path(name)); err != nil {
 			return 0, err
 		}
-		return m.Size, nil
+		// Drain any trailing tar padding Unpack left unread so the digest
+		// covers the whole payload.
+		if _, err := io.Copy(io.Discard, lim); err != nil {
+			return 0, err
+		}
+		n = m.Size
+	} else {
+		f, err := os.Create(w.cache.Path(name))
+		if err != nil {
+			return 0, err
+		}
+		n, err = io.Copy(f, body)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return 0, err
+		}
+		if n != m.Size {
+			return 0, fmt.Errorf("worker: peer sent %d of %d bytes", n, m.Size)
+		}
 	}
-	f, err := os.Create(w.cache.Path(name))
-	if err != nil {
-		return 0, err
+	if digest != nil {
+		if got := hex.EncodeToString(digest.Sum(nil)); got != m.Checksum {
+			return 0, fmt.Errorf("worker: %s from peer %s: checksum mismatch (got %s want %s)", name, addr, got, m.Checksum)
+		}
 	}
-	n, err := io.Copy(f, payload)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil && n != m.Size {
-		err = fmt.Errorf("worker: peer sent %d of %d bytes", n, m.Size)
-	}
-	return n, err
+	return n, nil
 }
 
-// servePeers answers worker-to-worker get requests from the cache.
+// servePeers answers worker-to-worker get requests from the cache. Each
+// connection carries a deadline so a stalled requester cannot pin a serving
+// goroutine (and its wg slot) past shutdown.
 func (w *Worker) servePeers() {
 	defer w.wg.Done()
 	for {
@@ -491,20 +643,47 @@ func (w *Worker) servePeers() {
 		go func() {
 			defer w.wg.Done()
 			defer nc.Close()
+			nc.SetDeadline(time.Now().Add(w.cfg.PeerIOTimeout))
 			conn := protocol.NewConn(nc)
 			m, _, err := conn.Recv()
 			if err != nil || m.Type != protocol.TypeGet {
 				return
 			}
-			r, size, dir, err := w.openObject(m.CacheName)
+			switch w.cfg.Faults.At(chaos.PeerServe, w.cfg.ID, m.CacheName).Action {
+			case chaos.Fail:
+				conn.Send(&protocol.Message{Type: protocol.TypeError, CacheName: m.CacheName, Error: "chaos: injected serve failure"})
+				return
+			case chaos.Reset, chaos.Hang:
+				// Drop the connection without answering: the requester's read
+				// deadline, not our goodwill, bounds its wait.
+				return
+			}
+			r, size, dir, sum, err := w.openObject(m.CacheName)
 			if err != nil {
 				conn.Send(&protocol.Message{Type: protocol.TypeError, CacheName: m.CacheName, Error: err.Error()})
 				return
 			}
 			defer r.Close()
-			if err := conn.SendPayload(&protocol.Message{Type: protocol.TypeData, CacheName: m.CacheName, Size: size, Dir: dir}, r); err != nil {
+			// Refresh the deadline for the payload: the header deadline was
+			// sized for a request, not a multi-gigabyte object.
+			nc.SetDeadline(time.Now().Add(10 * w.cfg.PeerIOTimeout))
+			if err := conn.SendPayload(&protocol.Message{Type: protocol.TypeData, CacheName: m.CacheName, Size: size, Dir: dir, Checksum: sum}, r); err != nil {
 				w.logf("sending %s to peer %s: %v", m.CacheName, conn.RemoteAddr(), err)
 			}
 		}()
+	}
+}
+
+// crash abruptly severs the worker's manager connection and peer listener,
+// simulating a node loss. Run's read loop unwinds with an error, which a
+// supervising batch runner counts as a failure and restarts.
+func (w *Worker) crash() {
+	w.logf("chaos: injected crash")
+	// A crashing node does not report close errors to anyone.
+	if w.conn != nil {
+		_ = w.conn.Close()
+	}
+	if w.peerLn != nil {
+		_ = w.peerLn.Close()
 	}
 }

@@ -16,13 +16,15 @@ var SimDeterminism = &lint.Analyzer{
 	Name: "simdeterminism",
 	Doc: `forbid wall-clock time, global randomness, and order-dependent map
 iteration in simulator packages (internal/sim, internal/experiments,
-internal/workloads), so that every simulation run is reproducible`,
+internal/workloads) and in the fault-injection engine (internal/chaos),
+so that every simulation and chaos run is reproducible`,
 	Run: runSimDeterminism,
 }
 
 // simScopes are the import-path segments whose packages must be
-// deterministic.
-var simScopes = []string{"internal/sim", "internal/experiments", "internal/workloads"}
+// deterministic. internal/chaos is included because injected fault
+// schedules must replay identically for a fixed seed in both substrates.
+var simScopes = []string{"internal/sim", "internal/experiments", "internal/workloads", "internal/chaos"}
 
 // bannedTimeFuncs are the package-level time functions that read or depend
 // on the wall clock. Conversions and constructors (time.Duration,
