@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet race fuzz chaos ci
+.PHONY: all build test lint vet race fuzz chaos bench ci
 
 all: build
 
@@ -44,5 +44,13 @@ fuzz:
 chaos:
 	VINE_CHAOS_SEED=1 $(GO) test -race -count=1 -run Chaos ./...
 	VINE_CHAOS_SEED=2 $(GO) test -race -count=1 -run Chaos ./...
+
+# bench runs the dispatch, protocol, and hashing benchmarks with -count=5
+# (enough repetitions for benchstat-style comparison) and records the raw
+# test2json stream in BENCH_core.json. CI uploads the file as a non-gating
+# artifact so perf drift is visible across commits without failing builds.
+bench:
+	$(GO) test -json -run '^$$' -bench . -benchmem -count=5 \
+		./internal/core ./internal/protocol ./internal/hashing > BENCH_core.json
 
 ci: build vet lint race chaos fuzz

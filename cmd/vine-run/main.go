@@ -109,6 +109,7 @@ func run(path string, nworkers int, listen string, verbose bool, statusAddr stri
 			return err
 		}
 		fmt.Printf("status endpoint on http://%s/status (vine-status %s)\n", addr, addr)
+		fmt.Printf("metrics at http://%s/metrics, scheduling tables at http://%s/debug/vine\n", addr, addr)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

@@ -6,15 +6,21 @@
 // Usage:
 //
 //	vine-status [-json] http://MANAGER-STATUS-ADDR
+//	vine-status -metrics http://MANAGER-STATUS-ADDR   # Prometheus text
+//	vine-status -debug   http://MANAGER-STATUS-ADDR   # scheduling tables
 //
 // The manager exposes the endpoint via Manager.ServeStatus (the examples
-// and vine-run print it at startup when enabled).
+// and vine-run print it at startup when enabled). -metrics dumps the
+// instrument families in Prometheus text format; -debug renders the deep
+// scheduling state (task queue, replica table, in-flight transfers, retry
+// backoffs) from /debug/vine.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -45,6 +51,8 @@ func main() {
 	raw := flag.Bool("json", false, "print the raw status JSON")
 	cat := flag.String("catalog", "", "list managers advertised at this catalog server instead")
 	name := flag.String("name", "", "filter catalog listing by project name")
+	metricsDump := flag.Bool("metrics", false, "dump the manager's /metrics endpoint (Prometheus text format)")
+	debugDump := flag.Bool("debug", false, "render the manager's /debug/vine scheduling tables")
 	flag.Parse()
 	if *cat != "" {
 		if err := listCatalog(*cat, *name); err != nil {
@@ -61,10 +69,89 @@ func main() {
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
-	if err := run(url+"/status", *raw); err != nil {
+	var err error
+	switch {
+	case *metricsDump:
+		err = dumpMetrics(url + "/metrics")
+	case *debugDump:
+		err = runDebug(url+"/debug/vine", *raw)
+	default:
+		err = run(url+"/status", *raw)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "vine-status: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// dumpMetrics streams the Prometheus text exposition verbatim; the format
+// is already line-oriented and human-readable.
+func dumpMetrics(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// runDebug renders the /debug/vine scheduling tables.
+func runDebug(url string, raw bool) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var d core.DebugReport
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return fmt.Errorf("decoding debug report: %w", err)
+	}
+	if raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(d)
+	}
+	fmt.Printf("manager %s  t=%.1fs\n\n", d.Addr, d.Now)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if len(d.Tasks) > 0 {
+		fmt.Fprintln(tw, "TASK\tSTATE\tCATEGORY\tWORKER\tRETRIES\tWAITING\tMISSING INPUTS")
+		for _, t := range d.Tasks {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%d\t%.1fs\t%s\n",
+				t.ID, t.State, t.Category, t.Worker, t.Retries,
+				t.WaitingSeconds, strings.Join(t.MissingInputs, ","))
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(d.Replicas) > 0 {
+		fmt.Fprintln(tw, "FILE\tREADY ON\tPENDING ON")
+		for _, r := range d.Replicas {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n",
+				r.File, strings.Join(r.Ready, ","), strings.Join(r.Pending, ","))
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(d.Transfers) > 0 {
+		fmt.Fprintln(tw, "TRANSFER\tFILE\tSOURCE\tDEST")
+		for _, t := range d.Transfers {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", t.ID, t.File, t.Source, t.Dest)
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(d.Retries) > 0 {
+		fmt.Fprintln(tw, "RETRYING FILE\tDEST\tATTEMPTS\tBLOCKED\tWAIT")
+		for _, r := range d.Retries {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t%.1fs\n",
+				r.File, r.Dest, r.Attempts, r.Blocked, r.WaitSecs)
+		}
+	}
+	return tw.Flush()
 }
 
 func run(url string, raw bool) error {

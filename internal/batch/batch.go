@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"taskvine/internal/chaos"
+	"taskvine/internal/metrics"
 	"taskvine/internal/resources"
 	"taskvine/internal/worker"
 )
@@ -82,6 +83,10 @@ type Config struct {
 	// point preempts that run shortly after launch, exercising the pool's
 	// restart supervision. Nil disables injection.
 	Faults *chaos.Injector
+	// Metrics is the registry for batch-supervision instruments; nil
+	// allocates a private one. Pass the manager's registry to fold job
+	// counts into its /metrics surface.
+	Metrics *metrics.Registry
 }
 
 // WorkerFactory returns a Factory producing real TaskVine workers that
@@ -100,6 +105,7 @@ func WorkerFactory(managerAddr, baseDir string, capacity resources.R) Factory {
 // Pool supervises worker jobs.
 type Pool struct {
 	cfg    Config
+	vm     *metrics.VineMetrics
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -124,8 +130,13 @@ func NewPool(cfg Config) *Pool {
 	if cfg.RestartDelay == 0 {
 		cfg.RestartDelay = 100 * time.Millisecond
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	vm := metrics.ForRegistry(cfg.Metrics)
+	cfg.Faults.SetMetrics(vm.ChaosInjections)
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Pool{cfg: cfg, ctx: ctx, cancel: cancel, jobs: make(map[int]*jobRecord)}
+	return &Pool{cfg: cfg, vm: vm, ctx: ctx, cancel: cancel, jobs: make(map[int]*jobRecord)}
 }
 
 func (p *Pool) logf(format string, args ...any) {
@@ -164,6 +175,7 @@ func (p *Pool) Resize(n int) error {
 		victim.cancel()
 		live--
 	}
+	defer p.syncLiveLocked()
 	for live < n {
 		if err := p.submitLocked(); err != nil {
 			return err
@@ -198,9 +210,15 @@ func (p *Pool) submitLocked() error {
 		wanted: true,
 	}
 	p.jobs[idx] = rec
+	p.vm.BatchSubmissions.Inc()
 	p.wg.Add(1)
 	go p.supervise(jctx, idx, r)
 	return nil
+}
+
+// syncLiveLocked publishes the live-job gauge; caller holds p.mu.
+func (p *Pool) syncLiveLocked() {
+	p.vm.BatchJobsLive.Set(float64(p.liveLocked()))
 }
 
 // supervise runs a job and restarts it on unexpected exit.
@@ -229,6 +247,7 @@ func (p *Pool) supervise(ctx context.Context, idx int, r Runner) {
 		p.mu.Lock()
 		rec.job.Restarts++
 		p.mu.Unlock()
+		p.vm.BatchRestarts.Inc()
 		select {
 		case <-ctx.Done():
 			p.setState(idx, Exited)
@@ -273,6 +292,7 @@ func (p *Pool) setState(idx int, s JobState) {
 	if rec, ok := p.jobs[idx]; ok {
 		rec.job.State = s
 	}
+	p.syncLiveLocked()
 	p.mu.Unlock()
 }
 

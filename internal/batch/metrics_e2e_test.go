@@ -1,0 +1,237 @@
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"taskvine/internal/core"
+	"taskvine/internal/files"
+	"taskvine/internal/metrics"
+	"taskvine/internal/resources"
+	"taskvine/internal/taskspec"
+	"taskvine/internal/trace"
+	"taskvine/internal/worker"
+)
+
+// TestMetricsConformanceE2E runs a real-mode workload — a manager, a
+// supervised pool of real workers sharing one metrics registry, tasks with a
+// shared input file — then scrapes the manager's HTTP surface and checks the
+// cross-instrument invariants the observability layer promises:
+//
+//   - >= 20 instrument families spanning core, worker, cache, transfer, and
+//     chaos are exposed at /metrics
+//   - live counters equal the post-hoc trace aggregates (the bridge
+//     guarantee, real-mode half)
+//   - conservation laws hold across instruments (submitted == completed,
+//     started >= completed, every completed transfer inserted into a cache)
+func TestMetricsConformanceE2E(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m, err := core.NewManager(core.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	statusAddr, err := m.ServeStatus("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseDir := t.TempDir()
+	cap := resources.R{Cores: 2, Memory: resources.GB, Disk: 100 * resources.MB}
+	p := NewPool(Config{
+		Size:    3,
+		Metrics: reg,
+		Factory: func(i int) (Runner, error) {
+			return worker.New(worker.Config{
+				ManagerAddr: m.Addr(),
+				WorkDir:     fmt.Sprintf("%s/job%d", baseDir, i),
+				Capacity:    cap,
+				ID:          fmt.Sprintf("batch-%d", i),
+				Metrics:     reg,
+			})
+		},
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	shared, err := m.Files().DeclareBuffer(make([]byte, 256*1024), files.LifetimeWorkflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 9
+	for i := 0; i < n; i++ {
+		spec := &taskspec.Spec{Kind: taskspec.KindCommand, Command: fmt.Sprintf("echo conf-%d", i)}
+		spec.AddInput(shared.ID, "data")
+		if _, err := m.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		r, err := m.Wait(ctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK {
+			t.Fatalf("task failed: %+v", r)
+		}
+	}
+
+	// Gauges refresh on schedule passes, which can trail the final Wait;
+	// poll the scrape until the done gauge settles.
+	var snap metrics.Snapshot
+	waitFor(t, func() bool {
+		snap = scrapeJSON(t, statusAddr)
+		return snap.LabeledValue("vine_tasks_state", map[string]string{"state": "done"}) == n
+	})
+
+	text := scrapeText(t, statusAddr)
+	families := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			families[strings.Fields(rest)[0]] = true
+		}
+	}
+	if len(families) < 20 {
+		t.Errorf("/metrics exposes %d families, want >= 20:\n%s", len(families), text)
+	}
+	// One representative family per subsystem must be present.
+	for _, fam := range []string{
+		"vine_schedule_passes_total",   // core scheduler
+		"vine_tasks_completed_total",   // task lifecycle
+		"vine_transfer_bytes_total",    // transfers
+		"vine_cache_inserts_total",     // worker cache
+		"vine_sandboxes_created_total", // worker sandboxes
+		"vine_batch_submissions_total", // batch supervision
+		"vine_chaos_injections_total",  // chaos (declared, zero samples)
+	} {
+		if !families[fam] {
+			t.Errorf("family %s missing from /metrics", fam)
+		}
+	}
+
+	// Live counters must equal the post-hoc trace aggregates.
+	events := m.Trace().Events()
+	sum := trace.Summarize(events)
+	total := 0.0
+	for _, k := range trace.AllKinds() {
+		total += snap.LabeledValue("vine_trace_events_total", map[string]string{"kind": k.String()})
+	}
+	if total != float64(len(events)) {
+		t.Errorf("sum over vine_trace_events_total = %v, trace has %d events", total, len(events))
+	}
+	if got := snap.Value("vine_tasks_completed_total"); got != float64(sum.TasksDone) {
+		t.Errorf("vine_tasks_completed_total = %v, Summarize says %d", got, sum.TasksDone)
+	}
+	var traceBytes float64
+	for _, b := range sum.BytesBySource {
+		traceBytes += float64(b)
+	}
+	var metricBytes float64
+	for _, b := range snap.SumOver("vine_transfer_bytes_total", "source") {
+		metricBytes += b
+	}
+	if metricBytes != traceBytes {
+		t.Errorf("vine_transfer_bytes_total sums to %v, trace says %v", metricBytes, traceBytes)
+	}
+
+	// Conservation laws across instruments.
+	if got := snap.Value("vine_tasks_submitted_total"); got != n {
+		t.Errorf("vine_tasks_submitted_total = %v, want %d", got, n)
+	}
+	if got := snap.Value("vine_tasks_completed_total"); got != n {
+		t.Errorf("vine_tasks_completed_total = %v, want %d (all tasks succeeded)", got, n)
+	}
+	started := snap.Value("vine_tasks_started_total")
+	if started < n {
+		t.Errorf("vine_tasks_started_total = %v, want >= %d", started, n)
+	}
+	var transfersDone float64
+	for _, v := range snap.SumOver("vine_transfers_completed_total", "source") {
+		transfersDone += v
+	}
+	if transfersDone == 0 {
+		t.Error("no transfers completed despite a shared input file")
+	}
+	// Every completed transfer committed an object into a worker cache (the
+	// cache also holds task outputs, so inserts can exceed transfers).
+	if inserts := snap.Value("vine_cache_inserts_total"); inserts < transfersDone {
+		t.Errorf("vine_cache_inserts_total = %v < transfers completed %v", inserts, transfersDone)
+	}
+	if got := snap.Value("vine_cache_insert_bytes_total"); got < metricBytes {
+		t.Errorf("vine_cache_insert_bytes_total = %v < transferred bytes %v", got, metricBytes)
+	}
+	if got := snap.Value("vine_sandboxes_created_total"); got < n {
+		t.Errorf("vine_sandboxes_created_total = %v, want >= %d", got, n)
+	}
+	if got := snap.Value("vine_workers_connected"); got != 3 {
+		t.Errorf("vine_workers_connected = %v, want 3", got)
+	}
+	if got := snap.Value("vine_batch_submissions_total"); got != 3 {
+		t.Errorf("vine_batch_submissions_total = %v, want 3", got)
+	}
+	if got := snap.Value("vine_schedule_passes_total"); got == 0 {
+		t.Error("vine_schedule_passes_total never incremented")
+	}
+	if f, ok := snap.Family("vine_dispatch_latency_seconds"); !ok || len(f.Metrics) == 0 || f.Metrics[0].Count < n {
+		t.Errorf("vine_dispatch_latency_seconds missing or undercounted: %+v", f)
+	}
+
+	// The debug endpoint serves a consistent report for the same run.
+	var dbg core.DebugReport
+	getJSON(t, "http://"+statusAddr+"/debug/vine", &dbg)
+	if dbg.Addr != m.Addr() {
+		t.Errorf("/debug/vine addr = %q, want %q", dbg.Addr, m.Addr())
+	}
+	for _, task := range dbg.Tasks {
+		t.Errorf("finished run still lists live task %+v", task)
+	}
+	if len(dbg.Replicas) == 0 {
+		t.Error("/debug/vine lists no replicas despite a shared cached input")
+	}
+}
+
+func scrapeText(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func scrapeJSON(t *testing.T, addr string) metrics.Snapshot {
+	t.Helper()
+	var snap metrics.Snapshot
+	getJSON(t, "http://"+addr+"/metrics.json", &snap)
+	return snap
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"taskvine/internal/metrics"
 )
 
 // Lifetime mirrors files.Lifetime without importing it, keeping the worker
@@ -81,6 +83,11 @@ type Cache struct {
 	evicted []string // guarded by mu
 	// logf receives cleanup failures that have no caller to return to.
 	logf func(format string, args ...any) // guarded by mu
+	// vm receives hit/miss/insert accounting; nil disables it. Eviction
+	// counts are intentionally NOT incremented here — they derive from
+	// FileEvicted trace events through the metrics bridge, which is the
+	// single writer for event-derived counters.
+	vm *metrics.VineMetrics // guarded by mu
 }
 
 // New creates a cache rooted at dir with the given capacity in bytes. The
@@ -134,6 +141,24 @@ func (c *Cache) SetLogger(logf func(format string, args ...any)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.logf = logf
+}
+
+// SetMetrics installs the shared instrument set for hit/miss/insert
+// accounting. A nil set (the default) records nothing.
+func (c *Cache) SetMetrics(vm *metrics.VineMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vm = vm
+	if vm != nil {
+		vm.CacheUsedBytes.Set(float64(c.used))
+	}
+}
+
+// syncUsedLocked publishes the current byte accounting; caller holds c.mu.
+func (c *Cache) syncUsedLocked() {
+	if c.vm != nil {
+		c.vm.CacheUsedBytes.Set(float64(c.used))
+	}
 }
 
 // logErrLocked reports a background failure; the caller holds c.mu.
@@ -237,6 +262,7 @@ func (c *Cache) Reserve(name string, size int64, lifetime Lifetime) (alreadyPend
 		LastUse:  c.clock(),
 	}
 	c.used += reserve
+	c.syncUsedLocked()
 	return false, nil
 }
 
@@ -289,6 +315,11 @@ func (c *Cache) Commit(name string) error {
 	e.State = StateReady
 	e.Err = nil
 	e.LastUse = c.clock()
+	if c.vm != nil {
+		c.vm.CacheInserts.Inc()
+		c.vm.CacheInsertBytes.Add(actual)
+	}
+	c.syncUsedLocked()
 	if c.used > c.capacity {
 		// The object turned out larger than reserved; evict others to
 		// restore the invariant, but never the object just committed.
@@ -315,6 +346,7 @@ func (c *Cache) Fail(name string, cause error) {
 	e.Size = 0
 	e.State = StateFailed
 	e.Err = cause
+	c.syncUsedLocked()
 	if err := os.RemoveAll(c.Path(name)); err != nil {
 		// The entry stays failed either way, but leftover bytes are no
 		// longer accounted — surface that the disk disagrees with the books.
@@ -381,7 +413,13 @@ func (c *Cache) Pin(name string) error {
 	defer c.mu.Unlock()
 	e, ok := c.entries[name]
 	if !ok || e.State != StateReady {
+		if c.vm != nil {
+			c.vm.CacheMisses.Inc()
+		}
 		return fmt.Errorf("cache: pinning absent object %s", name)
+	}
+	if c.vm != nil {
+		c.vm.CacheHits.Inc()
 	}
 	e.pins++
 	e.LastUse = c.clock()
@@ -416,6 +454,7 @@ func (c *Cache) removeLocked(name string, recordEviction bool) {
 	}
 	c.used -= e.Size
 	delete(c.entries, name)
+	c.syncUsedLocked()
 	if err := os.RemoveAll(c.Path(name)); err != nil {
 		// Failing to delete an evicted object means its bytes still occupy
 		// the disk while the accounting says they don't; make it visible.

@@ -21,6 +21,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"time"
+
+	"taskvine/internal/metrics"
 )
 
 // Point names an instrumented failure site. Constants below cover the sites
@@ -141,9 +143,22 @@ type ruleState struct {
 type Injector struct {
 	seed int64
 
-	mu    sync.Mutex
-	rules []*ruleState // guarded by mu
-	hits  []Injection  // guarded by mu
+	mu      sync.Mutex
+	rules   []*ruleState        // guarded by mu
+	hits    []Injection         // guarded by mu
+	counter *metrics.CounterVec // guarded by mu; the vec itself is atomic
+}
+
+// SetMetrics points fired-fault accounting at a counter family labeled by
+// (point, action) — normally vine_chaos_injections_total. Safe on a nil
+// receiver; the last caller wins when several components share an injector.
+func (i *Injector) SetMetrics(vec *metrics.CounterVec) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.counter = vec
+	i.mu.Unlock()
 }
 
 // New returns an injector whose probabilistic decisions derive from seed.
@@ -196,6 +211,7 @@ func (i *Injector) At(p Point, worker, file string) Fault {
 		rs.fired++
 		out = Fault{Action: r.Action, Delay: r.Delay}
 		i.hits = append(i.hits, Injection{Point: p, Action: r.Action, Worker: worker, File: file})
+		i.counter.With(string(p), r.Action.String()).Inc()
 	}
 	return out
 }

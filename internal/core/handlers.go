@@ -463,6 +463,7 @@ func (m *Manager) handleInvoke(ev event) {
 	t := &taskState{spec: ev.spec, state: taskspec.StateWaiting, submitTime: m.now()}
 	m.tasks[id] = t
 	m.pendingWk++
+	m.vm.TasksSubmitted.Inc()
 	w := m.readyLibraryWorker(ev.spec.Library)
 	if w == nil {
 		m.waiting = append(m.waiting, id)
@@ -476,6 +477,7 @@ func (m *Manager) handleInvoke(ev event) {
 	t.worker = w.id
 	w.running[id] = true
 	w.pool.Alloc(resources.R{})
+	m.vm.DispatchLatency.Observe(m.now() - t.submitTime)
 	m.tlog.Add(trace.Event{
 		Time: m.now(), Kind: trace.TaskStart, Worker: w.id, TaskID: id,
 		Detail: t.spec.Category,
@@ -512,6 +514,7 @@ func (m *Manager) cancelTask(id int) bool {
 	switch t.state {
 	case taskspec.StateWaiting, taskspec.StateStaging:
 		t.cancelled = true
+		m.vm.TasksCancelled.Inc()
 		for i, wid := range m.waiting {
 			if wid == id {
 				m.waiting = append(m.waiting[:i], m.waiting[i+1:]...)
@@ -524,6 +527,7 @@ func (m *Manager) cancelTask(id int) bool {
 		return true
 	case taskspec.StateRunning:
 		t.cancelled = true
+		m.vm.TasksCancelled.Inc()
 		if w := m.workers[t.worker]; w != nil && !w.gone {
 			if err := w.conn.Send(&protocol.Message{Type: protocol.TypeKill, TaskID: id}); err != nil {
 				m.logf("killing task %d on %s: %v", id, t.worker, err)

@@ -26,6 +26,7 @@ import (
 
 	"taskvine/internal/chaos"
 	"taskvine/internal/files"
+	"taskvine/internal/metrics"
 	"taskvine/internal/policy"
 	"taskvine/internal/protocol"
 	"taskvine/internal/replica"
@@ -48,6 +49,11 @@ type Config struct {
 	DefaultTaskResources resources.R
 	// Trace receives execution events; nil allocates a private log.
 	Trace *trace.Log
+	// Metrics is the instrument registry the manager binds the shared
+	// TaskVine instrument set to; nil allocates a private registry. Pass one
+	// registry to an in-process manager, its workers, and a batch pool to
+	// aggregate them on a single /metrics surface.
+	Metrics *metrics.Registry
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
 	// TickInterval is the scheduler's housekeeping period; defaults to
@@ -109,6 +115,7 @@ type Manager struct {
 	// results delivers completed tasks to Wait callers.
 	results chan *Result
 	tlog    *trace.Log
+	vm      *metrics.VineMetrics
 	start   time.Time
 
 	// Event-loop-owned state; never touched outside the loop goroutine.
@@ -189,6 +196,7 @@ type event struct {
 	workerID   string
 	err        error
 	status     chan Status
+	debug      chan DebugReport
 	goal       int
 	taskID     int
 	categories chan []CategoryStats
@@ -205,6 +213,7 @@ const (
 	evEnd
 	evTick
 	evStatus
+	evDebug
 	evReplicate
 	evCategories
 	evInvoke
@@ -246,6 +255,15 @@ func NewManager(cfg Config) (*Manager, error) {
 	if tlog == nil {
 		tlog = trace.NewLog()
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	vm := metrics.ForRegistry(cfg.Metrics)
+	// The bridge is the only writer of event-derived counters; the manager
+	// itself only touches instruments for quantities the trace doesn't carry
+	// (queue gauges, pass durations, dispatch latency, submissions).
+	metrics.BridgeTrace(tlog, vm)
+	cfg.Faults.SetMetrics(vm.ChaosInjections)
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("core: listening on %s: %w", cfg.ListenAddr, err)
@@ -257,6 +275,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		events:        make(chan event, 1024),
 		results:       make(chan *Result, 4096),
 		tlog:          tlog,
+		vm:            vm,
 		start:         time.Now(),
 		workers:       make(map[string]*workerConn),
 		tasks:         make(map[int]*taskState),
@@ -282,6 +301,9 @@ func (m *Manager) Files() *files.Registry { return m.reg }
 
 // Trace returns the manager's execution event log.
 func (m *Manager) Trace() *trace.Log { return m.tlog }
+
+// Metrics returns the registry holding the manager's instrument families.
+func (m *Manager) Metrics() *metrics.Registry { return m.cfg.Metrics }
 
 func (m *Manager) now() float64 { return time.Since(m.start).Seconds() }
 
@@ -536,6 +558,7 @@ func (m *Manager) handleEvent(ev event) bool {
 		m.tasks[id] = &taskState{spec: ev.spec, state: taskspec.StateWaiting, submitTime: m.now()}
 		m.waiting = append(m.waiting, id)
 		m.pendingWk++
+		m.vm.TasksSubmitted.Inc()
 		m.reg.Retain(ev.spec.InputIDs())
 		for _, out := range ev.spec.Outputs {
 			m.reg.SetProducer(out.FileID, id)
@@ -560,6 +583,8 @@ func (m *Manager) handleEvent(ev event) bool {
 		}
 	case evStatus:
 		ev.status <- m.buildStatus()
+	case evDebug:
+		ev.debug <- m.buildDebug()
 	case evReplicate:
 		m.replicaGoals[ev.file] = ev.goal
 	case evInvoke:

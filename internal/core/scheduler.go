@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"taskvine/internal/chaos"
 	"taskvine/internal/files"
@@ -41,6 +42,12 @@ func (v view) InFlightOf(f string) int { return v.m.trs.InFlightOf(f) }
 // objective is to replicate and place data first, and then schedule tasks
 // within the constraints of available data (§2.1).
 func (m *Manager) schedule() {
+	passStart := time.Now()
+	defer func() {
+		m.vm.SchedulePasses.Inc()
+		m.vm.SchedulePassSeconds.Observe(time.Since(passStart).Seconds())
+		m.updateGauges()
+	}()
 	// Advance staging tasks first so freshly arrived data dispatches
 	// before new placements consume the worker's resources.
 	for id, t := range m.tasks {
@@ -67,6 +74,30 @@ func (m *Manager) schedule() {
 			m.waiting = append(m.waiting, id)
 		}
 	}
+}
+
+// updateGauges refreshes the instantaneous-state instruments from the
+// event loop's tables. Recomputing after every pass is cheap (one walk over
+// the task map) and keeps the gauges exact regardless of which paths moved
+// tasks between states.
+func (m *Manager) updateGauges() {
+	var byState [taskspec.StateFailed + 1]int
+	for _, t := range m.tasks {
+		if int(t.state) < len(byState) {
+			byState[t.state]++
+		}
+	}
+	for s, n := range byState {
+		m.vm.TasksByState.With(taskspec.State(s).String()).Set(float64(n))
+	}
+	live := 0
+	for _, w := range m.workers {
+		if !w.gone {
+			live++
+		}
+	}
+	m.vm.WorkersConnected.Set(float64(live))
+	m.vm.TransfersInflight.Set(float64(m.trs.Len()))
 }
 
 // depsSatisfiable reports whether every input either exists somewhere, has
@@ -358,6 +389,7 @@ func (m *Manager) materializeMini(f *files.File, w *workerConn) {
 // dispatch sends a fully staged task to its worker.
 func (m *Manager) dispatch(id int, t *taskState, w *workerConn) {
 	t.state = taskspec.StateRunning
+	m.vm.DispatchLatency.Observe(m.now() - t.submitTime)
 	m.tlog.Add(trace.Event{
 		Time: m.now(), Kind: trace.TaskStart, Worker: w.id, TaskID: id,
 		Detail: t.spec.Category,
@@ -392,6 +424,7 @@ func (m *Manager) requeue(id int, t *taskState, countRetry bool) {
 		t.notified = true
 	}
 	m.waiting = append(m.waiting, id)
+	m.vm.TasksRequeued.Inc()
 }
 
 func (t *taskState) notifiedOrDone() bool {

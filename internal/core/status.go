@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 
+	"taskvine/internal/metrics"
 	"taskvine/internal/resources"
 	"taskvine/internal/taskspec"
 	"taskvine/internal/trace"
@@ -108,11 +109,14 @@ func (m *Manager) buildStatus() Status {
 	return s
 }
 
-// ServeStatus exposes the manager's status as JSON over HTTP for
-// monitoring tools (cmd/vine-status):
+// ServeStatus exposes the manager's runtime introspection surface over
+// HTTP for monitoring tools (cmd/vine-status, Prometheus scrapers):
 //
-//	GET /status  -> Status JSON
-//	GET /trace   -> execution events as CSV
+//	GET /status       -> Status JSON
+//	GET /trace        -> execution events as CSV
+//	GET /metrics      -> instrument families, Prometheus text format
+//	GET /metrics.json -> instrument families as a JSON snapshot
+//	GET /debug/vine   -> queue/replica/transfer/retry tables as JSON
 //
 // It returns the bound address. The server stops when the listener is
 // closed at manager shutdown.
@@ -132,6 +136,18 @@ func (m *Manager) ServeStatus(addr string) (string, error) {
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/csv")
 		trace.WriteCSV(w, m.tlog.Events())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w, m.cfg.Metrics)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(metrics.TakeSnapshot(m.cfg.Metrics))
+	})
+	mux.HandleFunc("/debug/vine", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m.Debug())
 	})
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"taskvine/internal/trace"
+)
+
+// TestTraceMetricsParity is the guard rail of the observability layer: every
+// trace kind must have a real String() name and a decided metric mapping, and
+// every instrument in VineMetrics must actually be registered. Adding a trace
+// kind or an instrument field without wiring it fails here, not in
+// production.
+func TestTraceMetricsParity(t *testing.T) {
+	reg := NewRegistry()
+	vm := ForRegistry(reg)
+	registered := map[string]bool{}
+	for _, name := range reg.FamilyNames() {
+		registered[name] = true
+	}
+
+	kinds := trace.AllKinds()
+	if len(kinds) == 0 {
+		t.Fatal("AllKinds returned nothing")
+	}
+	for _, k := range kinds {
+		if s := k.String(); s == fmt.Sprintf("kind(%d)", int(k)) {
+			t.Errorf("kind %d has no String() name", int(k))
+		}
+		fams := KindFamilies(k)
+		if fams == nil {
+			t.Errorf("kind %v has no metric mapping in KindFamilies; decide its families in bridge.go", k)
+			continue
+		}
+		for _, name := range fams {
+			if !registered[name] {
+				t.Errorf("kind %v maps to %q, which ForRegistry does not register", k, name)
+			}
+		}
+	}
+
+	// Every instrument field of VineMetrics must be non-nil after
+	// ForRegistry: a field added to the struct but not the constructor would
+	// silently no-op (and panic on labeled With calls).
+	v := reflect.ValueOf(vm).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() == reflect.Ptr && f.IsNil() {
+			t.Errorf("VineMetrics.%s is nil after ForRegistry", v.Type().Field(i).Name)
+		}
+	}
+
+	// The acceptance floor: the shared instrument set spans the subsystems.
+	if len(registered) < 20 {
+		t.Errorf("only %d families registered, want >= 20", len(registered))
+	}
+	for _, prefix := range []string{"vine_tasks_", "vine_transfer", "vine_cache_", "vine_chaos_", "vine_sandbox", "vine_batch_"} {
+		found := false
+		for name := range registered {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no family with prefix %q; a subsystem lost its instruments", prefix)
+		}
+	}
+}
+
+// TestBridgeCountsEveryKind drives one event of every kind through a bridged
+// log and checks each mapped counter moved and the per-kind trace counter
+// matches the log length.
+func TestBridgeCountsEveryKind(t *testing.T) {
+	reg := NewRegistry()
+	vm := ForRegistry(reg)
+	log := trace.NewLog()
+	BridgeTrace(log, vm)
+
+	kinds := trace.AllKinds()
+	for i, k := range kinds {
+		log.Add(trace.Event{
+			Time: float64(i), Kind: k, Worker: "w1", TaskID: i,
+			File: "f", Bytes: 100, Source: "worker:w2",
+		})
+	}
+	snap := TakeSnapshot(reg)
+
+	total := 0.0
+	for _, k := range kinds {
+		got := snap.LabeledValue("vine_trace_events_total", map[string]string{"kind": k.String()})
+		if got != 1 {
+			t.Errorf("vine_trace_events_total{kind=%q} = %v, want 1", k.String(), got)
+		}
+		total += got
+		for _, fam := range KindFamilies(k) {
+			moved := snap.Value(fam)
+			for _, vals := range snap.SumOver(fam, "source") {
+				moved += vals
+			}
+			if moved == 0 {
+				t.Errorf("kind %v did not move its family %q", k, fam)
+			}
+		}
+	}
+	if total != float64(log.Len()) {
+		t.Errorf("sum of trace event counters = %v, log has %d events", total, log.Len())
+	}
+}
+
+func TestBridgeNilArgsAreSafe(t *testing.T) {
+	BridgeTrace(nil, nil)
+	log := trace.NewLog()
+	BridgeTrace(log, nil)
+	log.Add(trace.Event{Kind: trace.TaskEnd}) // must not panic
+}

@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file holds the two exporters: the Prometheus text exposition format
+// (the /metrics endpoint) and JSON snapshots (the /metrics.json endpoint and
+// programmatic consumers like vine-status). Both iterate families and
+// children in sorted order, so output is deterministic and diffable between
+// scrapes — and between a simulated run and a real one.
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Families with no samples still emit their HELP and
+// TYPE header lines, so the full instrument surface is visible from the
+// first scrape.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		keys, children := f.sortedChildren()
+		for i, key := range keys {
+			values := splitKey(key, len(f.labels))
+			if err := writeChild(w, f, values, children[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, values []string, child any) error {
+	switch c := child.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelSet(f.labels, values, ""), c.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labels, values, ""), formatFloat(c.Value()))
+		return err
+	case *Histogram:
+		cum := int64(0)
+		for i, bound := range c.bounds {
+			cum += c.counts[i].Load()
+			le := formatFloat(bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelSet(f.labels, values, le), cum); err != nil {
+				return err
+			}
+		}
+		cum += c.counts[len(c.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelSet(f.labels, values, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelSet(f.labels, values, ""), formatFloat(c.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelSet(f.labels, values, ""), c.Count())
+		return err
+	}
+	return fmt.Errorf("metrics: unknown instrument type %T", child)
+}
+
+// labelSet renders a {name="value",...} block; le, when non-empty, appends
+// the histogram bucket boundary label. An empty set renders as nothing.
+func labelSet(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// decimal form, with +Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot is a point-in-time JSON-friendly copy of a registry. It
+// round-trips through encoding/json without loss: bucket boundaries are
+// strings so +Inf survives marshaling.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one instrument family.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Type    string           `json:"type"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one child of a family. Counters and gauges use Value;
+// histograms use Count, Sum, and Buckets.
+type MetricSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket. Le is the upper bound
+// rendered as a string ("+Inf" for the last bucket).
+type BucketSnapshot struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// TakeSnapshot captures the registry's current state.
+func TakeSnapshot(r *Registry) Snapshot {
+	var snap Snapshot
+	for _, f := range r.sortedFamilies() {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ, Metrics: []MetricSnapshot{}}
+		keys, children := f.sortedChildren()
+		for i, key := range keys {
+			values := splitKey(key, len(f.labels))
+			ms := MetricSnapshot{}
+			if len(f.labels) > 0 {
+				ms.Labels = make(map[string]string, len(f.labels))
+				for j, n := range f.labels {
+					ms.Labels[n] = values[j]
+				}
+			}
+			switch c := children[i].(type) {
+			case *Counter:
+				ms.Value = float64(c.Value())
+			case *Gauge:
+				ms.Value = c.Value()
+			case *Histogram:
+				ms.Count = c.Count()
+				ms.Sum = c.Sum()
+				cum := int64(0)
+				for bi, bound := range c.bounds {
+					cum += c.counts[bi].Load()
+					ms.Buckets = append(ms.Buckets, BucketSnapshot{Le: formatFloat(bound), Count: cum})
+				}
+				cum += c.counts[len(c.bounds)].Load()
+				ms.Buckets = append(ms.Buckets, BucketSnapshot{Le: "+Inf", Count: cum})
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// Family returns the named family from a snapshot, if present.
+func (s Snapshot) Family(name string) (FamilySnapshot, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// Value returns the value of the named unlabeled counter or gauge, or zero.
+func (s Snapshot) Value(name string) float64 {
+	f, ok := s.Family(name)
+	if !ok || len(f.Metrics) == 0 {
+		return 0
+	}
+	return f.Metrics[0].Value
+}
+
+// LabeledValue returns the value of the child whose labels match exactly.
+func (s Snapshot) LabeledValue(name string, labels map[string]string) float64 {
+	f, ok := s.Family(name)
+	if !ok {
+		return 0
+	}
+	for _, m := range f.Metrics {
+		if len(m.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if m.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// SumOver sums one family's child values grouped by the given label,
+// returning a map from label value to total — the shape Summarize's
+// BytesBySource takes, for cross-checking trace against metrics.
+func (s Snapshot) SumOver(name, label string) map[string]float64 {
+	out := map[string]float64{}
+	f, ok := s.Family(name)
+	if !ok {
+		return out
+	}
+	for _, m := range f.Metrics {
+		out[m.Labels[label]] += m.Value
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func promText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestPrometheusTextFormat(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(r *Registry)
+		want  string
+	}{
+		{
+			name: "unlabeled counter",
+			build: func(r *Registry) {
+				r.Counter("c_total", "a counter").Add(7)
+			},
+			want: "# HELP c_total a counter\n# TYPE c_total counter\nc_total 7\n",
+		},
+		{
+			name: "counter without help omits HELP line",
+			build: func(r *Registry) {
+				r.Counter("c_total", "").Inc()
+			},
+			want: "# TYPE c_total counter\nc_total 1\n",
+		},
+		{
+			name: "zero-sample family still emits headers",
+			build: func(r *Registry) {
+				r.CounterVec("empty_total", "declared but untouched", "k")
+			},
+			want: "# HELP empty_total declared but untouched\n# TYPE empty_total counter\n",
+		},
+		{
+			name: "gauge formatting",
+			build: func(r *Registry) {
+				r.Gauge("g", "a gauge").Set(2.5)
+			},
+			want: "# HELP g a gauge\n# TYPE g gauge\ng 2.5\n",
+		},
+		{
+			name: "labeled children in deterministic order",
+			build: func(r *Registry) {
+				v := r.CounterVec("v_total", "", "source")
+				v.With("worker").Add(2)
+				v.With("manager").Add(1)
+				v.With("url").Add(3)
+			},
+			want: "# TYPE v_total counter\n" +
+				`v_total{source="manager"} 1` + "\n" +
+				`v_total{source="url"} 3` + "\n" +
+				`v_total{source="worker"} 2` + "\n",
+		},
+		{
+			name: "label value escaping",
+			build: func(r *Registry) {
+				v := r.CounterVec("esc_total", "", "k")
+				v.With("a\\b\"c\nd").Inc()
+			},
+			want: "# TYPE esc_total counter\n" +
+				`esc_total{k="a\\b\"c\nd"} 1` + "\n",
+		},
+		{
+			name: "help escaping",
+			build: func(r *Registry) {
+				r.Counter("h_total", "line one\nline two \\ slash").Inc()
+			},
+			want: `# HELP h_total line one\nline two \\ slash` + "\n" +
+				"# TYPE h_total counter\nh_total 1\n",
+		},
+		{
+			name: "histogram buckets are cumulative with +Inf, sum, count",
+			build: func(r *Registry) {
+				h := r.Histogram("lat", "", []float64{0.5, 1})
+				h.Observe(0.2)
+				h.Observe(0.7)
+				h.Observe(9)
+			},
+			want: "# TYPE lat histogram\n" +
+				`lat_bucket{le="0.5"} 1` + "\n" +
+				`lat_bucket{le="1"} 2` + "\n" +
+				`lat_bucket{le="+Inf"} 3` + "\n" +
+				"lat_sum 9.9\nlat_count 3\n",
+		},
+		{
+			name: "labeled histogram keeps le last",
+			build: func(r *Registry) {
+				v := r.HistogramVec("hv", "", []float64{1}, "op")
+				v.With("read").Observe(0.5)
+			},
+			want: "# TYPE hv histogram\n" +
+				`hv_bucket{op="read",le="1"} 1` + "\n" +
+				`hv_bucket{op="read",le="+Inf"} 1` + "\n" +
+				`hv_sum{op="read"} 0.5` + "\n" +
+				`hv_count{op="read"} 1` + "\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.build(r)
+			if got := promText(t, r); got != tc.want {
+				t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPrometheusFamiliesSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "").Inc()
+	r.Counter("aaa_total", "").Inc()
+	r.Gauge("mmm", "").Set(1)
+	out := promText(t, r)
+	ia := strings.Index(out, "aaa_total")
+	im := strings.Index(out, "mmm")
+	iz := strings.Index(out, "zzz_total")
+	if !(ia < im && im < iz) {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestPrometheusOutputIsStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("s_total", "", "a", "b")
+	v.With("1", "2").Inc()
+	v.With("1", "1").Inc()
+	v.With("0", "9").Inc()
+	first := promText(t, r)
+	for i := 0; i < 10; i++ {
+		if got := promText(t, r); got != first {
+			t.Fatalf("output changed between identical scrapes:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "counter help").Add(3)
+	r.Gauge("g", "").Set(1.25)
+	v := r.CounterVec("v_total", "", "source")
+	v.With("worker").Add(10)
+	v.With("url").Add(4)
+	h := r.Histogram("lat", "", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(99)
+
+	snap := TakeSnapshot(r)
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("snapshot changed through JSON round trip:\ngot  %+v\nwant %+v", back, snap)
+	}
+	// The +Inf bucket must survive as a string boundary.
+	lat, ok := back.Family("lat")
+	if !ok {
+		t.Fatal("lat family missing after round trip")
+	}
+	b := lat.Metrics[0].Buckets
+	if got := b[len(b)-1]; got.Le != "+Inf" || got.Count != 2 {
+		t.Errorf("+Inf bucket = %+v, want {+Inf 2}", got)
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(3)
+	v := r.CounterVec("bytes_total", "", "source")
+	v.With("worker").Add(10)
+	v.With("url").Add(4)
+	snap := TakeSnapshot(r)
+	if got := snap.Value("c_total"); got != 3 {
+		t.Errorf("Value = %v, want 3", got)
+	}
+	if got := snap.Value("missing"); got != 0 {
+		t.Errorf("Value of missing family = %v, want 0", got)
+	}
+	if got := snap.LabeledValue("bytes_total", map[string]string{"source": "worker"}); got != 10 {
+		t.Errorf("LabeledValue = %v, want 10", got)
+	}
+	want := map[string]float64{"worker": 10, "url": 4}
+	if got := snap.SumOver("bytes_total", "source"); !reflect.DeepEqual(got, want) {
+		t.Errorf("SumOver = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // monotone: negative deltas are ignored
+	c.Add(0)
+	if got := c.Value(); got != 6 {
+		t.Errorf("counter = %d, want 6", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(4.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "help", []float64{1, 2, 5})
+	// Boundaries are inclusive upper bounds (Prometheus le semantics).
+	for _, v := range []float64{0.5, 1, 1.5, 2, 5, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 110 {
+		t.Errorf("sum = %v, want 110", got)
+	}
+	want := []int64{2, 2, 1, 1} // (<=1)=2, (1,2]=2, (2,5]=1, +Inf=1
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var gv *GaugeVec
+	var hv *HistogramVec
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	cv.With("x").Inc()
+	gv.With("x").Set(1)
+	hv.With("x").Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help")
+	b := r.Counter("dup_total", "different help is fine")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("re-registration must return the same counter")
+	}
+	v1 := r.CounterVec("dup_vec_total", "h", "source")
+	v2 := r.CounterVec("dup_vec_total", "h", "source")
+	v1.With("url").Add(2)
+	if v2.With("url").Value() != 2 {
+		t.Error("re-registration must return the same family")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("clash_total", "h")
+}
+
+func TestRegistryLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("clash_vec_total", "h", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with different labels must panic")
+		}
+	}()
+	r.CounterVec("clash_vec_total", "h", "b")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1starts_with_digit", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must be rejected", bad)
+				}
+			}()
+			r.Counter(bad, "h")
+		}()
+	}
+}
+
+func TestUnsortedBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted buckets must panic")
+		}
+	}()
+	r.Histogram("bad_hist", "h", []float64{5, 1})
+}
+
+func TestVecWrongArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("arity_total", "h", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("With() with wrong label count must panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "h")
+	g := r.Gauge("race_gauge", "h")
+	h := r.Histogram("race_hist", "h", nil)
+	v := r.CounterVec("race_vec_total", "h", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j))
+				v.With("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if v.With("x").Value() != 8000 {
+		t.Errorf("vec counter = %d, want 8000", v.With("x").Value())
+	}
+}
+
+func TestSourceKindNormalization(t *testing.T) {
+	cases := map[string]string{
+		"":          "unknown",
+		"worker:w1": "worker",
+		"worker:x":  "worker",
+		"url":       "url",
+		"manager":   "manager",
+		"shared-fs": "shared-fs",
+	}
+	for in, want := range cases {
+		if got := SourceKind(in); got != want {
+			t.Errorf("SourceKind(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

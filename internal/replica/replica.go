@@ -14,6 +14,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -169,6 +170,37 @@ func (t *Table) ReadyFilesOn(worker string) int {
 		}
 	}
 	return n
+}
+
+// FileReplicas is one file's row in a full-table snapshot.
+type FileReplicas struct {
+	File    string   `json:"file"`
+	Ready   []string `json:"ready,omitempty"`
+	Pending []string `json:"pending,omitempty"`
+}
+
+// Snapshot returns the whole table sorted by file name, with each file's
+// ready and pending holders sorted — the operator-facing dump behind the
+// manager's /debug/vine endpoint.
+func (t *Table) Snapshot() []FileReplicas {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]FileReplicas, 0, len(t.byFile))
+	for file, holders := range t.byFile {
+		fr := FileReplicas{File: file}
+		for w, s := range holders {
+			if s == Ready {
+				fr.Ready = append(fr.Ready, w)
+			} else {
+				fr.Pending = append(fr.Pending, w)
+			}
+		}
+		sort.Strings(fr.Ready)
+		sort.Strings(fr.Pending)
+		out = append(out, fr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out
 }
 
 // SourceKind distinguishes where a transfer's bytes come from.
@@ -340,6 +372,27 @@ func (t *Transfers) DropWorker(worker string) []Transfer {
 		}
 	}
 	return cancelled
+}
+
+// All returns every in-flight transfer, sorted by (file, destination, ID)
+// for stable display.
+func (t *Transfers) All() []Transfer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Transfer, 0, len(t.inflight))
+	for _, tr := range t.inflight {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Dest != out[j].Dest {
+			return out[i].Dest < out[j].Dest
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
 }
 
 // Len returns the number of in-flight transfers.

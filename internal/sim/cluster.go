@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"taskvine/internal/chaos"
+	"taskvine/internal/metrics"
 	"taskvine/internal/policy"
 	"taskvine/internal/replica"
 	"taskvine/internal/resources"
@@ -19,6 +20,12 @@ type Cluster struct {
 	params Params
 	limits policy.Limits
 	log    *trace.Log
+	// metrics mirrors the real manager's instrument set (same family
+	// names), fed by the trace bridge plus the few direct instruments the
+	// trace doesn't carry, so a simulated run's /metrics-equivalent snapshot
+	// diffs cleanly against a real run's.
+	reg *metrics.Registry
+	vm  *metrics.VineMetrics
 
 	workload *Workload
 	reps     *replica.Table
@@ -104,6 +111,9 @@ func NewCluster(w *Workload, params Params, limits policy.Limits) *Cluster {
 		libs:      make(map[string]*Library),
 		atManager: make(map[string]bool),
 	}
+	c.reg = metrics.NewRegistry()
+	c.vm = metrics.ForRegistry(c.reg)
+	metrics.BridgeTrace(c.log, c.vm)
 	for _, lib := range w.Libraries {
 		c.libs[lib.Name] = lib
 	}
@@ -137,6 +147,7 @@ func NewCluster(w *Workload, params Params, limits policy.Limits) *Cluster {
 	for _, t := range w.Tasks {
 		c.tasks[t.ID] = &simTask{t: t}
 		c.waiting = append(c.waiting, t.ID)
+		c.vm.TasksSubmitted.Inc()
 		for _, out := range t.Outputs {
 			c.producers[out.ID] = t.ID
 		}
@@ -147,10 +158,18 @@ func NewCluster(w *Workload, params Params, limits policy.Limits) *Cluster {
 
 // InjectFaults arms the cluster with a seeded fault injector. Call before
 // Run; a nil injector leaves the simulation fault-free.
-func (c *Cluster) InjectFaults(inj *chaos.Injector) { c.faults = inj }
+func (c *Cluster) InjectFaults(inj *chaos.Injector) {
+	c.faults = inj
+	inj.SetMetrics(c.vm.ChaosInjections)
+}
 
 // Trace returns the recorded event log.
 func (c *Cluster) Trace() *trace.Log { return c.log }
+
+// Metrics returns the simulation's instrument registry. Family names match
+// the real manager's, so snapshots of a simulated and a real run of the
+// same workload are directly diffable.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 
 // Engine exposes the virtual clock, for tests.
 func (c *Cluster) Engine() *Engine { return c.eng }
@@ -204,7 +223,12 @@ func (c *Cluster) workerLeave(w *simWorker) {
 		}
 	}
 	c.recoverLostTemps(w.spec.ID, affected)
+	running := make([]int, 0, len(w.running))
 	for id := range w.running {
+		running = append(running, id)
+	}
+	sort.Ints(running)
+	for _, id := range running {
 		t := c.tasks[id]
 		if t == nil {
 			continue
@@ -215,6 +239,7 @@ func (c *Cluster) workerLeave(w *simWorker) {
 			t.worker = ""
 			t.epoch++
 			c.waiting = append(c.waiting, id)
+			c.vm.TasksRequeued.Inc()
 		}
 	}
 	// Reset the pool and cache: the node is gone.
@@ -258,6 +283,7 @@ func (c *Cluster) recoverLostTemps(workerID string, affected []string) {
 		p.epoch++
 		c.completed--
 		c.waiting = append(c.waiting, prodID)
+		c.vm.TasksRequeued.Inc()
 		requeued = true
 	}
 	if requeued {
@@ -293,6 +319,37 @@ func (c *Cluster) requestSchedule() {
 	})
 }
 
+// updateGauges refreshes the instantaneous instruments after a pass,
+// mirroring the real manager's set. Simulator task states map onto the
+// manager's lifecycle names; "returning" output streams still occupy their
+// worker, so they count as running.
+func (c *Cluster) updateGauges() {
+	byState := map[string]int{"waiting": 0, "staging": 0, "running": 0, "done": 0}
+	for _, t := range c.tasks {
+		switch t.state {
+		case 0:
+			byState["waiting"]++
+		case 1:
+			byState["staging"]++
+		case 2, 3:
+			byState["running"]++
+		case 4:
+			byState["done"]++
+		}
+	}
+	for _, s := range []string{"waiting", "staging", "running", "done"} {
+		c.vm.TasksByState.With(s).Set(float64(byState[s]))
+	}
+	live := 0
+	for _, w := range c.workers {
+		if w.joined {
+			live++
+		}
+	}
+	c.vm.WorkersConnected.Set(float64(live))
+	c.vm.TransfersInflight.Set(float64(c.trs.Len()))
+}
+
 // view adapts the tables to policy.View.
 type simView struct{ c *Cluster }
 
@@ -312,6 +369,8 @@ func (v simView) TransferPending(f, w string) bool {
 func (v simView) InFlightOf(f string) int { return v.c.trs.InFlightOf(f) }
 
 func (c *Cluster) schedule() {
+	c.vm.SchedulePasses.Inc()
+	defer c.updateGauges()
 	// Progress staging tasks first (mirrors internal/core.schedule).
 	ids := make([]int, 0, len(c.tasks))
 	for id, t := range c.tasks {
@@ -599,6 +658,9 @@ func (c *Cluster) startRun(id int, t *simTask, w *simWorker) {
 	}
 	t.state = 2
 	t.started = c.eng.Now()
+	// All simulated tasks are submitted at virtual time zero, so the start
+	// time IS the submit-to-dispatch latency (virtual seconds).
+	c.vm.DispatchLatency.Observe(c.eng.Now())
 	c.pin(w, t.t.Inputs)
 	c.log.Add(trace.Event{
 		Time: c.eng.Now(), Kind: trace.TaskStart, Worker: w.spec.ID,

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"taskvine/internal/metrics"
+	"taskvine/internal/policy"
+	"taskvine/internal/trace"
+)
+
+// TestMetricsMatchTrace is the simulator's half of the tentpole guarantee:
+// the live instrument values after a run must equal the figures derived
+// post-hoc from the trace log. The bridge is the only writer of
+// event-derived counters, so any disagreement means an event was recorded
+// without being observed (or vice versa).
+func TestMetricsMatchTrace(t *testing.T) {
+	// Tight URL limit forces a mix of url and worker-to-worker transfers,
+	// so the by-source counters have more than one label to get wrong.
+	w := simpleWorkload(24, 6, 200e6, 1)
+	c := NewCluster(w, DefaultParams(), policy.Limits{URLSource: 1, WorkerSource: 3})
+	c.Run()
+
+	events := c.Trace().Events()
+	sum := trace.Summarize(events)
+	snap := metrics.TakeSnapshot(c.Metrics())
+
+	total := 0.0
+	for _, k := range trace.AllKinds() {
+		total += snap.LabeledValue("vine_trace_events_total", map[string]string{"kind": k.String()})
+	}
+	if total != float64(len(events)) {
+		t.Errorf("sum over vine_trace_events_total = %v, trace has %d events", total, len(events))
+	}
+
+	if got := snap.Value("vine_tasks_completed_total"); got != float64(sum.TasksDone) {
+		t.Errorf("vine_tasks_completed_total = %v, Summarize says %d", got, sum.TasksDone)
+	}
+	if got := snap.Value("vine_tasks_failed_total"); got != float64(sum.TasksFailed) {
+		t.Errorf("vine_tasks_failed_total = %v, Summarize says %d", got, sum.TasksFailed)
+	}
+	if got := snap.Value("vine_workers_joined_total"); got != float64(sum.Workers) {
+		t.Errorf("vine_workers_joined_total = %v, Summarize says %d", got, sum.Workers)
+	}
+	if got := snap.Value("vine_tasks_submitted_total"); got != float64(len(w.Tasks)) {
+		t.Errorf("vine_tasks_submitted_total = %v, workload has %d", got, len(w.Tasks))
+	}
+
+	// Bytes and transfer counts by source: the trace keys sources by the
+	// full label ("worker:w3"); the metric normalizes to the kind.
+	wantBytes := map[string]float64{}
+	wantTransfers := map[string]float64{}
+	for src, b := range sum.BytesBySource {
+		wantBytes[metrics.SourceKind(src)] += float64(b)
+	}
+	for src, n := range sum.TransfersBySource {
+		wantTransfers[metrics.SourceKind(src)] += float64(n)
+	}
+	gotBytes := snap.SumOver("vine_transfer_bytes_total", "source")
+	gotTransfers := snap.SumOver("vine_transfers_completed_total", "source")
+	for kind, want := range wantBytes {
+		if gotBytes[kind] != want {
+			t.Errorf("vine_transfer_bytes_total{source=%q} = %v, trace says %v", kind, gotBytes[kind], want)
+		}
+	}
+	for kind, want := range wantTransfers {
+		if gotTransfers[kind] != want {
+			t.Errorf("vine_transfers_completed_total{source=%q} = %v, trace says %v", kind, gotTransfers[kind], want)
+		}
+	}
+	if len(gotTransfers) < 2 {
+		t.Errorf("expected url and worker transfer sources, got %v", gotTransfers)
+	}
+
+	// Quiesced gauges: every task done, nothing running or in flight.
+	if got := snap.LabeledValue("vine_tasks_state", map[string]string{"state": "done"}); got != float64(len(w.Tasks)) {
+		t.Errorf("vine_tasks_state{state=done} = %v, want %d", got, len(w.Tasks))
+	}
+	if got := snap.LabeledValue("vine_tasks_state", map[string]string{"state": "running"}); got != 0 {
+		t.Errorf("vine_tasks_state{state=running} = %v after run", got)
+	}
+	if got := snap.Value("vine_transfers_inflight"); got != 0 {
+		t.Errorf("vine_transfers_inflight = %v after run", got)
+	}
+
+	// Non-event-derived instruments also moved: a schedule pass happened and
+	// every stored object counted a cache insert.
+	if snap.Value("vine_schedule_passes_total") == 0 {
+		t.Error("vine_schedule_passes_total never incremented")
+	}
+	if snap.Value("vine_cache_inserts_total") == 0 {
+		t.Error("vine_cache_inserts_total never incremented")
+	}
+}
+
+// TestSimAndRealShareFamilyNames pins the diffability promise: the
+// simulator's registry uses exactly the shared vine_* instrument set, so a
+// sim snapshot and a real-run snapshot can be compared family by family.
+func TestSimAndRealShareFamilyNames(t *testing.T) {
+	w := simpleWorkload(2, 1, 1e6, 1)
+	c := NewCluster(w, DefaultParams(), policy.Limits{})
+	c.Run()
+	ref := metrics.ForRegistry(metrics.NewRegistry()).Registry().FamilyNames()
+	got := c.Metrics().FamilyNames()
+	if len(got) != len(ref) {
+		t.Fatalf("sim registers %d families, shared set has %d:\nsim: %v\nref: %v", len(got), len(ref), got, ref)
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Errorf("family %d: sim %q, shared set %q", i, got[i], ref[i])
+		}
+	}
+}

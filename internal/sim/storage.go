@@ -97,6 +97,8 @@ func (c *Cluster) store(w *simWorker, fileID string, size int64) {
 	}
 	cache[fileID] = &cachedObject{id: fileID, size: size, lastUse: c.eng.Now()}
 	w.cacheUsed += size
+	c.vm.CacheInserts.Inc()
+	c.vm.CacheInsertBytes.Add(size)
 	c.reps.Commit(fileID, w.spec.ID)
 }
 

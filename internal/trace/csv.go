@@ -59,7 +59,10 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 }
 
 func parseKind(s string) (Kind, error) {
-	for k := WorkerJoined; k <= FileEvicted; k++ {
+	// Iterate AllKinds rather than a hard-coded range: an upper bound pinned
+	// to the last constant silently rejected kinds added later (this bit the
+	// three failure-path kinds before the parity tests existed).
+	for _, k := range AllKinds() {
 		if k.String() == s {
 			return k, nil
 		}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden tests pin the aggregators' exact output for a canned event log
+// that exercises every Kind. Any change to interval derivation, span
+// classification, or summary arithmetic must show up as a reviewed golden
+// diff, not a silent drift in the paper's figures. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/trace -run Golden
+
+func cannedEvents(t *testing.T) []Event {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "canned.csv"))
+	if err != nil {
+		t.Fatalf("opening canned log: %v", err)
+	}
+	defer f.Close()
+	events, err := ReadCSV(f)
+	if err != nil {
+		t.Fatalf("parsing canned log: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("canned log is empty")
+	}
+	return events
+}
+
+// checkGolden compares v's indented JSON against testdata/<name>, rewriting
+// the file when UPDATE_GOLDEN is set.
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshaling %s: %v", name, err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("updating %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden %s (run with UPDATE_GOLDEN=1 to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestGoldenCannedLogCoversAllKinds(t *testing.T) {
+	events := cannedEvents(t)
+	seen := map[Kind]bool{}
+	for _, e := range events {
+		seen[e.Kind] = true
+	}
+	for _, k := range AllKinds() {
+		if !seen[k] {
+			t.Errorf("canned log has no %v event; extend testdata/canned.csv", k)
+		}
+	}
+}
+
+func TestGoldenTaskView(t *testing.T) {
+	checkGolden(t, "taskview.golden.json", TaskView(cannedEvents(t)))
+}
+
+func TestGoldenWorkerView(t *testing.T) {
+	checkGolden(t, "workerview.golden.json", WorkerView(cannedEvents(t)))
+}
+
+func TestGoldenSummary(t *testing.T) {
+	checkGolden(t, "summary.golden.json", Summarize(cannedEvents(t)))
+}
+
+func TestGoldenCSVRoundTrip(t *testing.T) {
+	events := cannedEvents(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV of rewritten log: %v", err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip changed event count: %d -> %d", len(events), len(back))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Errorf("event %d changed in round trip:\ngot  %+v\nwant %+v", i, back[i], events[i])
+		}
+	}
+}

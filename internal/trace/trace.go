@@ -84,20 +84,50 @@ type Event struct {
 	Detail string
 }
 
+// AllKinds returns every defined Kind in declaration order, discovered by
+// probing String() until it falls back to the numeric form. Consumers that
+// must stay exhaustive over kinds (CSV parsing, the metrics bridge parity
+// test) iterate this instead of hard-coding the last constant, so a newly
+// added kind can never be silently skipped.
+func AllKinds() []Kind {
+	var out []Kind
+	for k := Kind(0); ; k++ {
+		if k.String() == fmt.Sprintf("kind(%d)", int(k)) {
+			return out
+		}
+		out = append(out, k)
+	}
+}
+
 // Log is an append-only event collection, safe for concurrent use.
 type Log struct {
-	mu     sync.Mutex
-	events []Event // guarded by mu
+	mu        sync.Mutex
+	events    []Event       // guarded by mu
+	observers []func(Event) // guarded by mu; appended-only, called outside mu
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
 
+// Observe registers a callback invoked for every subsequently added event.
+// Callbacks run synchronously on the adding goroutine, outside the log's
+// lock, so they may not call back into the log. The metrics bridge uses this
+// to keep live counters in lockstep with the post-hoc event log.
+func (l *Log) Observe(fn func(Event)) {
+	l.mu.Lock()
+	l.observers = append(l.observers, fn)
+	l.mu.Unlock()
+}
+
 // Add appends an event.
 func (l *Log) Add(e Event) {
 	l.mu.Lock()
 	l.events = append(l.events, e)
+	obs := l.observers
 	l.mu.Unlock()
+	for _, fn := range obs {
+		fn(e)
+	}
 }
 
 // Events returns a time-sorted copy of all events.

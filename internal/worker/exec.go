@@ -146,6 +146,7 @@ func (w *Worker) runCommandTask(ctx context.Context, spec *taskspec.Spec) {
 		w.sendComplete(spec, true, 1, nil, nil, 0, 0, err)
 		return
 	}
+	w.vm.SandboxesCreated.Inc()
 	defer w.destroySandbox(sb)
 	staged := time.Since(t0)
 
@@ -476,6 +477,7 @@ func (w *Worker) handleMini(ctx context.Context, m *protocol.Message) {
 		fail(err)
 		return
 	}
+	w.vm.SandboxesCreated.Inc()
 	defer w.destroySandbox(sb)
 	exit, out, _, runErr := runCommand(ctx, spec, sb.Dir)
 	if runErr != nil || exit != 0 {
@@ -504,8 +506,11 @@ func (w *Worker) handleMini(ctx context.Context, m *protocol.Message) {
 // pool believes is free.
 func (w *Worker) destroySandbox(sb *sandbox.Sandbox) {
 	if err := sb.Destroy(); err != nil {
+		w.vm.SandboxDestroyFailures.Inc()
 		w.logf("removing sandbox %s: %v", sb.Dir, err)
+		return
 	}
+	w.vm.SandboxesDestroyed.Inc()
 }
 
 func (w *Worker) unpin(names []string) {

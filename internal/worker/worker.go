@@ -29,6 +29,7 @@ import (
 	"taskvine/internal/cache"
 	"taskvine/internal/chaos"
 	"taskvine/internal/hashing"
+	"taskvine/internal/metrics"
 	"taskvine/internal/protocol"
 	"taskvine/internal/resources"
 	"taskvine/internal/serverless"
@@ -71,6 +72,10 @@ type Config struct {
 	// Faults is a test-only fault injector consulted at the worker's
 	// instrumented failure points; nil (the default) disables injection.
 	Faults *chaos.Injector
+	// Metrics is the registry the worker binds the shared instrument set
+	// to; nil allocates a private one. Pass the manager's registry to
+	// aggregate an in-process cluster onto one /metrics surface.
+	Metrics *metrics.Registry
 }
 
 // Worker is a running worker process.
@@ -79,6 +84,7 @@ type Worker struct {
 	cache *cache.Cache
 	pool  *resources.Pool
 	conn  *protocol.Conn
+	vm    *metrics.VineMetrics
 
 	peerLn   net.Listener
 	peerAddr string
@@ -149,9 +155,16 @@ func New(cfg Config) (*Worker, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.WorkDir, "sandboxes"), 0o755); err != nil {
 		return nil, err
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	vm := metrics.ForRegistry(cfg.Metrics)
+	c.SetMetrics(vm)
+	cfg.Faults.SetMetrics(vm.ChaosInjections)
 	return &Worker{
 		cfg:         cfg,
 		cache:       c,
+		vm:          vm,
 		pool:        resources.NewPool(cfg.Capacity),
 		transferSem: make(chan struct{}, cfg.MaxConcurrentTransfers),
 		instances:   make(map[string]*serverless.Instance),
@@ -520,6 +533,7 @@ func (w *Worker) fetchFromPeer(ctx context.Context, addr, name string) (int64, e
 				return 0, ctx.Err()
 			case <-time.After(chaos.Backoff(0, 0, a-1, 0, name)):
 			}
+			w.vm.PeerFetchRetries.Inc()
 			w.logf("retrying peer fetch of %s from %s (attempt %d/%d)", name, addr, a, attempts)
 		}
 		var n int64
@@ -669,7 +683,10 @@ func (w *Worker) servePeers() {
 			nc.SetDeadline(time.Now().Add(10 * w.cfg.PeerIOTimeout))
 			if err := conn.SendPayload(&protocol.Message{Type: protocol.TypeData, CacheName: m.CacheName, Size: size, Dir: dir, Checksum: sum}, r); err != nil {
 				w.logf("sending %s to peer %s: %v", m.CacheName, conn.RemoteAddr(), err)
+				return
 			}
+			w.vm.PeerServes.Inc()
+			w.vm.PeerServeBytes.Add(size)
 		}()
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"taskvine/internal/core"
 	"taskvine/internal/files"
 	"taskvine/internal/httpsource"
+	"taskvine/internal/metrics"
 	"taskvine/internal/policy"
 	"taskvine/internal/protocol"
 	"taskvine/internal/resources"
@@ -139,9 +140,21 @@ func (m *Manager) ReplicateFile(f File, n int) error { return m.core.ReplicateFi
 // committed resources and cached files, and the task pipeline.
 func (m *Manager) Status() core.Status { return m.core.Status() }
 
-// ServeStatus exposes Status and the execution trace over HTTP for
-// monitoring with cmd/vine-status; it returns the bound address.
+// ServeStatus exposes the manager's introspection surface over HTTP for
+// monitoring with cmd/vine-status or a Prometheus scraper: /status and
+// /debug/vine (JSON), /trace (CSV), /metrics (Prometheus text), and
+// /metrics.json (snapshot). It returns the bound address.
 func (m *Manager) ServeStatus(addr string) (string, error) { return m.core.ServeStatus(addr) }
+
+// Debug returns the deep scheduling state behind /debug/vine: the live task
+// queue, the File Replica Table, the Current Transfer Table, and transfer
+// retry backoffs.
+func (m *Manager) Debug() core.DebugReport { return m.core.Debug() }
+
+// Metrics returns the manager's instrument registry. All counters derived
+// from execution events are maintained by a trace bridge, so the live
+// instruments and post-hoc trace analysis always agree.
+func (m *Manager) Metrics() *metrics.Registry { return m.core.Metrics() }
 
 // CategoryStats aggregates observed task behaviour per category: counts,
 // the largest measured disk and memory consumption, and execution times —

@@ -4,6 +4,7 @@ import (
 	"context"
 	"log"
 
+	"taskvine/internal/metrics"
 	"taskvine/internal/resources"
 	"taskvine/internal/serverless"
 	"taskvine/internal/worker"
@@ -34,6 +35,10 @@ type WorkerConfig struct {
 	Libraries []*Library
 	// Logger receives operational logs; nil silences them.
 	Logger *log.Logger
+	// Metrics is the instrument registry; nil allocates a private one. Pass
+	// the manager's Metrics() so an in-process worker's cache and sandbox
+	// counters appear on the manager's /metrics surface.
+	Metrics *metrics.Registry
 }
 
 // Worker manages the resources of one node on the manager's behalf: local
@@ -59,6 +64,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		ID:            cfg.ID,
 		Libraries:     reg,
 		Logger:        cfg.Logger,
+		Metrics:       cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
