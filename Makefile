@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet race fuzz chaos bench ci
+.PHONY: all build test lint vet race fuzz chaos bench bench-diff ci
 
 all: build
 
@@ -45,12 +45,27 @@ chaos:
 	VINE_CHAOS_SEED=1 $(GO) test -race -count=1 -run Chaos ./...
 	VINE_CHAOS_SEED=2 $(GO) test -race -count=1 -run Chaos ./...
 
-# bench runs the dispatch, protocol, and hashing benchmarks with -count=5
-# (enough repetitions for benchstat-style comparison) and records the raw
-# test2json stream in BENCH_core.json. CI uploads the file as a non-gating
-# artifact so perf drift is visible across commits without failing builds.
+# bench runs the dispatch, scheduler-pass, protocol, and hashing
+# benchmarks with -count=5 (enough repetitions for benchstat-style
+# comparison), plus one full 50k-task simulated workflow, and records the
+# raw test2json stream in BENCH_core.json. CI uploads the file as a
+# non-gating artifact so perf drift is visible across commits without
+# failing builds.
 bench:
 	$(GO) test -json -run '^$$' -bench . -benchmem -count=5 \
 		./internal/core ./internal/protocol ./internal/hashing > BENCH_core.json
+	$(GO) test -json -run '^$$' -bench SimTopEFT50k -benchtime 1x -count=1 \
+		./internal/workloads >> BENCH_core.json
+
+# bench-diff re-runs the benchmark suite into BENCH_new.json and prints a
+# benchstat-style old-vs-new comparison against the committed
+# BENCH_core.json baseline (tools/benchdiff). Informational only: CI
+# uploads BENCH_DIFF.txt as a non-gating artifact.
+bench-diff:
+	$(GO) test -json -run '^$$' -bench . -benchmem -count=5 \
+		./internal/core ./internal/protocol ./internal/hashing > BENCH_new.json
+	$(GO) test -json -run '^$$' -bench SimTopEFT50k -benchtime 1x -count=1 \
+		./internal/workloads >> BENCH_new.json
+	$(GO) run ./tools/benchdiff BENCH_core.json BENCH_new.json | tee BENCH_DIFF.txt
 
 ci: build vet lint race chaos fuzz

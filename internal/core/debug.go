@@ -52,6 +52,10 @@ type DebugReport struct {
 	Replicas  []replica.FileReplicas `json:"replicas,omitempty"`
 	Transfers []TransferDebug        `json:"transfers,omitempty"`
 	Retries   []RetryDebug           `json:"retries,omitempty"`
+	// EventsHandled and SchedulePasses expose the event loop's batching
+	// behaviour: with event coalescing, passes never exceeds events.
+	EventsHandled  int64 `json:"events_handled"`
+	SchedulePasses int64 `json:"schedule_passes"`
 }
 
 // Debug returns a consistent snapshot of the manager's scheduling state,
@@ -74,7 +78,10 @@ func (m *Manager) Debug() DebugReport {
 // buildDebug runs inside the event loop.
 func (m *Manager) buildDebug() DebugReport {
 	now := m.now()
-	r := DebugReport{Addr: m.Addr(), Now: now}
+	r := DebugReport{
+		Addr: m.Addr(), Now: now,
+		EventsHandled: m.eventsHandled, SchedulePasses: m.passes,
+	}
 	ids := make([]int, 0, len(m.tasks))
 	for id := range m.tasks {
 		ids = append(ids, id)

@@ -30,6 +30,8 @@ func (m *Manager) handleMessage(ev event) {
 	case protocol.TypeCacheInvalid:
 		m.reps.Remove(msg.CacheName, msg.WorkerID)
 		m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.FileEvicted, Worker: msg.WorkerID, File: msg.CacheName})
+		// Staging tasks that counted on the evicted replica must replan.
+		m.wakeFile(msg.CacheName)
 	case protocol.TypeComplete:
 		m.handleComplete(ev.workerID, msg)
 	case protocol.TypeData:
@@ -99,6 +101,9 @@ func (m *Manager) registerWorker(conn *protocol.Conn, msg *protocol.Message) {
 	w.lastHeard = time.Now()
 	m.joinSeq++
 	m.workers[w.id] = w
+	m.liveCount++
+	m.workersDirty = true
+	m.needFull = true
 	m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.WorkerJoined, Worker: w.id})
 	m.logf("worker %s joined with %v", w.id, cap)
 	// Deploy every installed library to the newcomer.
@@ -140,6 +145,13 @@ func (m *Manager) handleCacheUpdate(msg *protocol.Message) {
 		m.logf("object %s failed at %s: %s", msg.CacheName, msg.WorkerID, msg.Error)
 		m.reps.Remove(msg.CacheName, msg.WorkerID)
 	}
+	// Retry exactly the tasks this object could unblock; a finished (or
+	// failed) supervised transfer also changes per-source slot accounting,
+	// which can unblock any staging task's plan.
+	m.wakeFile(msg.CacheName)
+	if msg.TransferID != "" {
+		m.stagingAll = true
+	}
 }
 
 // handleComplete processes a task completion report.
@@ -152,6 +164,8 @@ func (m *Manager) handleComplete(workerID string, msg *protocol.Message) {
 	if msg.Status == "library-ready" {
 		if w := m.workers[workerID]; w != nil {
 			w.libsReady[t.spec.Library] = true
+			// Function tasks gated on this library may now be assignable.
+			m.needFull = true
 		}
 		m.tlog.Add(trace.Event{
 			Time: m.now(), Kind: trace.LibraryReady, Worker: workerID,
@@ -196,10 +210,11 @@ func (m *Manager) handleComplete(workerID string, msg *protocol.Message) {
 		Time: m.now(), Kind: kind, Worker: workerID, TaskID: msg.TaskID,
 		Detail: t.spec.Category,
 	})
-	// Record produced objects in the replica table.
+	// Record produced objects in the replica table and wake their consumers.
 	for _, out := range msg.Outputs {
 		m.reps.Commit(out.CacheName, workerID)
 		m.reg.SetSize(out.CacheName, out.Size)
+		m.wakeFile(out.CacheName)
 	}
 	res := &Result{
 		TaskID:         msg.TaskID,
@@ -302,7 +317,7 @@ func (m *Manager) deployLibraryTo(w *workerConn, lib *librarySpec) {
 	if w.gone || w.libsReady[lib.name] {
 		return
 	}
-	for id := range w.running {
+	for id := range w.running { // hotpath-ok: bounded by one worker's running tasks
 		if t := m.tasks[id]; t != nil && t.library && t.spec.Library == lib.name {
 			return // already deploying
 		}
@@ -321,13 +336,14 @@ func (m *Manager) deployLibraryTo(w *workerConn, lib *librarySpec) {
 		Resources: lib.res,
 		Category:  "library",
 	}
-	m.tasks[id] = &taskState{spec: spec, state: taskspec.StateRunning, worker: w.id, library: true}
+	t := &taskState{spec: spec, state: taskspec.StateRunning, worker: w.id, library: true}
+	m.trackNew(id, t)
 	w.running[id] = true
 	if err := w.conn.Send(&protocol.Message{Type: protocol.TypeTask, TaskID: id, Spec: spec}); err != nil {
 		m.logf("deploying library %s to %s: %v", lib.name, w.id, err)
 		delete(w.running, id)
 		w.pool.Release(lib.res)
-		delete(m.tasks, id)
+		m.dropTask(id, t)
 	}
 }
 
@@ -340,6 +356,10 @@ func (m *Manager) workerGone(workerID string) {
 		return
 	}
 	w.gone = true
+	m.liveCount--
+	m.workersDirty = true
+	m.needFull = true
+	m.stagingAll = true
 	// The connection is usually already broken by the time we get here.
 	_ = w.conn.Close()
 	m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.WorkerLeft, Worker: workerID})
@@ -370,7 +390,7 @@ func (m *Manager) workerGone(workerID string) {
 			// The instance died with its node; reconcileLibraries redeploys
 			// on the survivors (and here again, should this worker return).
 			delete(w.running, id)
-			delete(m.tasks, id)
+			m.dropTask(id, t)
 			continue
 		}
 		if t.cancelled {
@@ -430,6 +450,9 @@ func (m *Manager) endWorkflow(release bool) {
 		}
 		m.dumpTrace()
 	}
+	// Replicas were dropped and libraries reset; replan everything.
+	m.needFull = true
+	m.stagingAll = true
 }
 
 // dumpTrace writes the workflow's transaction log (the execution trace as
@@ -461,19 +484,20 @@ func (m *Manager) handleInvoke(ev event) {
 	id := m.nextID
 	ev.spec.ID = id
 	t := &taskState{spec: ev.spec, state: taskspec.StateWaiting, submitTime: m.now()}
-	m.tasks[id] = t
+	m.trackNew(id, t)
 	m.pendingWk++
 	m.vm.TasksSubmitted.Inc()
 	w := m.readyLibraryWorker(ev.spec.Library)
 	if w == nil {
 		m.waiting = append(m.waiting, id)
+		m.wakeSet[id] = true
 		ev.replyInt <- id
 		return
 	}
 	// Direct route: the instance's static allocation covers execution, so
 	// the task itself holds a zero allocation (balanced by finishTask's
 	// release).
-	t.state = taskspec.StateRunning
+	m.setState(id, t, taskspec.StateRunning)
 	t.worker = w.id
 	w.running[id] = true
 	w.pool.Alloc(resources.R{})

@@ -138,6 +138,48 @@ type Manager struct {
 	nextID     int
 	pendingWk  int // tasks not yet finished (for Empty)
 
+	// Incremental-scheduling state (event-loop-owned). The scheduler's cost
+	// is proportional to what changed, not to everything ever submitted:
+	// events mark the work they may have unblocked, and schedule() visits
+	// only that work (ticks force a full pass as a safety net).
+	//
+	// staging holds the tasks currently placing data, so a pass never walks
+	// the full task map. archived holds terminal tasks whose results were
+	// delivered; they leave the hot map but stay reachable through taskByID
+	// for recovery re-execution. fileWaiters maps a file ID to the
+	// waiting/staging tasks that list it as a direct input, so a
+	// cache-update retries only the tasks that file could unblock.
+	staging     map[int]*taskState
+	archived    map[int]*taskState
+	fileWaiters map[string]map[int]bool
+	// wakeSet collects waiting tasks worth retrying on the next pass;
+	// stagingDirty collects staging tasks worth replanning. needFull forces
+	// a whole-queue walk (resources freed, workers changed); stagingAll
+	// replans every staging task (a transfer slot opened or closed).
+	wakeSet      map[int]bool
+	stagingDirty map[int]bool
+	needFull     bool
+	stagingAll   bool
+	// liveWorkers caches the live workers sorted by join order, rebuilt
+	// only when membership changes; workerInfoBuf is the reusable
+	// policy.WorkerInfo scratch filled from it per scheduling decision.
+	liveWorkers   []*workerConn
+	workersDirty  bool
+	liveCount     int
+	workerInfoBuf []policy.WorkerInfo
+	// stateCount mirrors the task population per lifecycle state (library
+	// deployments included, archived tasks still counted — the gauges'
+	// historical semantics); appStateCount excludes library tasks and feeds
+	// Status. waitingZeroCore counts waiting tasks requesting zero cores,
+	// the one shape the free-cores scheduling shortcut cannot rule out.
+	stateCount      [taskspec.StateFailed + 1]int
+	appStateCount   [taskspec.StateFailed + 1]int
+	waitingZeroCore int
+	// eventsHandled and passes feed the "schedule passes ≤ events" batching
+	// invariant surfaced through DebugReport.
+	eventsHandled int64
+	passes        int64
+
 	loopDone chan struct{}
 	closing  bool
 }
@@ -227,6 +269,21 @@ type fetchResult struct {
 
 // NewManager starts a manager listening for workers.
 func NewManager(cfg Config) (*Manager, error) {
+	m := newManagerState(cfg)
+	ln, err := net.Listen("tcp", m.cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("core: listening on %s: %w", m.cfg.ListenAddr, err)
+	}
+	m.ln = ln
+	go m.acceptLoop()
+	go m.eventLoop()
+	return m, nil
+}
+
+// newManagerState builds a fully initialized manager without the listener or
+// the background goroutines. Benchmarks and white-box tests use it to drive
+// the event-loop-owned state directly.
+func newManagerState(cfg Config) *Manager {
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
@@ -264,13 +321,8 @@ func NewManager(cfg Config) (*Manager, error) {
 	// (queue gauges, pass durations, dispatch latency, submissions).
 	metrics.BridgeTrace(tlog, vm)
 	cfg.Faults.SetMetrics(vm.ChaosInjections)
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("core: listening on %s: %w", cfg.ListenAddr, err)
-	}
-	m := &Manager{
+	return &Manager{
 		cfg:           cfg,
-		ln:            ln,
 		reg:           files.NewRegistry(cfg.Head),
 		events:        make(chan event, 1024),
 		results:       make(chan *Result, 4096),
@@ -286,11 +338,13 @@ func NewManager(cfg Config) (*Manager, error) {
 		replicaGoals:  make(map[string]int),
 		transferRetry: make(map[transferKey]*transferRetryState),
 		categories:    make(map[string]*CategoryStats),
+		staging:       make(map[int]*taskState),
+		archived:      make(map[int]*taskState),
+		fileWaiters:   make(map[string]map[int]bool),
+		wakeSet:       make(map[int]bool),
+		stagingDirty:  make(map[int]bool),
 		loopDone:      make(chan struct{}),
 	}
-	go m.acceptLoop()
-	go m.eventLoop()
-	return m, nil
 }
 
 // Addr returns the address workers should connect to.
@@ -522,6 +576,10 @@ func ioReadFull(r interface{ Read([]byte) (int, error) }, buf []byte) (int, erro
 	return n, nil
 }
 
+// batchLimit caps how many queued events one scheduling pass absorbs, so a
+// sustained flood cannot starve the ticker's liveness checks.
+const batchLimit = 256
+
 func (m *Manager) eventLoop() {
 	defer close(m.loopDone)
 	ticker := time.NewTicker(m.cfg.TickInterval)
@@ -529,14 +587,44 @@ func (m *Manager) eventLoop() {
 	for {
 		select {
 		case ev := <-m.events:
-			if m.handleEvent(ev) {
+			if m.handleBatch(ev) {
 				return
 			}
 		case <-ticker.C:
+			m.eventsHandled++
 			m.checkLiveness()
+			// The tick is the safety net behind the incremental dirty
+			// tracking: force a complete pass so nothing stays stuck behind
+			// a missed wake-up for longer than one tick interval.
+			m.needFull = true
+			m.stagingAll = true
 			m.schedule()
 		}
 	}
+}
+
+// handleBatch drains the event channel non-blockingly (up to batchLimit) so
+// a burst of N messages triggers one schedule() pass, not N. Returns true
+// when the loop must exit.
+func (m *Manager) handleBatch(ev event) bool {
+	for n := 0; ; {
+		m.eventsHandled++
+		if m.handleEvent(ev) {
+			return true
+		}
+		n++
+		if n >= batchLimit {
+			break
+		}
+		select {
+		case ev = <-m.events:
+			continue
+		default:
+		}
+		break
+	}
+	m.schedule()
+	return false
 }
 
 // handleEvent dispatches one event; returns true when the loop must exit.
@@ -555,8 +643,9 @@ func (m *Manager) handleEvent(ev event) bool {
 		m.nextID++
 		id := m.nextID
 		ev.spec.ID = id
-		m.tasks[id] = &taskState{spec: ev.spec, state: taskspec.StateWaiting, submitTime: m.now()}
+		m.trackNew(id, &taskState{spec: ev.spec, state: taskspec.StateWaiting, submitTime: m.now()})
 		m.waiting = append(m.waiting, id)
+		m.wakeSet[id] = true
 		m.pendingWk++
 		m.vm.TasksSubmitted.Inc()
 		m.reg.Retain(ev.spec.InputIDs())
@@ -568,6 +657,7 @@ func (m *Manager) handleEvent(ev event) bool {
 		m.startFetch(ev.file, ev.fetch)
 	case evInstallLib:
 		m.libs[ev.lib.name] = ev.lib
+		m.needFull = true
 		for _, w := range m.workers {
 			m.deployLibraryTo(w, ev.lib)
 		}
@@ -587,6 +677,7 @@ func (m *Manager) handleEvent(ev event) bool {
 		ev.debug <- m.buildDebug()
 	case evReplicate:
 		m.replicaGoals[ev.file] = ev.goal
+		m.needFull = true
 	case evInvoke:
 		if m.closing {
 			ev.replyInt <- -1
@@ -602,7 +693,6 @@ func (m *Manager) handleEvent(ev event) bool {
 	case evCategories:
 		ev.categories <- m.buildCategories()
 	}
-	m.schedule()
 	return false
 }
 

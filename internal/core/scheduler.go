@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
@@ -38,26 +37,65 @@ func (v view) TransferPending(f, w string) bool {
 }
 func (v view) InFlightOf(f string) int { return v.m.trs.InFlightOf(f) }
 
-// schedule is the manager's main decision pass, run after every event: the
-// objective is to replicate and place data first, and then schedule tasks
-// within the constraints of available data (§2.1).
+// schedule is the manager's main decision pass, run after every event
+// batch: the objective is to replicate and place data first, and then
+// schedule tasks within the constraints of available data (§2.1).
+//
+// The pass is incremental: events record what they may have unblocked
+// (wakeSet, stagingDirty, needFull, stagingAll) and the pass visits only
+// that. When nothing is marked, the pass is skipped entirely — no state
+// changed, so no decision can change. Ticks force a full pass, bounding how
+// long any missed wake-up can stall work.
 func (m *Manager) schedule() {
+	if !m.needFull && !m.stagingAll && len(m.wakeSet) == 0 && len(m.stagingDirty) == 0 {
+		return
+	}
 	passStart := time.Now()
 	defer func() {
+		m.passes++
 		m.vm.SchedulePasses.Inc()
 		m.vm.SchedulePassSeconds.Observe(time.Since(passStart).Seconds())
 		m.updateGauges()
 	}()
+	full := m.needFull
+	m.needFull = false
 	// Advance staging tasks first so freshly arrived data dispatches
 	// before new placements consume the worker's resources.
-	for id, t := range m.tasks {
-		if t.state == taskspec.StateStaging {
+	if full || m.stagingAll {
+		m.stagingAll = false
+		clear(m.stagingDirty)
+		for id, t := range m.staging { // hotpath-ok: bounded by tasks currently staging
 			m.progressStaging(id, t)
 		}
+	} else {
+		for id := range m.stagingDirty { // hotpath-ok: only tasks an event marked
+			delete(m.stagingDirty, id)
+			if t := m.staging[id]; t != nil {
+				m.progressStaging(id, t)
+			}
+		}
 	}
-	m.reconcileLibraries()
-	m.reconcileReplication()
+	if full {
+		m.reconcileLibraries()
+		m.reconcileReplication()
+	}
 	if len(m.waiting) == 0 {
+		clear(m.wakeSet)
+		return
+	}
+	if !full && len(m.wakeSet) == 0 {
+		return
+	}
+	// Resource shortcut: when no live worker has a free core and no waiting
+	// task requests zero cores, no assignment below can succeed — skip the
+	// walk. This is what keeps a pass O(changed) while the cluster is
+	// saturated, the common state of a high-throughput run.
+	freeCores := 0
+	for _, w := range m.liveWorkerList() {
+		freeCores += w.pool.Free().Cores
+	}
+	if freeCores == 0 && m.waitingZeroCore == 0 {
+		clear(m.wakeSet)
 		return
 	}
 	// Take ownership of the queue before iterating: recovery paths inside
@@ -65,38 +103,37 @@ func (m *Manager) schedule() {
 	// m.waiting, and those additions must survive this pass.
 	queue := m.waiting
 	m.waiting = nil
-	for _, id := range queue {
+	for i, id := range queue {
 		t := m.tasks[id]
 		if t == nil || t.state != taskspec.StateWaiting {
 			continue
 		}
-		if !m.tryAssign(id, t) {
+		if freeCores == 0 && m.waitingZeroCore == 0 {
+			// The cluster filled up mid-pass; nothing behind this point can
+			// assign either. Keep the tail in order for the next pass.
+			m.waiting = append(m.waiting, queue[i:]...)
+			break
+		}
+		if !full && !m.wakeSet[id] {
+			m.waiting = append(m.waiting, id)
+			continue
+		}
+		if m.tryAssign(id, t) {
+			freeCores -= t.spec.Resources.Cores
+		} else {
 			m.waiting = append(m.waiting, id)
 		}
 	}
+	clear(m.wakeSet)
 }
 
 // updateGauges refreshes the instantaneous-state instruments from the
-// event loop's tables. Recomputing after every pass is cheap (one walk over
-// the task map) and keeps the gauges exact regardless of which paths moved
-// tasks between states.
+// incrementally maintained counters — O(states), not O(all tasks ever).
 func (m *Manager) updateGauges() {
-	var byState [taskspec.StateFailed + 1]int
-	for _, t := range m.tasks {
-		if int(t.state) < len(byState) {
-			byState[t.state]++
-		}
-	}
-	for s, n := range byState {
+	for s, n := range m.stateCount {
 		m.vm.TasksByState.With(taskspec.State(s).String()).Set(float64(n))
 	}
-	live := 0
-	for _, w := range m.workers {
-		if !w.gone {
-			live++
-		}
-	}
-	m.vm.WorkersConnected.Set(float64(live))
+	m.vm.WorkersConnected.Set(float64(m.liveCount))
 	m.vm.TransfersInflight.Set(float64(m.trs.Len()))
 }
 
@@ -114,12 +151,12 @@ func (m *Manager) depsSatisfiable(t *taskState) bool {
 			if m.reps.CountReplicas(f.ID) > 0 {
 				continue
 			}
-			if m.trs.Len() > 0 && m.anyPending(f.ID) {
+			if m.trs.InFlightOf(f.ID) > 0 {
 				return false // on its way somewhere
 			}
 			// No replica anywhere: the producer must (re-)run.
 			if prodID, ok := m.reg.Producer(f.ID); ok {
-				p := m.tasks[prodID]
+				p := m.taskByID(prodID)
 				if p != nil && (p.state == taskspec.StateDone) {
 					m.logf("temp %s lost; re-executing producer task %d", f.ID, prodID)
 					m.requeue(prodID, p, false)
@@ -135,15 +172,6 @@ func (m *Manager) depsSatisfiable(t *taskState) bool {
 		}
 	}
 	return true
-}
-
-func (m *Manager) anyPending(fileID string) bool {
-	for _, w := range m.workers {
-		if m.trs.Pending(fileID, w.id) {
-			return true
-		}
-	}
-	return false
 }
 
 // tryAssign picks a worker for a waiting task and moves it to staging.
@@ -165,14 +193,15 @@ func (m *Manager) tryAssign(id int, t *taskState) bool {
 		return false
 	}
 	t.worker = w.id
-	t.state = taskspec.StateStaging
+	m.setState(id, t, taskspec.StateStaging)
 	w.running[id] = true
 	m.progressStaging(id, t)
 	return true
 }
 
-// candidateWorkers lists live workers eligible for the task. FunctionCall
-// tasks whose library is installed only run where an instance is ready.
+// candidateWorkers lists live workers eligible for the task, already in
+// join order (the cached live list). FunctionCall tasks whose library is
+// installed only run where an instance is ready.
 func (m *Manager) candidateWorkers(t *taskState) []policy.WorkerInfo {
 	needLib := ""
 	if t.spec.Kind == taskspec.KindFunction {
@@ -180,23 +209,7 @@ func (m *Manager) candidateWorkers(t *taskState) []policy.WorkerInfo {
 			needLib = t.spec.Library
 		}
 	}
-	var out []policy.WorkerInfo
-	for _, w := range m.workers {
-		if w.gone {
-			continue
-		}
-		if needLib != "" && !w.libsReady[needLib] {
-			continue
-		}
-		out = append(out, policy.WorkerInfo{
-			ID:           w.id,
-			Free:         w.pool.Free(),
-			RunningTasks: len(w.running),
-			JoinOrder:    w.joinOrder,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].JoinOrder < out[j].JoinOrder })
-	return out
+	return m.workerInfos(needLib)
 }
 
 // fileNeeds converts mounts to policy FileNeeds with their fixed sources.
@@ -382,13 +395,15 @@ func (m *Manager) materializeMini(f *files.File, w *workerConn) {
 		Lifetime: int(f.Lifetime),
 	})
 	if err != nil {
+		m.logf("materializing %s at %s: %v", f.ID, w.id, err)
+		m.vm.SendErrors.With("mini").Inc()
 		m.reps.Remove(f.ID, w.id)
 	}
 }
 
 // dispatch sends a fully staged task to its worker.
 func (m *Manager) dispatch(id int, t *taskState, w *workerConn) {
-	t.state = taskspec.StateRunning
+	m.setState(id, t, taskspec.StateRunning)
 	m.vm.DispatchLatency.Observe(m.now() - t.submitTime)
 	m.tlog.Add(trace.Event{
 		Time: m.now(), Kind: trace.TaskStart, Worker: w.id, TaskID: id,
@@ -402,6 +417,7 @@ func (m *Manager) dispatch(id int, t *taskState, w *workerConn) {
 
 // requeue returns a task to the waiting state, optionally counting a retry.
 func (m *Manager) requeue(id int, t *taskState, countRetry bool) {
+	m.unarchive(id, t)
 	if w := m.workers[t.worker]; w != nil && w.running[id] {
 		delete(w.running, id)
 		if !w.gone {
@@ -419,16 +435,17 @@ func (m *Manager) requeue(id int, t *taskState, countRetry bool) {
 		})
 		return
 	}
-	t.state = taskspec.StateWaiting
-	if t.notifiedOrDone() {
+	// A done task re-executed for recovery already delivered its result;
+	// mark it notified so the second completion is not delivered again. The
+	// check must read the state before the transition below overwrites it.
+	wasDone := t.state == taskspec.StateDone
+	m.setState(id, t, taskspec.StateWaiting)
+	if wasDone {
 		t.notified = true
 	}
 	m.waiting = append(m.waiting, id)
+	m.needFull = true
 	m.vm.TasksRequeued.Inc()
-}
-
-func (t *taskState) notifiedOrDone() bool {
-	return t.notified || t.state == taskspec.StateDone
 }
 
 // finishTask finalizes a task: releases worker resources, garbage-collects
@@ -441,10 +458,12 @@ func (m *Manager) finishTask(id int, t *taskState, res *Result) {
 		}
 	}
 	if res.OK {
-		t.state = taskspec.StateDone
+		m.setState(id, t, taskspec.StateDone)
 	} else {
-		t.state = taskspec.StateFailed
+		m.setState(id, t, taskspec.StateFailed)
 	}
+	// Freed resources may unblock any waiting task.
+	m.needFull = true
 	// GC: inputs this task held may now be unreferenced.
 	garbage := m.reg.Release(t.spec.InputIDs())
 	for _, g := range garbage {
@@ -458,13 +477,17 @@ func (m *Manager) finishTask(id int, t *taskState, res *Result) {
 		m.pendingWk--
 		m.results <- res
 	}
+	m.archive(id, t)
 }
 
 // deleteEverywhere removes an object from every worker holding it.
 func (m *Manager) deleteEverywhere(fileID string) {
 	for _, wid := range m.reps.Locate(fileID) {
 		if w := m.workers[wid]; w != nil && !w.gone {
-			w.conn.Send(&protocol.Message{Type: protocol.TypeUnlink, CacheName: fileID})
+			if err := w.conn.Send(&protocol.Message{Type: protocol.TypeUnlink, CacheName: fileID}); err != nil {
+				m.logf("unlinking %s at %s: %v", fileID, wid, err)
+				m.vm.SendErrors.With("unlink").Inc()
+			}
 		}
 		m.reps.Remove(fileID, wid)
 	}
@@ -493,16 +516,8 @@ func (m *Manager) reconcileReplication() {
 	if len(m.replicaGoals) == 0 {
 		return
 	}
-	var workers []policy.WorkerInfo
-	for _, w := range m.workers {
-		if !w.gone {
-			workers = append(workers, policy.WorkerInfo{
-				ID: w.id, Free: w.pool.Free(), RunningTasks: len(w.running), JoinOrder: w.joinOrder,
-			})
-		}
-	}
-	sort.Slice(workers, func(i, j int) bool { return workers[i].JoinOrder < workers[j].JoinOrder })
-	for fileID, goal := range m.replicaGoals {
+	workers := m.workerInfos("")
+	for fileID, goal := range m.replicaGoals { // hotpath-ok: bounded by files with replication goals
 		if goal <= 1 {
 			delete(m.replicaGoals, fileID)
 			continue

@@ -62,23 +62,11 @@ func (m *Manager) buildStatus() Status {
 		TransfersInFlight: m.trs.Len(),
 		FilesDeclared:     len(m.reg.All()),
 		UptimeSeconds:     m.now(),
-	}
-	for _, t := range m.tasks {
-		if t.library {
-			continue
-		}
-		switch t.state {
-		case taskspec.StateWaiting:
-			s.TasksWaiting++
-		case taskspec.StateStaging:
-			s.TasksStaging++
-		case taskspec.StateRunning:
-			s.TasksRunning++
-		case taskspec.StateDone:
-			s.TasksDone++
-		case taskspec.StateFailed:
-			s.TasksFailed++
-		}
+		TasksWaiting:      m.appStateCount[taskspec.StateWaiting],
+		TasksStaging:      m.appStateCount[taskspec.StateStaging],
+		TasksRunning:      m.appStateCount[taskspec.StateRunning],
+		TasksDone:         m.appStateCount[taskspec.StateDone],
+		TasksFailed:       m.appStateCount[taskspec.StateFailed],
 	}
 	for _, w := range m.workers {
 		if w.gone {

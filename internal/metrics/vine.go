@@ -70,6 +70,10 @@ type VineMetrics struct {
 	SchedulePasses      *Counter
 	SchedulePassSeconds *Histogram
 
+	// Control-plane sends to live workers that failed (best-effort
+	// messages whose loss would otherwise be silent), by operation.
+	SendErrors *CounterVec // op
+
 	// Serverless (§3.4).
 	LibrariesReady *Counter
 
@@ -164,6 +168,9 @@ func ForRegistry(r *Registry) *VineMetrics {
 			"Scheduling decision passes run."),
 		SchedulePassSeconds: r.Histogram("vine_schedule_pass_seconds",
 			"Wall-clock duration of each scheduling pass.", SchedulePassBuckets),
+
+		SendErrors: r.CounterVec("vine_send_errors_total",
+			"Control messages to live workers that failed to send, by operation.", "op"),
 
 		LibrariesReady: r.Counter("vine_libraries_ready_total",
 			"Library instances that became ready at a worker."),

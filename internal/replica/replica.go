@@ -251,16 +251,48 @@ type Transfers struct {
 	inflight map[string]Transfer // guarded by mu
 	bySource map[Source]int      // guarded by mu
 	byDest   map[string]int      // guarded by mu
-	nextID   func() string       // guarded by mu
+	// byFileDest indexes in-flight transfer counts per (file, destination)
+	// so Pending is a lookup, not a scan over every transfer; byFile keeps
+	// the per-file total for InFlightOf. Both are hot-path queries: the
+	// scheduler consults them for every input of every task it plans.
+	byFileDest map[fileDest]int // guarded by mu
+	byFile     map[string]int   // guarded by mu
+	nextID     func() string    // guarded by mu
 }
+
+type fileDest struct{ file, dest string }
 
 // NewTransfers returns an empty transfer table.
 func NewTransfers() *Transfers {
 	return &Transfers{
-		inflight: make(map[string]Transfer),
-		bySource: make(map[Source]int),
-		byDest:   make(map[string]int),
-		nextID:   randomUUID,
+		inflight:   make(map[string]Transfer),
+		bySource:   make(map[Source]int),
+		byDest:     make(map[string]int),
+		byFileDest: make(map[fileDest]int),
+		byFile:     make(map[string]int),
+		nextID:     randomUUID,
+	}
+}
+
+// track adjusts every index for one transfer by delta (+1 start, -1 end).
+// The caller holds t.mu.
+func (t *Transfers) track(tr Transfer, delta int) {
+	t.bySource[tr.Source] += delta
+	if t.bySource[tr.Source] <= 0 {
+		delete(t.bySource, tr.Source)
+	}
+	t.byDest[tr.Dest] += delta
+	if t.byDest[tr.Dest] <= 0 {
+		delete(t.byDest, tr.Dest)
+	}
+	fd := fileDest{tr.File, tr.Dest}
+	t.byFileDest[fd] += delta
+	if t.byFileDest[fd] <= 0 {
+		delete(t.byFileDest, fd)
+	}
+	t.byFile[tr.File] += delta
+	if t.byFile[tr.File] <= 0 {
+		delete(t.byFile, tr.File)
 	}
 }
 
@@ -285,8 +317,7 @@ func (t *Transfers) Start(file string, src Source, dest string) Transfer {
 	defer t.mu.Unlock()
 	tr := Transfer{ID: t.nextID(), File: file, Source: src, Dest: dest}
 	t.inflight[tr.ID] = tr
-	t.bySource[src]++
-	t.byDest[dest]++
+	t.track(tr, 1)
 	return tr
 }
 
@@ -299,14 +330,7 @@ func (t *Transfers) Complete(id string) (Transfer, bool) {
 		return Transfer{}, false
 	}
 	delete(t.inflight, id)
-	t.bySource[tr.Source]--
-	if t.bySource[tr.Source] <= 0 {
-		delete(t.bySource, tr.Source)
-	}
-	t.byDest[tr.Dest]--
-	if t.byDest[tr.Dest] <= 0 {
-		delete(t.byDest, tr.Dest)
-	}
+	t.track(tr, -1)
 	return tr, true
 }
 
@@ -325,30 +349,19 @@ func (t *Transfers) InFlightTo(dest string) int {
 }
 
 // Pending reports whether a transfer of file to dest is already in flight,
-// so the scheduler does not issue duplicates.
+// so the scheduler does not issue duplicates. O(1) via the per-file index.
 func (t *Transfers) Pending(file, dest string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, tr := range t.inflight {
-		if tr.File == file && tr.Dest == dest {
-			return true
-		}
-	}
-	return false
+	return t.byFileDest[fileDest{file, dest}] > 0
 }
 
 // InFlightOf returns how many transfers of the file are in flight to any
-// destination.
+// destination. O(1) via the per-file index.
 func (t *Transfers) InFlightOf(file string) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := 0
-	for _, tr := range t.inflight {
-		if tr.File == file {
-			n++
-		}
-	}
-	return n
+	return t.byFile[file]
 }
 
 // DropWorker cancels all transfers to or from a departed worker, returning
@@ -361,14 +374,7 @@ func (t *Transfers) DropWorker(worker string) []Transfer {
 		if tr.Dest == worker || (tr.Source.Kind == SourceWorker && tr.Source.ID == worker) {
 			cancelled = append(cancelled, tr)
 			delete(t.inflight, id)
-			t.bySource[tr.Source]--
-			if t.bySource[tr.Source] <= 0 {
-				delete(t.bySource, tr.Source)
-			}
-			t.byDest[tr.Dest]--
-			if t.byDest[tr.Dest] <= 0 {
-				delete(t.byDest, tr.Dest)
-			}
+			t.track(tr, -1)
 		}
 	}
 	return cancelled

@@ -38,6 +38,20 @@ type Cluster struct {
 	workers map[string]*simWorker
 	tasks   map[int]*simTask
 	waiting []int
+	// staging indexes the tasks currently in state 1, so a scheduling pass
+	// replans exactly those instead of scanning every task ever submitted.
+	staging map[int]bool
+	// stateCount tracks the task population per lifecycle state, maintained
+	// by setState, so gauge refreshes cost O(1) instead of O(tasks).
+	stateCount [5]int
+	// liveSorted caches the joined workers in join order; workersDirty marks
+	// it stale after a membership change. liveCount mirrors len(liveSorted).
+	liveSorted   []*simWorker
+	workersDirty bool
+	liveCount    int
+	// winfoBuf is scratch for candidateWorkers, reused across calls so the
+	// per-task candidate build allocates nothing in steady state.
+	winfoBuf []policy.WorkerInfo
 	// producers maps produced file ID -> producing task ID, for recovery
 	// re-execution when a temp loses its last replica.
 	producers map[string]int
@@ -107,6 +121,7 @@ func NewCluster(w *Workload, params Params, limits policy.Limits) *Cluster {
 		sharedFS:  capped(NewEndpoint("shared-fs", params.SharedFSBW), params.PerFlowBW),
 		workers:   make(map[string]*simWorker),
 		tasks:     make(map[int]*simTask),
+		staging:   make(map[int]bool),
 		producers: make(map[string]int),
 		libs:      make(map[string]*Library),
 		atManager: make(map[string]bool),
@@ -147,6 +162,7 @@ func NewCluster(w *Workload, params Params, limits policy.Limits) *Cluster {
 	for _, t := range w.Tasks {
 		c.tasks[t.ID] = &simTask{t: t}
 		c.waiting = append(c.waiting, t.ID)
+		c.stateCount[0]++
 		c.vm.TasksSubmitted.Inc()
 		for _, out := range t.Outputs {
 			c.producers[out.ID] = t.ID
@@ -186,6 +202,8 @@ func (c *Cluster) Run() float64 {
 
 func (c *Cluster) workerJoin(w *simWorker) {
 	w.joined = true
+	c.liveCount++
+	c.workersDirty = true
 	c.log.Add(trace.Event{Time: c.eng.Now(), Kind: trace.WorkerJoined, Worker: w.spec.ID})
 	for _, fid := range w.spec.Prestaged {
 		f := c.workload.Files[fid]
@@ -215,6 +233,8 @@ func (c *Cluster) workerLeave(w *simWorker) {
 		return
 	}
 	w.joined = false
+	c.liveCount--
+	c.workersDirty = true
 	c.log.Add(trace.Event{Time: c.eng.Now(), Kind: trace.WorkerLeft, Worker: w.spec.ID})
 	affected := c.reps.DropWorker(w.spec.ID)
 	for _, tr := range c.trs.DropWorker(w.spec.ID) {
@@ -224,7 +244,7 @@ func (c *Cluster) workerLeave(w *simWorker) {
 	}
 	c.recoverLostTemps(w.spec.ID, affected)
 	running := make([]int, 0, len(w.running))
-	for id := range w.running {
+	for id := range w.running { // hotpath-ok: bounded by one worker's running tasks
 		running = append(running, id)
 	}
 	sort.Ints(running)
@@ -235,7 +255,7 @@ func (c *Cluster) workerLeave(w *simWorker) {
 		}
 		delete(w.running, id)
 		if t.state == 1 || t.state == 2 || t.state == 3 {
-			t.state = 0
+			c.setState(id, t, 0)
 			t.worker = ""
 			t.epoch++
 			c.waiting = append(c.waiting, id)
@@ -278,7 +298,7 @@ func (c *Cluster) recoverLostTemps(workerID string, affected []string) {
 			Time: c.eng.Now(), Kind: trace.RecoveryStart, Worker: workerID,
 			File: fid, TaskID: prodID, Detail: "temp lost with worker; re-executing producer",
 		})
-		p.state = 0
+		c.setState(prodID, p, 0)
 		p.worker = ""
 		p.epoch++
 		c.completed--
@@ -293,7 +313,7 @@ func (c *Cluster) recoverLostTemps(workerID string, affected []string) {
 
 // tempNeeded reports whether any unfinished task consumes the file.
 func (c *Cluster) tempNeeded(fid string) bool {
-	for _, t := range c.tasks {
+	for _, t := range c.tasks { // hotpath-ok: runs only on worker loss with lost temp replicas
 		if t.state == 4 {
 			continue
 		}
@@ -304,6 +324,43 @@ func (c *Cluster) tempNeeded(fid string) bool {
 		}
 	}
 	return false
+}
+
+// setState moves a task to a new lifecycle state, maintaining the per-state
+// counters behind updateGauges and the staging index behind schedule. Every
+// transition in the simulator goes through here.
+func (c *Cluster) setState(id int, t *simTask, s int) {
+	if t.state == s {
+		return
+	}
+	if t.state == 1 {
+		delete(c.staging, id)
+	}
+	c.stateCount[t.state]--
+	t.state = s
+	c.stateCount[s]++
+	if s == 1 {
+		c.staging[id] = true
+	}
+}
+
+// liveWorkerList returns the joined workers in join order. The slice is
+// cached and rebuilt only after a membership change, so per-pass and
+// per-task consumers stop re-sorting the whole worker map.
+func (c *Cluster) liveWorkerList() []*simWorker {
+	if c.workersDirty {
+		c.liveSorted = c.liveSorted[:0]
+		for _, w := range c.workers { // hotpath-ok: rebuilt only on membership change
+			if w.joined {
+				c.liveSorted = append(c.liveSorted, w)
+			}
+		}
+		sort.Slice(c.liveSorted, func(i, j int) bool { // hotpath-ok: rebuilt only on membership change
+			return c.liveSorted[i].joinOrder < c.liveSorted[j].joinOrder
+		})
+		c.workersDirty = false
+	}
+	return c.liveSorted
 }
 
 // requestSchedule coalesces schedule passes: at most one pending pass,
@@ -324,29 +381,11 @@ func (c *Cluster) requestSchedule() {
 // manager's lifecycle names; "returning" output streams still occupy their
 // worker, so they count as running.
 func (c *Cluster) updateGauges() {
-	byState := map[string]int{"waiting": 0, "staging": 0, "running": 0, "done": 0}
-	for _, t := range c.tasks {
-		switch t.state {
-		case 0:
-			byState["waiting"]++
-		case 1:
-			byState["staging"]++
-		case 2, 3:
-			byState["running"]++
-		case 4:
-			byState["done"]++
-		}
-	}
-	for _, s := range []string{"waiting", "staging", "running", "done"} {
-		c.vm.TasksByState.With(s).Set(float64(byState[s]))
-	}
-	live := 0
-	for _, w := range c.workers {
-		if w.joined {
-			live++
-		}
-	}
-	c.vm.WorkersConnected.Set(float64(live))
+	c.vm.TasksByState.With("waiting").Set(float64(c.stateCount[0]))
+	c.vm.TasksByState.With("staging").Set(float64(c.stateCount[1]))
+	c.vm.TasksByState.With("running").Set(float64(c.stateCount[2] + c.stateCount[3]))
+	c.vm.TasksByState.With("done").Set(float64(c.stateCount[4]))
+	c.vm.WorkersConnected.Set(float64(c.liveCount))
 	c.vm.TransfersInflight.Set(float64(c.trs.Len()))
 }
 
@@ -371,12 +410,12 @@ func (v simView) InFlightOf(f string) int { return v.c.trs.InFlightOf(f) }
 func (c *Cluster) schedule() {
 	c.vm.SchedulePasses.Inc()
 	defer c.updateGauges()
-	// Progress staging tasks first (mirrors internal/core.schedule).
-	ids := make([]int, 0, len(c.tasks))
-	for id, t := range c.tasks {
-		if t.state == 1 {
-			ids = append(ids, id)
-		}
+	// Progress staging tasks first (mirrors internal/core.schedule). The
+	// staging index holds exactly the state-1 tasks, so collecting them
+	// costs O(staging), not O(every task ever submitted).
+	ids := make([]int, 0, len(c.staging))
+	for id := range c.staging { // hotpath-ok: the staging index is exactly the changed set
+		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
@@ -385,30 +424,40 @@ func (c *Cluster) schedule() {
 	// Skip the waiting scan entirely when no worker has a free core: with
 	// thousands of queued tasks this dominates simulation cost otherwise.
 	freeCores := 0
-	for _, w := range c.workers {
-		if w.joined {
-			freeCores += w.pool.Free().Cores
-		}
+	for _, w := range c.liveWorkerList() {
+		freeCores += w.pool.Free().Cores
 	}
 	if freeCores == 0 {
 		return
 	}
 	var still []int
-	for _, id := range c.waiting {
+	for i, id := range c.waiting {
+		if freeCores <= 0 {
+			// Every request is floored at one core, so nothing further can
+			// assign this pass; keep the tail queued in order.
+			still = append(still, c.waiting[i:]...)
+			break
+		}
 		t := c.tasks[id]
 		if t.state != 0 || !c.tryAssign(id, t) {
 			still = append(still, id)
+			continue
 		}
+		cores := t.t.Cores
+		if cores == 0 {
+			cores = 1
+		}
+		freeCores -= cores
 	}
 	c.waiting = still
 }
 
 func (c *Cluster) candidateWorkers(t *simTask) []policy.WorkerInfo {
-	var out []policy.WorkerInfo
-	for _, w := range c.workers {
-		if !w.joined {
-			continue
-		}
+	// The cached live list is already in join order, so candidates come out
+	// sorted without a per-task sort. The scratch buffer is refilled every
+	// call because Free and RunningTasks change within a single pass.
+	out := c.winfoBuf[:0]
+	for _, w := range c.liveWorkerList() {
 		if t.t.Library != "" && !w.libReady[t.t.Library] {
 			continue
 		}
@@ -419,7 +468,7 @@ func (c *Cluster) candidateWorkers(t *simTask) []policy.WorkerInfo {
 			JoinOrder:    w.joinOrder,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].JoinOrder < out[j].JoinOrder })
+	c.winfoBuf = out
 	return out
 }
 
@@ -505,7 +554,7 @@ func (c *Cluster) tryAssign(id int, t *simTask) bool {
 		return false
 	}
 	t.worker = w.spec.ID
-	t.state = 1
+	c.setState(id, t, 1)
 	w.running[id] = true
 	c.progressStaging(id, t)
 	return true
@@ -656,7 +705,7 @@ func (c *Cluster) startRun(id int, t *simTask, w *simWorker) {
 		c.eng.After(0, func() { c.workerLeave(w) })
 		return
 	}
-	t.state = 2
+	c.setState(id, t, 2)
 	t.started = c.eng.Now()
 	// All simulated tasks are submitted at virtual time zero, so the start
 	// time IS the submit-to-dispatch latency (virtual seconds).
@@ -681,7 +730,7 @@ func (c *Cluster) finishRun(id int, t *simTask, w *simWorker) {
 		// manager before the task is considered complete, and live ONLY
 		// there afterwards — consumers must fetch them back out, doubling
 		// the traffic through the manager's link.
-		t.state = 3
+		c.setState(id, t, 3)
 		var total int64
 		for _, out := range t.t.Outputs {
 			total += out.Size
@@ -718,7 +767,7 @@ func (c *Cluster) finishRun(id int, t *simTask, w *simWorker) {
 
 func (c *Cluster) completeTask(id int, t *simTask, w *simWorker) {
 	c.unpin(w, t.t.Inputs)
-	t.state = 4
+	c.setState(id, t, 4)
 	c.completed++
 	delete(w.running, id)
 	req := resources.R{Cores: t.t.Cores}

@@ -26,6 +26,22 @@ type Endpoint struct {
 	PerFlowBW float64
 
 	out, in int // live flow counts
+	// flows indexes every live flow touching this endpoint (as source or
+	// destination). A flow's rate depends only on its two endpoints' flow
+	// counts, so when the flow set changes, these sets name exactly the
+	// flows whose rates can differ — the rest keep bit-identical rates.
+	flows map[int]*Flow
+}
+
+func (ep *Endpoint) attach(f *Flow) {
+	if ep.flows == nil {
+		ep.flows = make(map[int]*Flow)
+	}
+	ep.flows[f.id] = f
+}
+
+func (ep *Endpoint) detach(f *Flow) {
+	delete(ep.flows, f.id)
 }
 
 // Flow is one in-progress transfer.
@@ -83,7 +99,9 @@ func (n *Network) StartFlow(src, dst *Endpoint, size float64, latency float64, o
 		n.flows[f.id] = f
 		src.out++
 		dst.in++
-		n.reschedule()
+		src.attach(f)
+		dst.attach(f)
+		n.reschedule(f)
 	})
 }
 
@@ -92,7 +110,7 @@ func (n *Network) advance() {
 	now := n.eng.Now()
 	dt := now - n.lastUpdate
 	if dt > 0 {
-		for _, f := range n.flows {
+		for _, f := range n.flows { // hotpath-ok: every live flow must accrue progress; bounded by transfer limits
 			f.remaining -= f.rate * dt
 			if f.remaining < 0 {
 				f.remaining = 0
@@ -102,41 +120,47 @@ func (n *Network) advance() {
 	n.lastUpdate = now
 }
 
-// recomputeRates assigns each flow min(srcShare, dstShare) where the source
+// recomputeFlow assigns the flow min(srcShare, dstShare) where the source
 // share includes the contention-overhead degradation.
-func (n *Network) recomputeRates() {
-	for _, f := range n.flows {
-		srcAgg := f.src.UpBW
-		if f.src.OverheadPerFlow > 0 && f.src.out > 1 {
-			eff := 1 / (1 + f.src.OverheadPerFlow*float64(f.src.out-1))
-			// Contention wastes bandwidth but cannot erase it entirely;
-			// floor the efficiency so extreme fan-in stays finite.
-			if eff < 0.2 {
-				eff = 0.2
-			}
-			srcAgg = f.src.UpBW * eff
+func recomputeFlow(f *Flow) {
+	srcAgg := f.src.UpBW
+	if f.src.OverheadPerFlow > 0 && f.src.out > 1 {
+		eff := 1 / (1 + f.src.OverheadPerFlow*float64(f.src.out-1))
+		// Contention wastes bandwidth but cannot erase it entirely;
+		// floor the efficiency so extreme fan-in stays finite.
+		if eff < 0.2 {
+			eff = 0.2
 		}
-		srcShare := srcAgg / float64(f.src.out)
-		dstShare := f.dst.DownBW / float64(f.dst.in)
-		f.rate = srcShare
-		if dstShare < f.rate {
-			f.rate = dstShare
-		}
-		if f.src.PerFlowBW > 0 && f.rate > f.src.PerFlowBW {
-			f.rate = f.src.PerFlowBW
-		}
-		if f.dst.PerFlowBW > 0 && f.rate > f.dst.PerFlowBW {
-			f.rate = f.dst.PerFlowBW
-		}
-		if f.rate <= 0 {
-			f.rate = 1 // avoid stalling forever on misconfigured endpoints
-		}
+		srcAgg = f.src.UpBW * eff
+	}
+	srcShare := srcAgg / float64(f.src.out)
+	dstShare := f.dst.DownBW / float64(f.dst.in)
+	f.rate = srcShare
+	if dstShare < f.rate {
+		f.rate = dstShare
+	}
+	if f.src.PerFlowBW > 0 && f.rate > f.src.PerFlowBW {
+		f.rate = f.src.PerFlowBW
+	}
+	if f.dst.PerFlowBW > 0 && f.rate > f.dst.PerFlowBW {
+		f.rate = f.dst.PerFlowBW
+	}
+	if f.rate <= 0 {
+		f.rate = 1 // avoid stalling forever on misconfigured endpoints
 	}
 }
 
-// reschedule recomputes rates and arms the completion timer for the
-// earliest-finishing flow.
-func (n *Network) reschedule() {
+// reschedule re-arms the completion timer after the flow set changed.
+// changed is the flow just added or removed (nil when the set is unchanged
+// and only the timer needs re-arming). A flow's rate is a pure function of
+// its endpoints' flow counts, so only flows sharing an endpoint with the
+// changed flow can shift — recomputing exactly those gives bit-identical
+// rates to a full recompute, in O(neighbourhood) instead of O(all flows).
+//
+// The timer min-scan stays global and is recomputed from the freshly
+// advanced remaining values: arming from anything cached would drift the
+// completion instants by float rounding and break trace determinism.
+func (n *Network) reschedule(changed *Flow) {
 	if n.timer != nil {
 		n.timer.Cancel()
 		n.timer = nil
@@ -144,10 +168,17 @@ func (n *Network) reschedule() {
 	if len(n.flows) == 0 {
 		return
 	}
-	n.recomputeRates()
+	if changed != nil {
+		for _, f := range changed.src.flows { // hotpath-ok: the changed flow's neighbourhood //vinelint:allow simdeterminism — per-flow rates are pure functions of endpoint counts, order cannot matter
+			recomputeFlow(f)
+		}
+		for _, f := range changed.dst.flows { // hotpath-ok: the changed flow's neighbourhood //vinelint:allow simdeterminism — per-flow rates are pure functions of endpoint counts, order cannot matter
+			recomputeFlow(f)
+		}
+	}
 	var first *Flow
 	var firstT float64
-	for _, f := range n.flows {
+	for _, f := range n.flows { // hotpath-ok: bit-exact timer arming needs fresh remaining/rate over live flows
 		t := f.remaining / f.rate
 		if first == nil || t < firstT || (t == firstT && f.id < first.id) {
 			first, firstT = f, t
@@ -161,14 +192,16 @@ func (n *Network) complete(id int) {
 	n.advance()
 	f, ok := n.flows[id]
 	if !ok {
-		n.reschedule()
+		n.reschedule(nil)
 		return
 	}
 	delete(n.flows, id)
 	f.src.out--
 	f.dst.in--
+	f.src.detach(f)
+	f.dst.detach(f)
 	done := f.onDone
-	n.reschedule()
+	n.reschedule(f)
 	if done != nil {
 		done()
 	}

@@ -53,13 +53,13 @@ func (c *Cluster) admit(w *simWorker, f *File) bool {
 	}
 	// Gather victims: unpinned, not currently being materialized.
 	var victims []*cachedObject
-	for id, obj := range cache {
+	for id, obj := range cache { // hotpath-ok: eviction scan, only when one worker's disk is full
 		if obj.pins > 0 || w.materializing[id] {
 			continue
 		}
 		victims = append(victims, obj)
 	}
-	sort.Slice(victims, func(i, j int) bool {
+	sort.Slice(victims, func(i, j int) bool { // hotpath-ok: eviction order, only when one worker's disk is full
 		li := c.lifetimeOf(victims[i].id)
 		lj := c.lifetimeOf(victims[j].id)
 		if li != lj {

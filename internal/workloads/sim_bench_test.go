@@ -1,0 +1,34 @@
+package workloads
+
+import (
+	"testing"
+
+	"taskvine/internal/policy"
+	"taskvine/internal/sim"
+)
+
+// BenchmarkSimTopEFT50k runs a full 50k-task TopEFT-shaped simulation —
+// 45,000 processing leaves plus their nine-way accumulation tree — on 100
+// ramping workers. This is the scale at which the pre-incremental simulator
+// spent its time rescanning every task on every pass; with the staging
+// index, per-state counters, and the free-core walk cutoff, one run is
+// dominated by the event heap instead of the scheduler.
+func BenchmarkSimTopEFT50k(b *testing.B) {
+	cfg := DefaultTopEFT(false)
+	cfg.ProcessTasks = 45_000
+	cfg.Workers = 100
+	cfg.CoresPerWorker = 4
+	tasks := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := TopEFT(cfg)
+		c := sim.NewCluster(w, sim.DefaultParams(), policy.DefaultLimits())
+		tasks = len(w.Tasks)
+		b.StartTimer()
+		c.Run()
+		if got := c.CompletedTasks(); got != tasks {
+			b.Fatalf("completed %d/%d tasks", got, tasks)
+		}
+	}
+	b.ReportMetric(float64(tasks), "tasks/run")
+}

@@ -1,0 +1,174 @@
+// Command benchdiff compares two benchmark recordings in `go test -json`
+// form (as written by `make bench` into BENCH_core.json) and prints a
+// benchstat-style table of old vs new per metric unit. It is stdlib-only
+// and intentionally simple: means over the recorded -count repetitions,
+// with the delta as a percentage. The output is informational — CI uploads
+// it as a non-gating artifact so perf drift is visible without a noisy
+// runner ever failing a build.
+//
+// Usage: benchdiff OLD.json NEW.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json stream benchdiff reads.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// sample is one benchmark's recorded means, keyed by unit (ns/op, B/op,
+// allocs/op, tasks/s, ...).
+type sample struct {
+	sums   map[string]float64
+	counts map[string]int
+}
+
+func (s *sample) add(unit string, v float64) {
+	if s.sums == nil {
+		s.sums = make(map[string]float64)
+		s.counts = make(map[string]int)
+	}
+	s.sums[unit] += v
+	s.counts[unit]++
+}
+
+func (s *sample) mean(unit string) (float64, bool) {
+	if s == nil || s.counts[unit] == 0 {
+		return 0, false
+	}
+	return s.sums[unit] / float64(s.counts[unit]), true
+}
+
+// load parses one test2json file into benchmark name -> sample. The
+// GOMAXPROCS suffix (-8) is stripped so recordings from different machines
+// still line up.
+func load(path string) (map[string]*sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*sample)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise in the stream
+		}
+		if ev.Action != "output" || !strings.HasPrefix(ev.Output, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(ev.Output)
+		// Name N v1 unit1 v2 unit2 ... — anything shorter is a header line.
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := out[name]
+		if s == nil {
+			s = &sample{}
+			out[name] = s
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			s.add(fields[i+1], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldS, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newS, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(oldS)+len(newS))
+	seen := make(map[string]bool)
+	for n := range oldS {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range newS {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-60s %-10s %14s %14s %9s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, name := range names {
+		units := unitSet(oldS[name], newS[name])
+		for _, unit := range units {
+			ov, oOK := oldS[name].mean(unit)
+			nv, nOK := newS[name].mean(unit)
+			switch {
+			case oOK && nOK:
+				delta := "~"
+				if ov != 0 {
+					delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+				}
+				fmt.Fprintf(w, "%-60s %-10s %14.2f %14.2f %9s\n", name, unit, ov, nv, delta)
+			case nOK:
+				fmt.Fprintf(w, "%-60s %-10s %14s %14.2f %9s\n", name, unit, "-", nv, "new")
+			default:
+				fmt.Fprintf(w, "%-60s %-10s %14.2f %14s %9s\n", name, unit, ov, "-", "gone")
+			}
+		}
+	}
+}
+
+// unitSet returns the union of units across both samples, in stable order.
+func unitSet(a, b *sample) []string {
+	set := make(map[string]bool)
+	for _, s := range []*sample{a, b} {
+		if s == nil {
+			continue
+		}
+		for u := range s.sums {
+			set[u] = true
+		}
+	}
+	units := make([]string, 0, len(set))
+	for u := range set {
+		units = append(units, u)
+	}
+	// ns/op first, then alphabetical: the headline number leads.
+	sort.Slice(units, func(i, j int) bool {
+		if (units[i] == "ns/op") != (units[j] == "ns/op") {
+			return units[i] == "ns/op"
+		}
+		return units[i] < units[j]
+	})
+	return units
+}

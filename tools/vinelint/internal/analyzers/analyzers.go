@@ -12,5 +12,6 @@ func All() []*lint.Analyzer {
 		LockGuard,
 		ProtoComplete,
 		CloseCheck,
+		HotPath,
 	}
 }

@@ -1,0 +1,151 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"taskvine/tools/vinelint/internal/lint"
+)
+
+// HotPath guards the incremental scheduler's complexity contract: dispatch
+// cost must stay O(changed), not O(everything). Any package that defines a
+// schedule() function gets its same-package call graph walked from that
+// root, and every function reachable from it is scanned for the two
+// constructs that quietly reintroduce full rescans — sort.Slice calls and
+// whole-map iteration. Sites that are genuinely bounded (a rebuild that
+// runs only on membership change, a walk over a naturally small set) carry
+// a `// hotpath-ok: <reason>` annotation on the same or preceding line.
+var HotPath = &lint.Analyzer{
+	Name: "hotpath",
+	Doc: `flag sort.Slice and map-wide iteration in functions reachable from
+schedule() unless annotated with // hotpath-ok: <reason>, keeping the
+scheduler's O(changed) complexity contract visible and enforced`,
+	Run: runHotPath,
+}
+
+func runHotPath(pass *lint.Pass) error {
+	// Collect this package's function declarations by name. Reachability is
+	// name-based (method calls resolve by selector name), which
+	// over-approximates across receiver types — acceptable for a guard
+	// whose escape hatch is a one-line annotation.
+	decls := map[string][]*ast.FuncDecl{}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[fd.Name.Name] = append(decls[fd.Name.Name], fd)
+			}
+		}
+	}
+	if len(decls["schedule"]) == 0 {
+		return nil // no scheduler entry point in this package
+	}
+
+	// Breadth-first walk of same-package call edges from schedule. Calls
+	// inside function literals count: deferred work and timer callbacks run
+	// on the hot path too.
+	reach := map[string]bool{"schedule": true}
+	queue := []string{"schedule"}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		for _, fd := range decls[name] {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var callee string
+				switch f := call.Fun.(type) {
+				case *ast.Ident:
+					callee = f.Name
+				case *ast.SelectorExpr:
+					callee = f.Sel.Name
+				}
+				if callee != "" && len(decls[callee]) > 0 && !reach[callee] {
+					reach[callee] = true
+					queue = append(queue, callee)
+				}
+				return true
+			})
+		}
+	}
+
+	ok := hotpathOKLines(pass)
+	for name := range reach {
+		for _, fd := range decls[name] {
+			checkHotFunc(pass, fd, ok)
+		}
+	}
+	return nil
+}
+
+// hotpathOKLines collects "file:line" positions of // hotpath-ok: comments.
+func hotpathOKLines(pass *lint.Pass) map[string]bool {
+	ok := make(map[string]bool)
+	for _, file := range pass.Pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !containsHotpathOK(c.Text) {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				ok[fmt.Sprintf("%s:%d", p.Filename, p.Line)] = true
+			}
+		}
+	}
+	return ok
+}
+
+func containsHotpathOK(text string) bool {
+	for i := 0; i+len("hotpath-ok:") <= len(text); i++ {
+		if text[i:i+len("hotpath-ok:")] == "hotpath-ok:" {
+			return true
+		}
+	}
+	return false
+}
+
+// annotatedOK reports whether pos carries a hotpath-ok annotation on its
+// own line or the line directly above.
+func annotatedOK(pass *lint.Pass, ok map[string]bool, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	return ok[fmt.Sprintf("%s:%d", p.Filename, p.Line)] ||
+		ok[fmt.Sprintf("%s:%d", p.Filename, p.Line-1)]
+}
+
+// checkHotFunc scans one reachable function for per-pass sorts and
+// whole-map iteration.
+func checkHotFunc(pass *lint.Pass, fd *ast.FuncDecl, ok map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, isSel := n.Fun.(*ast.SelectorExpr)
+			if !isSel || sel.Sel.Name != "Slice" {
+				return true
+			}
+			id, isID := sel.X.(*ast.Ident)
+			if !isID {
+				return true
+			}
+			if pn, isPkg := pass.Pkg.Info.Uses[id].(*types.PkgName); isPkg &&
+				pn.Imported().Path() == "sort" && !annotatedOK(pass, ok, n.Pos()) {
+				pass.Report(n.Pos(),
+					"sort.Slice in %s is reachable from schedule(): sort on change, not per pass (or annotate // hotpath-ok: <reason>)",
+					fd.Name.Name)
+			}
+		case *ast.RangeStmt:
+			t := pass.Pkg.Info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap && !annotatedOK(pass, ok, n.Pos()) {
+				pass.Report(n.Pos(),
+					"map iteration in %s is reachable from schedule(): walk an index of changed entries, not the whole map (or annotate // hotpath-ok: <reason>)",
+					fd.Name.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,51 @@
+// Package hot exercises the hotpath analyzer: sort.Slice and whole-map
+// iteration inside functions reachable from schedule() must carry a
+// hotpath-ok annotation.
+package hot
+
+import "sort"
+
+type queue struct {
+	tasks   map[int]string
+	waiting []int
+	workers []int
+	dirty   bool
+}
+
+// schedule is the analyzer's root: everything it can reach, including
+// through deferred closures and callbacks, is on the hot path.
+func (q *queue) schedule() {
+	for id := range q.tasks { // want:hotpath "map iteration in schedule"
+		_ = id
+	}
+	q.plan()
+}
+
+func (q *queue) plan() {
+	sort.Slice(q.waiting, func(i, j int) bool { return q.waiting[i] < q.waiting[j] }) // want:hotpath "sort.Slice in plan"
+	defer func() { q.rebuild() }()
+}
+
+// rebuild runs only when membership changes, so its scan and sort are
+// annotated as bounded.
+func (q *queue) rebuild() {
+	if !q.dirty {
+		return
+	}
+	for id := range q.tasks { // hotpath-ok: runs only on membership change
+		_ = id
+	}
+	// hotpath-ok: sorted once per membership change, not per pass
+	sort.Slice(q.workers, func(i, j int) bool { return q.workers[i] < q.workers[j] })
+	q.dirty = false
+}
+
+// report is not reachable from schedule, so its full scans are fine.
+func (q *queue) report() int {
+	n := 0
+	for range q.tasks {
+		n++
+	}
+	sort.Slice(q.waiting, func(i, j int) bool { return q.waiting[i] < q.waiting[j] })
+	return n
+}
