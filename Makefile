@@ -18,11 +18,17 @@ build:
 test:
 	$(GO) test ./...
 
-# lint runs the domain-specific analyzer suite (tools/vinelint): simulator
-# determinism, "guarded by" lock discipline, wire-protocol completeness,
-# and finalization error handling.
+# lint is the single static-analysis gate: go vet plus the
+# domain-specific analyzer suite (tools/vinelint) — simulator determinism,
+# lock discipline and ordering, wire-protocol completeness, finalization
+# error handling, event-loop blocking, goroutine lifecycles, and metric
+# parity. Diagnostics are also written to VINELINT.json for CI
+# annotations; set LINTFLAGS="-format github" to emit inline workflow
+# annotations.
+LINTFLAGS ?=
 lint:
-	$(GO) run ./tools/vinelint ./...
+	$(GO) vet ./...
+	$(GO) run ./tools/vinelint -json-file VINELINT.json $(LINTFLAGS) ./...
 
 vet:
 	$(GO) vet ./...
@@ -68,4 +74,4 @@ bench-diff:
 		./internal/workloads >> BENCH_new.json
 	$(GO) run ./tools/benchdiff BENCH_core.json BENCH_new.json | tee BENCH_DIFF.txt
 
-ci: build vet lint race chaos fuzz
+ci: build lint race chaos fuzz

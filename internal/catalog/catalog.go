@@ -43,6 +43,7 @@ type Server struct {
 	ttl     time.Duration
 	ln      net.Listener
 	srv     *http.Server
+	serving sync.WaitGroup
 	clock   func() time.Time // guarded by mu
 }
 
@@ -69,15 +70,22 @@ func NewServer(addr string, ttl time.Duration) (*Server, error) {
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/query", s.handleQuery)
 	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln)
+	s.serving.Add(1)
+	go func() {
+		defer s.serving.Done()
+		_ = s.srv.Serve(ln)
+	}()
 	return s, nil
 }
 
 // Addr returns the catalog's address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the catalog.
-func (s *Server) Close() { s.srv.Close() }
+// Close stops the catalog and waits for its serve goroutine to exit.
+func (s *Server) Close() {
+	_ = s.srv.Close()
+	s.serving.Wait()
+}
 
 // SetClock substitutes the time source for expiry tests.
 func (s *Server) SetClock(clock func() time.Time) {

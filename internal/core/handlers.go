@@ -247,10 +247,25 @@ func (m *Manager) returnOutputs(t *taskState) {
 			continue
 		}
 		fileID, dest := out.FileID, f.Source
-		go func() {
+		m.goBG(func() {
 			reply := make(chan fetchResult, 1)
-			m.events <- event{kind: evFetch, file: fileID, fetch: reply}
-			r := <-reply
+			select {
+			case m.events <- event{kind: evFetch, file: fileID, fetch: reply}:
+			case <-m.loopDone:
+				return
+			}
+			var r fetchResult
+			select {
+			case r = <-reply:
+			case <-m.loopDone:
+				// The loop exited after accepting the event; it may still
+				// have resolved the fetch into the buffered reply.
+				select {
+				case r = <-reply:
+				default:
+					return
+				}
+			}
 			if r.err != nil {
 				m.logf("returning output %s to %s: %v", fileID, dest, r.err)
 				return
@@ -258,7 +273,7 @@ func (m *Manager) returnOutputs(t *taskState) {
 			if err := writeFileAtomic(dest, r.data); err != nil {
 				m.logf("writing output %s: %v", dest, err)
 			}
-		}()
+		})
 	}
 }
 
@@ -282,10 +297,15 @@ func (m *Manager) startFetch(fileID string, reply chan fetchResult) {
 	}
 	if len(live) == 0 {
 		// No cluster replica: local files can be read from the manager's
-		// own filesystem.
+		// own filesystem. The disk read happens off the event loop; the
+		// reply channel is buffered with one slot and this is its single
+		// sender, so the goroutine never blocks on delivery.
 		if f.Type == files.Local {
-			data, err := readLocal(f.Source)
-			reply <- fetchResult{data: data, err: err}
+			src := f.Source
+			m.goBG(func() {
+				data, err := readLocal(src)
+				reply <- fetchResult{data: data, err: err}
+			})
 			return
 		}
 		reply <- fetchResult{err: fmt.Errorf("core: no replica of %s in the cluster", fileID)}
@@ -308,7 +328,7 @@ func (m *Manager) deliverFetch(fileID string, r fetchResult) {
 	waiters := m.fetches[fileID]
 	delete(m.fetches, fileID)
 	for _, ch := range waiters {
-		ch <- r
+		ch <- r // eventloop-ok: every waiter channel is buffered with one slot per registered fetch, and this is its single send
 	}
 }
 
@@ -456,25 +476,32 @@ func (m *Manager) endWorkflow(release bool) {
 }
 
 // dumpTrace writes the workflow's transaction log (the execution trace as
-// CSV) to the configured file at shutdown.
+// CSV) to the configured file at shutdown. The event snapshot is taken on
+// the loop; the disk write runs on a tracked background goroutine, which
+// Close waits for after the loop drains — the file is complete on disk by
+// the time Close returns.
 func (m *Manager) dumpTrace() {
 	if m.cfg.TraceFile == "" {
 		return
 	}
-	f, err := os.Create(m.cfg.TraceFile)
-	if err != nil {
-		m.logf("writing trace file: %v", err)
-		return
-	}
-	err = trace.WriteCSV(f, m.tlog.Events())
-	// A close failure after writing means the log may be truncated on disk;
-	// that is a write failure, not a cleanup detail.
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		m.logf("writing trace file: %v", err)
-	}
+	path := m.cfg.TraceFile
+	events := m.tlog.Events()
+	m.goBG(func() {
+		f, err := os.Create(path)
+		if err != nil {
+			m.logf("writing trace file: %v", err)
+			return
+		}
+		err = trace.WriteCSV(f, events)
+		// A close failure after writing means the log may be truncated on
+		// disk; that is a write failure, not a cleanup detail.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			m.logf("writing trace file: %v", err)
+		}
+	})
 }
 
 // handleInvoke places a function-call submission: routed directly when an

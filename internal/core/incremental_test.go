@@ -32,6 +32,18 @@ func TestSchedulePassesNeverExceedEvents(t *testing.T) {
 	}
 }
 
+// drainQueuedResults empties the result delivery queue and reports how
+// many results were waiting. These tests drive manager internals with
+// newManagerState, so no deliverLoop goroutine is running to move queued
+// results onto m.results.
+func drainQueuedResults(m *Manager) int {
+	m.resMu.Lock()
+	defer m.resMu.Unlock()
+	n := len(m.resQ)
+	m.resQ = nil
+	return n
+}
+
 func newBenchTask(m *Manager) (int, *taskState) {
 	m.nextID++
 	id := m.nextID
@@ -52,7 +64,9 @@ func TestRequeueDoneTaskKeepsNotified(t *testing.T) {
 	m.pendingWk++
 
 	m.finishTask(id, ts, &Result{TaskID: id, OK: true})
-	<-m.results
+	if got := drainQueuedResults(m); got != 1 {
+		t.Fatalf("finishTask queued %d results, want 1", got)
+	}
 	if !ts.notified {
 		t.Fatal("finishTask did not mark the delivered task notified")
 	}
@@ -68,10 +82,8 @@ func TestRequeueDoneTaskKeepsNotified(t *testing.T) {
 	// ...and its second completion must not notify the application again.
 	m.setState(id, ts, taskspec.StateRunning)
 	m.finishTask(id, ts, &Result{TaskID: id, OK: true})
-	select {
-	case <-m.results:
+	if got := drainQueuedResults(m); got != 0 {
 		t.Fatal("re-executed done task delivered a second result")
-	default:
 	}
 	if m.pendingWk != 0 {
 		t.Fatalf("pendingWk = %d after recovery cycle, want 0", m.pendingWk)

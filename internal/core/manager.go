@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"taskvine/internal/chaos"
@@ -182,6 +183,31 @@ type Manager struct {
 
 	loopDone chan struct{}
 	closing  bool
+
+	// bg tracks every helper goroutine the manager starts — the accept
+	// loop, per-connection readers, the result deliverer, asynchronous
+	// sends and fetches — so Close can wait for all of them instead of
+	// stranding goroutines holding sockets.
+	bg sync.WaitGroup
+	// connMu guards the accepted-connection registry below. It is a leaf
+	// lock: nothing is called while it is held.
+	connMu sync.Mutex
+	// conns tracks accepted connections so Close can unblock reader
+	// goroutines parked in Recv. guarded by connMu
+	conns map[*protocol.Conn]struct{}
+	// connsClosed flips when Close has shut the registry: connections
+	// accepted after that are closed on arrival. guarded by connMu
+	connsClosed bool
+	// resMu guards resQ, the unbounded handoff queue between finishTask
+	// (on the event loop) and deliverLoop. The loop appends and returns;
+	// it never blocks on a slow application.
+	resMu sync.Mutex
+	// resQ holds finished results not yet pushed into the results
+	// channel. guarded by resMu
+	resQ []*Result
+	// resSig wakes deliverLoop after an append (capacity 1, send is
+	// non-blocking).
+	resSig chan struct{}
 }
 
 type workerConn struct {
@@ -275,8 +301,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("core: listening on %s: %w", m.cfg.ListenAddr, err)
 	}
 	m.ln = ln
-	go m.acceptLoop()
-	go m.eventLoop()
+	m.goBG(m.acceptLoop)
+	m.goBG(m.deliverLoop)
+	go m.eventLoop() // signals its exit by closing loopDone
 	return m, nil
 }
 
@@ -344,7 +371,19 @@ func newManagerState(cfg Config) *Manager {
 		wakeSet:       make(map[int]bool),
 		stagingDirty:  make(map[int]bool),
 		loopDone:      make(chan struct{}),
+		conns:         make(map[*protocol.Conn]struct{}),
+		resSig:        make(chan struct{}, 1),
 	}
+}
+
+// goBG runs fn on a goroutine tracked by the manager's background
+// WaitGroup, so Close can wait for everything the manager started.
+func (m *Manager) goBG(fn func()) {
+	m.bg.Add(1)
+	go func() {
+		defer m.bg.Done()
+		fn()
+	}()
 }
 
 // Addr returns the address workers should connect to.
@@ -383,12 +422,29 @@ func (m *Manager) Submit(spec *taskspec.Spec) (int, error) {
 		return 0, err
 	}
 	reply := make(chan int, 1)
-	m.events <- event{kind: evSubmit, spec: spec, replyInt: reply}
-	id := <-reply
-	if id < 0 {
+	select {
+	case m.events <- event{kind: evSubmit, spec: spec, replyInt: reply}:
+	case <-m.loopDone:
 		return 0, fmt.Errorf("core: manager is shutting down")
 	}
-	return id, nil
+	select {
+	case id := <-reply:
+		if id < 0 {
+			return 0, fmt.Errorf("core: manager is shutting down")
+		}
+		return id, nil
+	case <-m.loopDone:
+		// The loop may have answered just before exiting; prefer the
+		// answer over the shutdown error when both are ready.
+		select {
+		case id := <-reply:
+			if id > 0 {
+				return id, nil
+			}
+		default:
+		}
+		return 0, fmt.Errorf("core: manager is shutting down")
+	}
 }
 
 // Invoke submits a serverless function call (§3.4). When a worker already
@@ -457,6 +513,67 @@ func (m *Manager) Wait(ctx context.Context) (*Result, error) {
 	}
 }
 
+// queueResult hands a finished result to deliverLoop. The queue is
+// unbounded and the wake-up signal non-blocking, so the event loop never
+// waits on an application that has stopped calling Wait.
+func (m *Manager) queueResult(r *Result) {
+	m.resMu.Lock()
+	m.resQ = append(m.resQ, r)
+	m.resMu.Unlock()
+	select {
+	case m.resSig <- struct{}{}:
+	default:
+	}
+}
+
+// deliverLoop drains queued results into the buffered results channel
+// that Wait reads. It exits when the event loop does; results finished by
+// then are flushed so Wait keeps working after Close, as it always has.
+func (m *Manager) deliverLoop() {
+	for {
+		m.resMu.Lock()
+		var r *Result
+		if len(m.resQ) > 0 {
+			r = m.resQ[0]
+			m.resQ = m.resQ[1:]
+		}
+		m.resMu.Unlock()
+		if r == nil {
+			select {
+			case <-m.resSig:
+				continue
+			case <-m.loopDone:
+				m.flushResults()
+				return
+			}
+		}
+		select {
+		case m.results <- r:
+		case <-m.loopDone:
+			m.resMu.Lock()
+			m.resQ = append([]*Result{r}, m.resQ...)
+			m.resMu.Unlock()
+			m.flushResults()
+			return
+		}
+	}
+}
+
+// flushResults moves whatever fits into the results channel buffer at
+// shutdown, without blocking.
+func (m *Manager) flushResults() {
+	m.resMu.Lock()
+	defer m.resMu.Unlock()
+	for len(m.resQ) > 0 {
+		select {
+		case m.results <- m.resQ[0]:
+			m.resQ = m.resQ[1:]
+		default:
+			return
+		}
+	}
+}
+
 // FetchFile retrieves the content of a file object back to the manager
 // from whichever worker holds a replica.
 func (m *Manager) FetchFile(ctx context.Context, fileID string) ([]byte, error) {
@@ -464,7 +581,13 @@ func (m *Manager) FetchFile(ctx context.Context, fileID string) ([]byte, error) 
 		return append([]byte(nil), f.Content...), nil
 	}
 	reply := make(chan fetchResult, 1)
-	m.events <- event{kind: evFetch, file: fileID, fetch: reply}
+	select {
+	case m.events <- event{kind: evFetch, file: fileID, fetch: reply}:
+	case <-m.loopDone:
+		return nil, fmt.Errorf("core: manager is shutting down")
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	select {
 	case r := <-reply:
 		return r.data, r.err
@@ -480,7 +603,10 @@ func (m *Manager) InstallLibrary(name string, res resources.R) {
 	if (res == resources.R{}) {
 		res = resources.R{Cores: 1}
 	}
-	m.events <- event{kind: evInstallLib, lib: &librarySpec{name: name, res: res}}
+	select {
+	case m.events <- event{kind: evInstallLib, lib: &librarySpec{name: name, res: res}}:
+	case <-m.loopDone:
+	}
 }
 
 // ReplicateFile asks the manager to maintain at least n replicas of the
@@ -491,7 +617,11 @@ func (m *Manager) ReplicateFile(fileID string, n int) error {
 	if _, ok := m.reg.Lookup(fileID); !ok {
 		return fmt.Errorf("core: unknown file %s", fileID)
 	}
-	m.events <- event{kind: evReplicate, file: fileID, goal: n}
+	select {
+	case m.events <- event{kind: evReplicate, file: fileID, goal: n}:
+	case <-m.loopDone:
+		return fmt.Errorf("core: manager is shutting down")
+	}
 	return nil
 }
 
@@ -500,8 +630,15 @@ func (m *Manager) ReplicateFile(fileID string, n int) error {
 // objects persist for future workflows (§3.2).
 func (m *Manager) EndWorkflow() {
 	done := make(chan struct{})
-	m.events <- event{kind: evEnd, done: done}
-	<-done
+	select {
+	case m.events <- event{kind: evEnd, done: done}:
+	case <-m.loopDone:
+		return
+	}
+	select {
+	case <-done:
+	case <-m.loopDone:
+	}
 }
 
 // Close releases all workers and stops the manager. Close is idempotent.
@@ -520,6 +657,15 @@ func (m *Manager) Close() {
 	}
 	// The accept loop exits on this close; its error carries no news.
 	_ = m.ln.Close()
+	// Unblock every connection reader parked in Recv: the loop is gone,
+	// nobody will drain their events. New arrivals are closed on accept.
+	m.connMu.Lock()
+	m.connsClosed = true
+	for conn := range m.conns { // hotpath-ok: shutdown-only walk of live connections
+		_ = conn.Close()
+	}
+	m.connMu.Unlock()
+	m.bg.Wait()
 }
 
 var errClosing = fmt.Errorf("closing")
@@ -530,37 +676,80 @@ func (m *Manager) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go m.handleConn(protocol.NewConn(nc))
+		conn := protocol.NewConn(nc)
+		if !m.trackConn(conn) {
+			continue // shutting down; trackConn closed it
+		}
+		m.goBG(func() { m.handleConn(conn) })
 	}
+}
+
+// trackConn registers an accepted connection so Close can unblock its
+// reader; during shutdown the connection is refused (closed) instead.
+func (m *Manager) trackConn(conn *protocol.Conn) bool {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+	if m.connsClosed {
+		_ = conn.Close()
+		return false
+	}
+	m.conns[conn] = struct{}{}
+	return true
+}
+
+// untrackConn forgets a connection whose reader has exited.
+func (m *Manager) untrackConn(conn *protocol.Conn) {
+	m.connMu.Lock()
+	delete(m.conns, conn)
+	m.connMu.Unlock()
 }
 
 // handleConn performs registration then pumps messages into the event loop.
 // Payloads of data messages are read fully here so the loop never blocks on
 // network I/O.
+// Every event send is guarded by loopDone: once the loop has exited
+// nothing drains the channel, and an unguarded send would strand this
+// reader forever.
 func (m *Manager) handleConn(conn *protocol.Conn) {
+	defer m.untrackConn(conn)
 	regMsg, _, err := conn.Recv()
 	if err != nil || regMsg.Type != protocol.TypeRegister || regMsg.WorkerID == "" {
 		// Not a worker; nothing to report the close error to.
 		_ = conn.Close()
 		return
 	}
-	m.events <- event{kind: evMsg, conn: conn, msg: regMsg}
+	select {
+	case m.events <- event{kind: evMsg, conn: conn, msg: regMsg}:
+	case <-m.loopDone:
+		_ = conn.Close()
+		return
+	}
 	workerID := regMsg.WorkerID
 	for {
 		msg, payload, err := conn.Recv()
 		if err != nil {
-			m.events <- event{kind: evWorkerGone, workerID: workerID, err: err}
+			select {
+			case m.events <- event{kind: evWorkerGone, workerID: workerID, err: err}:
+			case <-m.loopDone:
+			}
 			return
 		}
 		var data []byte
 		if payload != nil {
 			data = make([]byte, msg.Size)
 			if _, err := ioReadFull(payload, data); err != nil {
-				m.events <- event{kind: evWorkerGone, workerID: workerID, err: err}
+				select {
+				case m.events <- event{kind: evWorkerGone, workerID: workerID, err: err}:
+				case <-m.loopDone:
+				}
 				return
 			}
 		}
-		m.events <- event{kind: evMsg, msg: msg, data: data, workerID: workerID}
+		select {
+		case m.events <- event{kind: evMsg, msg: msg, data: data, workerID: workerID}:
+		case <-m.loopDone:
+			return
+		}
 	}
 }
 

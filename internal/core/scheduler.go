@@ -335,7 +335,26 @@ func (m *Manager) startTransfer(fileID string, src replica.Source, w *workerConn
 				})
 			}
 		case replica.SourceManager:
-			err = m.sendPut(w, f, tr.ID)
+			// sendPut streams file bytes over the worker connection —
+			// stat, open, and payload writes that would stall every other
+			// worker if run on the event loop. Ship from a tracked helper
+			// goroutine; protocol.Conn serializes concurrent writers. A
+			// failure comes back as a synthetic failed cache-update, which
+			// funnels into the same retry path as a worker-reported one.
+			tid := tr.ID
+			m.goBG(func() {
+				perr := m.sendPut(w, f, tid)
+				if perr == nil {
+					return
+				}
+				select {
+				case m.events <- event{kind: evMsg, msg: &protocol.Message{
+					Type: protocol.TypeCacheUpdate, WorkerID: w.id, CacheName: fileID,
+					TransferID: tid, Status: protocol.StatusFailed, Error: perr.Error(),
+				}}:
+				case <-m.loopDone:
+				}
+			})
 		}
 	}
 	if err != nil {
@@ -475,7 +494,7 @@ func (m *Manager) finishTask(id int, t *taskState, res *Result) {
 	if !t.notified {
 		t.notified = true
 		m.pendingWk--
-		m.results <- res
+		m.queueResult(res)
 	}
 	m.archive(id, t)
 }

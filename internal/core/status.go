@@ -138,11 +138,12 @@ func (m *Manager) ServeStatus(addr string) (string, error) {
 		json.NewEncoder(w).Encode(m.Debug())
 	})
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	go func() {
+	m.goBG(func() { _ = srv.Serve(ln) })
+	m.goBG(func() {
 		<-m.loopDone
-		// Best-effort teardown of the monitoring endpoint.
+		// Best-effort teardown of the monitoring endpoint; closing the
+		// server also unblocks the Serve goroutine above.
 		_ = srv.Close()
-	}()
+	})
 	return ln.Addr().String(), nil
 }

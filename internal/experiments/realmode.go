@@ -93,7 +93,7 @@ func Fig9Real(scale Scale) Report {
 	runOnce := func() (makespan time.Duration, stagedMS int64, err error) {
 		// Real-mode experiments measure actual wall time, not the
 		// simulated clock.
-		start := time.Now() //vinelint:allow simdeterminism real-mode wall clock
+		start := time.Now() //vinelint:ignore simdeterminism real-mode experiments measure actual wall clock
 		for i := 0; i < nTasks; i++ {
 			spec := &taskspec.Spec{
 				Kind:     taskspec.KindCommand,
@@ -118,7 +118,7 @@ func Fig9Real(scale Scale) Report {
 			}
 			stagedMS += r.StagedMS
 		}
-		return time.Since(start), stagedMS, nil //vinelint:allow simdeterminism real-mode wall clock
+		return time.Since(start), stagedMS, nil //vinelint:ignore simdeterminism real-mode experiments measure actual wall clock
 	}
 
 	coldSpan, coldStaged, err := runOnce()

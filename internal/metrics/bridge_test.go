@@ -2,7 +2,6 @@ package metrics
 
 import (
 	"fmt"
-	"reflect"
 	"strings"
 	"testing"
 
@@ -11,12 +10,13 @@ import (
 
 // TestTraceMetricsParity is the guard rail of the observability layer: every
 // trace kind must have a real String() name and a decided metric mapping, and
-// every instrument in VineMetrics must actually be registered. Adding a trace
-// kind or an instrument field without wiring it fails here, not in
-// production.
+// every mapped family must actually be registered. Adding a trace kind
+// without wiring it fails here, not in production. Naming conventions and
+// VineMetrics field assignment are checked statically by the metricparity
+// analyzer in tools/vinelint, not here.
 func TestTraceMetricsParity(t *testing.T) {
 	reg := NewRegistry()
-	vm := ForRegistry(reg)
+	ForRegistry(reg)
 	registered := map[string]bool{}
 	for _, name := range reg.FamilyNames() {
 		registered[name] = true
@@ -39,17 +39,6 @@ func TestTraceMetricsParity(t *testing.T) {
 			if !registered[name] {
 				t.Errorf("kind %v maps to %q, which ForRegistry does not register", k, name)
 			}
-		}
-	}
-
-	// Every instrument field of VineMetrics must be non-nil after
-	// ForRegistry: a field added to the struct but not the constructor would
-	// silently no-op (and panic on labeled With calls).
-	v := reflect.ValueOf(vm).Elem()
-	for i := 0; i < v.NumField(); i++ {
-		f := v.Field(i)
-		if f.Kind() == reflect.Ptr && f.IsNil() {
-			t.Errorf("VineMetrics.%s is nil after ForRegistry", v.Type().Field(i).Name)
 		}
 	}
 

@@ -169,10 +169,10 @@ func (n *Network) reschedule(changed *Flow) {
 		return
 	}
 	if changed != nil {
-		for _, f := range changed.src.flows { // hotpath-ok: the changed flow's neighbourhood //vinelint:allow simdeterminism — per-flow rates are pure functions of endpoint counts, order cannot matter
+		for _, f := range changed.src.flows { // hotpath-ok: the changed flow's neighbourhood //vinelint:ignore simdeterminism per-flow rates are pure functions of endpoint counts, order cannot matter
 			recomputeFlow(f)
 		}
-		for _, f := range changed.dst.flows { // hotpath-ok: the changed flow's neighbourhood //vinelint:allow simdeterminism — per-flow rates are pure functions of endpoint counts, order cannot matter
+		for _, f := range changed.dst.flows { // hotpath-ok: the changed flow's neighbourhood //vinelint:ignore simdeterminism per-flow rates are pure functions of endpoint counts, order cannot matter
 			recomputeFlow(f)
 		}
 	}

@@ -271,7 +271,10 @@ func (w *Worker) readLoop(ctx context.Context) error {
 		case protocol.TypePut:
 			w.handlePut(m, payload)
 		case protocol.TypeGet:
-			w.handleGet(m)
+			// Streaming an object back to the manager is a payload write;
+			// run it like any other transfer so the read loop keeps
+			// draining control messages (protocol.Conn serializes writers).
+			w.async(func() { w.handleGet(m) })
 		case protocol.TypeFetchURL:
 			w.async(func() { w.handleFetchURL(ctx, m) })
 		case protocol.TypeFetchPeer:

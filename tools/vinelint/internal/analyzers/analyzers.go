@@ -13,5 +13,9 @@ func All() []*lint.Analyzer {
 		ProtoComplete,
 		CloseCheck,
 		HotPath,
+		EventBlock,
+		Goroleak,
+		LockOrder,
+		MetricParity,
 	}
 }

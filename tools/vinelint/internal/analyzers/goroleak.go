@@ -1,0 +1,156 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"taskvine/tools/vinelint/internal/lint"
+)
+
+// Goroleak requires every go statement to carry a provable lifecycle, so
+// that Manager.Close, Worker.Close, and Pool.Stop can actually wait for
+// everything they started. A fire-and-forget goroutine is invisible to
+// shutdown: it keeps file descriptors and channel references alive after
+// Close returns, which is exactly the class of leak the manager's
+// goroutine-leak regression test exists to catch.
+//
+// A lifecycle is proven when the goroutine's body (the go'd function
+// literal, or the declared body of the named function being launched)
+// does any of:
+//
+//   - call Done() on a sync.WaitGroup — someone Waits for it
+//   - receive from (or select on) a shutdown-named channel — done,
+//     closed, quit, stop, shutdown, exit — including <-ctx.Done()
+//   - close a shutdown-named channel — it IS the completion signal
+//     someone else waits on
+//
+// Launching a function whose body the linter cannot see (e.g. go
+// srv.Serve(ln) from another module) proves nothing: wrap it in a
+// tracked literal. Genuinely process-lifetime goroutines in package main
+// are exempt wholesale.
+var Goroleak = &lint.Analyzer{
+	Name: "goroleak",
+	Doc: `require every go statement outside package main to have a provable
+lifecycle: a WaitGroup Done, a shutdown-channel receive or close, or
+context cancellation`,
+	Run: runGoroleak,
+}
+
+// lifecycleNames are the substrings that mark a channel as a shutdown
+// signal.
+var lifecycleNames = []string{"done", "closed", "quit", "stop", "shutdown", "exit"}
+
+func runGoroleak(pass *lint.Pass) error {
+	if pass.Pkg.Types.Name() == "main" {
+		return nil // process-lifetime goroutines die with the binary
+	}
+	cg := pass.Prog.CallGraph()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, bodyPkg := goroutineBody(pass, cg, gs.Call)
+			if body == nil {
+				pass.Report(gs.Pos(),
+					"goroutine launches a function whose body is not visible to the linter: wrap it in a literal tracked by a WaitGroup or shutdown channel")
+				return true
+			}
+			if !provesLifecycle(bodyPkg, body) {
+				pass.Report(gs.Pos(),
+					"goroutine has no provable lifecycle: track it with a WaitGroup Done, a shutdown-channel receive/close, or context cancellation")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineBody resolves the body that will run on the new goroutine,
+// along with the package whose type info covers it.
+func goroutineBody(pass *lint.Pass, cg *lint.CallGraph, call *ast.CallExpr) (*ast.BlockStmt, *lint.Package) {
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		return fl.Body, pass.Pkg
+	}
+	fn := lint.CalleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	if node := cg.Node(fn); node != nil {
+		return node.Decl.Body, node.Pkg
+	}
+	return nil, nil
+}
+
+// provesLifecycle scans a goroutine body for any of the accepted
+// lifecycle constructs.
+func provesLifecycle(pkg *lint.Package, body *ast.BlockStmt) bool {
+	proved := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if proved {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				// wg.Done() — typically deferred right at the top.
+				if fun.Sel.Name == "Done" {
+					if t := pkg.Info.TypeOf(fun.X); t != nil && lint.TypeIs(t, "sync", "WaitGroup") {
+						proved = true
+					}
+				}
+			case *ast.Ident:
+				// close(doneCh): this goroutine IS the completion signal.
+				if fun.Name == "close" && len(n.Args) == 1 && isLifecycleName(exprName(n.Args[0])) {
+					proved = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-done, <-ctx.Done(), select { case <-m.loopDone: ... }.
+			if n.Op == token.ARROW && isLifecycleName(exprName(n.X)) {
+				proved = true
+			}
+		case *ast.RangeStmt:
+			// for range over a shutdown-named channel.
+			if n.X != nil && isLifecycleName(exprName(n.X)) {
+				proved = true
+			}
+		}
+		return !proved
+	})
+	return proved
+}
+
+// exprName extracts the rightmost identifier-ish name of an expression:
+// done -> done, m.loopDone -> loopDone, ctx.Done() -> Done.
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		return exprName(e.Fun)
+	case *ast.ParenExpr:
+		return exprName(e.X)
+	}
+	return ""
+}
+
+// isLifecycleName reports whether a channel name reads as a shutdown
+// signal.
+func isLifecycleName(name string) bool {
+	if name == "" {
+		return false
+	}
+	lower := strings.ToLower(name)
+	for _, want := range lifecycleNames {
+		if strings.Contains(lower, want) {
+			return true
+		}
+	}
+	return false
+}

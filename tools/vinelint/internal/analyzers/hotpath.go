@@ -1,9 +1,7 @@
 package analyzers
 
 import (
-	"fmt"
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"taskvine/tools/vinelint/internal/lint"
@@ -72,47 +70,13 @@ func runHotPath(pass *lint.Pass) error {
 		}
 	}
 
-	ok := hotpathOKLines(pass)
+	ok := markerLines(pass, "hotpath-ok:")
 	for name := range reach {
 		for _, fd := range decls[name] {
 			checkHotFunc(pass, fd, ok)
 		}
 	}
 	return nil
-}
-
-// hotpathOKLines collects "file:line" positions of // hotpath-ok: comments.
-func hotpathOKLines(pass *lint.Pass) map[string]bool {
-	ok := make(map[string]bool)
-	for _, file := range pass.Pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				if !containsHotpathOK(c.Text) {
-					continue
-				}
-				p := pass.Fset.Position(c.Pos())
-				ok[fmt.Sprintf("%s:%d", p.Filename, p.Line)] = true
-			}
-		}
-	}
-	return ok
-}
-
-func containsHotpathOK(text string) bool {
-	for i := 0; i+len("hotpath-ok:") <= len(text); i++ {
-		if text[i:i+len("hotpath-ok:")] == "hotpath-ok:" {
-			return true
-		}
-	}
-	return false
-}
-
-// annotatedOK reports whether pos carries a hotpath-ok annotation on its
-// own line or the line directly above.
-func annotatedOK(pass *lint.Pass, ok map[string]bool, pos token.Pos) bool {
-	p := pass.Fset.Position(pos)
-	return ok[fmt.Sprintf("%s:%d", p.Filename, p.Line)] ||
-		ok[fmt.Sprintf("%s:%d", p.Filename, p.Line-1)]
 }
 
 // checkHotFunc scans one reachable function for per-pass sorts and
@@ -130,7 +94,7 @@ func checkHotFunc(pass *lint.Pass, fd *ast.FuncDecl, ok map[string]bool) {
 				return true
 			}
 			if pn, isPkg := pass.Pkg.Info.Uses[id].(*types.PkgName); isPkg &&
-				pn.Imported().Path() == "sort" && !annotatedOK(pass, ok, n.Pos()) {
+				pn.Imported().Path() == "sort" && !markedOK(pass, ok, n.Pos()) {
 				pass.Report(n.Pos(),
 					"sort.Slice in %s is reachable from schedule(): sort on change, not per pass (or annotate // hotpath-ok: <reason>)",
 					fd.Name.Name)
@@ -140,7 +104,7 @@ func checkHotFunc(pass *lint.Pass, fd *ast.FuncDecl, ok map[string]bool) {
 			if t == nil {
 				return true
 			}
-			if _, isMap := t.Underlying().(*types.Map); isMap && !annotatedOK(pass, ok, n.Pos()) {
+			if _, isMap := t.Underlying().(*types.Map); isMap && !markedOK(pass, ok, n.Pos()) {
 				pass.Report(n.Pos(),
 					"map iteration in %s is reachable from schedule(): walk an index of changed entries, not the whole map (or annotate // hotpath-ok: <reason>)",
 					fd.Name.Name)

@@ -1,0 +1,255 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"taskvine/tools/vinelint/internal/lint"
+)
+
+// MetricParity statically enforces the observability contract that the
+// runtime parity test used to probe by reflection: a simulated run and a
+// real run of one workflow must expose identical, well-formed vine_*
+// metric families.
+//
+// Structurally, parity holds because every substrate registers through
+// one constructor — internal/metrics.ForRegistry — so the analyzer pins
+// that shape: instrument registrations (Registry.Counter/CounterVec/
+// Gauge/GaugeVec/Histogram with a vine_* name) may appear only inside
+// internal/metrics; names are string literals, globally unique, counters
+// end in _total while gauges and histograms do not, and the _bytes /
+// _seconds unit suffixes are terminal (modulo a trailing _total). Every
+// instrument-typed field of VineMetrics must be assigned in ForRegistry's
+// composite literal (a field added to the struct but not the constructor
+// would be nil and panic on first use), and any other vine_* string
+// literal in shipped code — the trace-kind family map, status endpoints —
+// must name a family ForRegistry actually registers.
+var MetricParity = &lint.Analyzer{
+	Name:        "metricparity",
+	Doc:         `enforce vine_* instrument naming, single registration through internal/metrics, and constructor/struct parity`,
+	WholeModule: true,
+	Run:         runMetricParity,
+}
+
+// instrumentCtors maps registry method names to whether they create a
+// counter (and therefore need the _total suffix).
+var instrumentCtors = map[string]bool{
+	"Counter": true, "CounterVec": true,
+	"Gauge": false, "GaugeVec": false, "Histogram": false,
+}
+
+type registration struct {
+	name    string
+	counter bool
+	pos     token.Pos
+	pkg     *lint.Package
+	lit     *ast.BasicLit
+}
+
+func runMetricParity(pass *lint.Pass) error {
+	// Whole-module: run once, from the first pass.
+	if len(pass.All) == 0 || pass.Pkg != pass.All[0] {
+		return nil
+	}
+
+	regs, litSites := collectRegistrations(pass.All)
+	if len(regs) == 0 {
+		return nil // module has no vine_* instruments
+	}
+
+	registered := make(map[string]*registration)
+	names := make([]string, 0, len(regs))
+	for i := range regs {
+		r := &regs[i]
+		if !lint.PathHasSegment(r.pkg.Path, "internal/metrics") {
+			pass.Report(r.pos,
+				"instrument %q is registered outside internal/metrics: add it to VineMetrics/ForRegistry so simulated and real runs expose identical families", r.name)
+		}
+		if prev, dup := registered[r.name]; dup {
+			prevPos := prev.pkg.Fset.Position(prev.pos)
+			pass.Report(r.pos,
+				"instrument %q is registered twice (first at %s:%d): family names must be unique", r.name, prevPos.Filename, prevPos.Line)
+			continue
+		}
+		registered[r.name] = r
+		names = append(names, r.name)
+		checkInstrumentName(pass, r)
+	}
+	sort.Strings(names)
+
+	// Any other vine_* literal must reference a registered family — this
+	// is what keeps the trace-kind family map honest.
+	for lit := range litSites {
+		name := strings.Trim(lit.Value, `"`)
+		if registered[name] == nil {
+			pass.Report(lit.Pos(),
+				"%q does not match any family registered by ForRegistry: registered families are checked statically, fix the name or register it", name)
+		}
+	}
+
+	checkVineMetricsStruct(pass)
+	return nil
+}
+
+// collectRegistrations finds every Registry instrument-constructor call
+// with a vine_* string-literal name, plus every other vine_* string
+// literal (mapped to its package) for the reference check.
+func collectRegistrations(pkgs []*lint.Package) ([]registration, map[*ast.BasicLit]*lint.Package) {
+	var regs []registration
+	lits := make(map[*ast.BasicLit]*lint.Package)
+	regLits := make(map[*ast.BasicLit]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					isCounter, isCtor := instrumentCtors[sel.Sel.Name]
+					if !isCtor || len(n.Args) == 0 {
+						return true
+					}
+					recv := pkg.Info.TypeOf(sel.X)
+					if recv == nil || !isMetricsRegistry(recv) {
+						return true
+					}
+					lit, ok := n.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING || !strings.HasPrefix(lit.Value, `"vine_`) {
+						return true
+					}
+					regs = append(regs, registration{
+						name:    strings.Trim(lit.Value, `"`),
+						counter: isCounter,
+						pos:     n.Pos(),
+						pkg:     pkg,
+						lit:     lit,
+					})
+					regLits[lit] = true
+				case *ast.BasicLit:
+					if n.Kind == token.STRING && strings.HasPrefix(n.Value, `"vine_`) && len(n.Value) > len(`"vine_"`) {
+						lits[n] = pkg
+					}
+				}
+				return true
+			})
+		}
+	}
+	for lit := range regLits {
+		delete(lits, lit)
+	}
+	return regs, lits
+}
+
+// isMetricsRegistry reports whether t is (a pointer to) the Registry type
+// of an internal/metrics package.
+func isMetricsRegistry(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil &&
+		lint.PathHasSegment(obj.Pkg().Path(), "internal/metrics")
+}
+
+// checkInstrumentName enforces the suffix conventions on one family name.
+func checkInstrumentName(pass *lint.Pass, r *registration) {
+	name := r.name
+	if r.counter && !strings.HasSuffix(name, "_total") {
+		pass.Report(r.pos, "counter %q must end in _total", name)
+	}
+	if !r.counter && strings.HasSuffix(name, "_total") {
+		pass.Report(r.pos, "%q ends in _total but is not a counter: _total is reserved for monotonically increasing counts", name)
+	}
+	base := strings.TrimSuffix(name, "_total")
+	for _, unit := range []string{"_bytes", "_seconds"} {
+		if strings.Contains(base, unit+"_") {
+			pass.Report(r.pos, "%q buries the %s unit mid-name: unit suffixes must be terminal (before an optional _total)", name, unit)
+		}
+	}
+}
+
+// checkVineMetricsStruct verifies that every instrument-typed field of
+// VineMetrics is assigned inside ForRegistry's composite literal — the
+// static replacement for the old reflection-based nil-field probe.
+func checkVineMetricsStruct(pass *lint.Pass) {
+	for _, pkg := range pass.All {
+		if !lint.PathHasSegment(pkg.Path, "internal/metrics") {
+			continue
+		}
+		var st *ast.StructType
+		var forReg *ast.FuncDecl
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					for _, s := range d.Specs {
+						ts, ok := s.(*ast.TypeSpec)
+						if !ok || ts.Name.Name != "VineMetrics" {
+							continue
+						}
+						if s2, ok := ts.Type.(*ast.StructType); ok {
+							st = s2
+						}
+					}
+				case *ast.FuncDecl:
+					if d.Recv == nil && d.Name.Name == "ForRegistry" {
+						forReg = d
+					}
+				}
+			}
+		}
+		if st == nil || forReg == nil {
+			continue
+		}
+		assigned := make(map[string]bool)
+		ast.Inspect(forReg.Body, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if id, ok := cl.Type.(*ast.Ident); !ok || id.Name != "VineMetrics" {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						assigned[key.Name] = true
+					}
+				}
+			}
+			return true
+		})
+		for _, f := range st.Fields.List {
+			if !isInstrumentField(pkg, f) {
+				continue
+			}
+			for _, name := range f.Names {
+				if !assigned[name.Name] {
+					pass.Report(name.Pos(),
+						"VineMetrics.%s is not assigned in ForRegistry: the field would be nil and panic on first use", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// isInstrumentField reports whether a struct field's type is a pointer to
+// one of the instrument types of the metrics package.
+func isInstrumentField(pkg *lint.Package, f *ast.Field) bool {
+	t := pkg.Info.TypeOf(f.Type)
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Counter", "CounterVec", "Gauge", "GaugeVec", "Histogram":
+		return lint.PathHasSegment(named.Obj().Pkg().Path(), "internal/metrics")
+	}
+	return false
+}

@@ -24,7 +24,8 @@ var ProtoComplete = &lint.Analyzer{
 	Name: "protocomplete",
 	Doc: `cross-check that every Type* message constant in internal/protocol
 has a producer and a dispatch arm on the correct side of the wire`,
-	Run: runProtoComplete,
+	WholeModule: true,
+	Run:         runProtoComplete,
 }
 
 type direction int

@@ -1,0 +1,35 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"taskvine/tools/vinelint/internal/lint"
+)
+
+// markerLines collects the "file:line" positions of comments containing
+// the given annotation marker (e.g. "hotpath-ok:" or "eventloop-ok:").
+func markerLines(pass *lint.Pass, marker string) map[string]bool {
+	ok := make(map[string]bool)
+	for _, file := range pass.Pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, marker) {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				ok[fmt.Sprintf("%s:%d", p.Filename, p.Line)] = true
+			}
+		}
+	}
+	return ok
+}
+
+// markedOK reports whether pos carries one of the collected annotations on
+// its own line or the line directly above.
+func markedOK(pass *lint.Pass, ok map[string]bool, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	return ok[fmt.Sprintf("%s:%d", p.Filename, p.Line)] ||
+		ok[fmt.Sprintf("%s:%d", p.Filename, p.Line-1)]
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Program is the whole-program view shared by every analyzer pass of one
+// Run: the full package set plus a lazily built, memoized call graph.
+type Program struct {
+	Pkgs []*Package
+	Fset *token.FileSet
+
+	cg *CallGraph
+}
+
+// NewProgram wraps a loaded package set.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{Pkgs: pkgs}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	return p
+}
+
+// CallGraph returns the program's call graph, building it on first use.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = buildCallGraph(p.Pkgs)
+	}
+	return p.cg
+}
+
+// CallGraph maps every function declared in the module to its outgoing
+// call edges. Only module-declared callees appear as edge targets;
+// standard-library calls are invisible here (analyzers that care about
+// them scan syntax directly).
+type CallGraph struct {
+	Nodes map[*types.Func]*CGNode
+}
+
+// Node returns the graph node for fn, or nil if fn has no declaration in
+// the loaded module.
+func (g *CallGraph) Node(fn *types.Func) *CGNode {
+	return g.Nodes[fn]
+}
+
+// CGNode is one declared function or method.
+type CGNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Out  []CGEdge
+}
+
+// CGEdge is one call site. Go marks edges whose call starts a new
+// goroutine (directly, or from inside a go'd function literal): such
+// callees do not run synchronously on the caller's goroutine, so
+// reachability analyses about blocking or held locks must not follow
+// them.
+type CGEdge struct {
+	Callee *CGNode
+	Site   token.Pos
+	Go     bool
+	Defer  bool
+}
+
+// buildCallGraph walks every declared function body. Function literals
+// are attributed to their enclosing declaration; their bodies are entered
+// only when the literal runs in a context the enclosing function controls
+// (invoked in place, deferred, or launched by a go statement — the last
+// with the Go flag set). A literal stored or passed as an argument is not
+// entered: when and where it runs is the callee's business.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*CGNode)}
+	// First pass: a node per declaration, so edges can resolve forward
+	// and cross-package references.
+	type declSite struct {
+		node *CGNode
+	}
+	var bodies []declSite
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CGNode{Fn: fn, Decl: fd, Pkg: pkg}
+				g.Nodes[fn] = node
+				bodies = append(bodies, declSite{node: node})
+			}
+		}
+	}
+	for _, b := range bodies {
+		collectEdges(g, b.node, b.node.Decl.Body, false, false)
+	}
+	return g
+}
+
+// collectEdges records call edges out of body, attributed to node.
+func collectEdges(g *CallGraph, node *CGNode, body ast.Node, goCtx, deferCtx bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			collectCall(g, node, n.Call, true, deferCtx)
+			return false
+		case *ast.DeferStmt:
+			collectCall(g, node, n.Call, goCtx, true)
+			return false
+		case *ast.FuncLit:
+			// Reached directly: the literal is stored or passed as an
+			// argument. Its body is not this function's control flow.
+			return false
+		case *ast.CallExpr:
+			collectCall(g, node, n, goCtx, deferCtx)
+			return false
+		}
+		return true
+	})
+}
+
+// collectCall records one call site and descends into its operands.
+func collectCall(g *CallGraph, node *CGNode, call *ast.CallExpr, goCtx, deferCtx bool) {
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		// Invoked (or deferred / go'd) in place: the body runs here.
+		collectEdges(g, node, fl.Body, goCtx, deferCtx)
+	} else if callee := CalleeFunc(node.Pkg.Info, call); callee != nil {
+		if target, ok := g.Nodes[callee]; ok {
+			node.Out = append(node.Out, CGEdge{
+				Callee: target,
+				Site:   call.Pos(),
+				Go:     goCtx,
+				Defer:  deferCtx,
+			})
+		}
+	}
+	// Arguments (and a non-literal Fun expression) evaluate synchronously
+	// in the caller, whatever the call itself does.
+	for _, arg := range call.Args {
+		collectEdges(g, node, arg, goCtx, deferCtx)
+	}
+	if _, isLit := call.Fun.(*ast.FuncLit); !isLit {
+		collectEdges(g, node, call.Fun, goCtx, deferCtx)
+	}
+}
+
+// CalleeFunc resolves the static callee of a call expression, or nil for
+// indirect calls, conversions, and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.ParenExpr:
+		return CalleeFunc(info, &ast.CallExpr{Fun: fun.X, Args: call.Args})
+	}
+	return nil
+}
+
+// WalkSync traverses the parts of body that execute synchronously on the
+// enclosing function's goroutine: go-statement subtrees are skipped
+// entirely, and function-literal bodies are entered only when the literal
+// is invoked in place or deferred — not when it is stored or passed as an
+// argument, where the callee decides if and when it runs. visit returning
+// false prunes the subtree, mirroring ast.Inspect.
+func WalkSync(body ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			visit(n)
+			return false
+		case *ast.FuncLit:
+			// Reached directly (not via the CallExpr/DeferStmt cases):
+			// stored or passed, so its body is asynchronous to us.
+			return false
+		case *ast.CallExpr:
+			if !visit(n) {
+				return false
+			}
+			if fl, ok := n.Fun.(*ast.FuncLit); ok {
+				WalkSync(fl.Body, visit)
+			} else {
+				WalkSync(n.Fun, visit)
+			}
+			for _, arg := range n.Args {
+				WalkSync(arg, visit)
+			}
+			return false
+		}
+		return visit(n)
+	})
+}

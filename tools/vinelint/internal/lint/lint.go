@@ -2,8 +2,9 @@
 // spirit of golang.org/x/tools/go/analysis, built on the standard library
 // only (go/ast, go/types, go/importer). It exists because vinelint's
 // invariants are domain-specific — simulator determinism, lock discipline,
-// wire-protocol completeness, transfer finalization — and the container
-// image this repository builds in carries no third-party modules.
+// wire-protocol completeness, transfer finalization, event-loop latency —
+// and the container image this repository builds in carries no third-party
+// modules.
 //
 // The shape mirrors go/analysis closely (Analyzer, Pass, Diagnostic) so the
 // analyzers can be ported to the real multichecker verbatim if x/tools ever
@@ -20,13 +21,44 @@ import (
 	"strings"
 )
 
+// Severity ranks a finding. Every severity fails the lint run — the split
+// exists so CI annotations and humans can triage output, not so warnings
+// can rot. The zero value is SeverityError on purpose: an analyzer must
+// opt in to being "only" a warning.
+type Severity int
+
+const (
+	// SeverityError marks a finding that is a defect on its own.
+	SeverityError Severity = iota
+	// SeverityWarning marks a finding that is a structural risk (e.g. a
+	// potential lock-order inversion) rather than a proven defect.
+	SeverityWarning
+)
+
+// String returns "error" or "warning".
+func (s Severity) String() string {
+	if s == SeverityWarning {
+		return "warning"
+	}
+	return "error"
+}
+
 // Analyzer is one named check.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
-	// //vinelint:allow suppression comments.
+	// //vinelint:ignore suppression comments.
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
+	// Severity is attached to every diagnostic the analyzer reports.
+	// The zero value is SeverityError.
+	Severity Severity
+	// WholeModule marks analyzers whose invariant is a property of the
+	// module as a whole (protocomplete, lockorder, metricparity). They run
+	// over every loaded package even when the caller restricts the
+	// reported selection to a subtree, because hiding half the module
+	// would silently weaken the invariant.
+	WholeModule bool
 	// Run inspects one package and reports findings via pass.Report.
 	Run func(pass *Pass) error
 }
@@ -40,6 +72,9 @@ type Pass struct {
 	// switches in other packages).
 	All  []*Package
 	Fset *token.FileSet
+	// Prog is the whole-program view shared by every pass of one Run:
+	// it owns the memoized call graph.
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -48,6 +83,7 @@ type Pass struct {
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
 		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -56,6 +92,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Analyzer string
+	Severity Severity
 	Pos      token.Pos
 	Message  string
 }
@@ -72,14 +109,29 @@ type Package struct {
 	Fset  *token.FileSet
 }
 
-// allowRe matches suppression comments: //vinelint:allow <name>[ reason].
-// A suppression on a line silences that analyzer's diagnostics on the same
-// line; a suppression comment standing alone silences the following line.
-var allowRe = regexp.MustCompile(`//\s*vinelint:allow\s+([a-z]+)`)
+// FrameworkAnalyzer is the analyzer name attached to diagnostics produced
+// by the framework itself (malformed suppression comments).
+const FrameworkAnalyzer = "vinelint"
 
-// suppressions maps "file:line" -> set of analyzer names silenced there.
-func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+// ignoreRe matches suppression comments:
+//
+//	//vinelint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression with no written justification is
+// itself reported as a diagnostic. A suppression on a line silences that
+// analyzer's diagnostics on the same line; a comment standing alone
+// silences the following line.
+var ignoreRe = regexp.MustCompile(`//\s*vinelint:ignore(?:\s+([a-z]+))?\s*(.*)`)
+
+// legacyAllowRe matches the retired vinelint:allow grammar, which carried
+// no mandatory reason.
+var legacyAllowRe = regexp.MustCompile(`//\s*vinelint:allow\b`)
+
+// suppressions maps "file:line" -> set of analyzer names silenced there,
+// and reports malformed suppression comments as framework diagnostics.
+func suppressions(fset *token.FileSet, files []*ast.File) (map[string]map[string]bool, []Diagnostic) {
 	sup := make(map[string]map[string]bool)
+	var bad []Diagnostic
 	add := func(file string, line int, name string) {
 		key := fmt.Sprintf("%s:%d", file, line)
 		if sup[key] == nil {
@@ -90,33 +142,91 @@ func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[string]
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
+				if legacyAllowRe.MatchString(c.Text) {
+					bad = append(bad, Diagnostic{
+						Analyzer: FrameworkAnalyzer,
+						Severity: SeverityError,
+						Pos:      c.Pos(),
+						Message:  "vinelint:allow is retired: use //vinelint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				if !strings.Contains(c.Text, "vinelint:ignore") {
+					continue
+				}
+				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
+				name, reason := m[1], strings.TrimSpace(m[2])
 				pos := fset.Position(c.Pos())
+				if name == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: FrameworkAnalyzer,
+						Severity: SeverityError,
+						Pos:      c.Pos(),
+						Message:  "vinelint:ignore names no analyzer: use //vinelint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				if reason == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: FrameworkAnalyzer,
+						Severity: SeverityError,
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("vinelint:ignore %s has no reason: every suppression must say why the finding is safe", name),
+					})
+					continue
+				}
 				// Same line and the next: a standalone comment suppresses
 				// the statement below it, a trailing comment its own line.
-				add(pos.Filename, pos.Line, m[1])
-				add(pos.Filename, pos.Line+1, m[1])
+				add(pos.Filename, pos.Line, name)
+				add(pos.Filename, pos.Line+1, name)
 			}
 		}
 	}
-	return sup
+	return sup, bad
 }
 
 // Run applies every analyzer to every package and returns surviving
-// diagnostics sorted by position.
+// diagnostics in a deterministic order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunSelected(pkgs, analyzers, nil)
+}
+
+// RunSelected applies the analyzers with an optional reporting selection:
+// when selected is non-nil, per-package analyzers run only on packages
+// whose import path is in the set, while WholeModule analyzers still run
+// over everything (their invariants span the module). A nil selection
+// means "all packages".
+func RunSelected(pkgs []*Package, analyzers []*Analyzer, selected map[string]bool) ([]Diagnostic, error) {
 	var out []Diagnostic
+	prog := NewProgram(pkgs)
+	// Suppressions are collected module-wide: whole-module analyzers
+	// report at positions in packages other than the one their pass runs
+	// on, and the ignore comment lives next to the finding.
+	sup := make(map[string]map[string]bool)
 	for _, pkg := range pkgs {
-		sup := suppressions(pkg.Fset, pkg.Files)
+		pkgSup, bad := suppressions(pkg.Fset, pkg.Files)
+		for k, v := range pkgSup {
+			sup[k] = v
+		}
+		if selected == nil || selected[pkg.Path] {
+			out = append(out, bad...)
+		}
+	}
+	for _, pkg := range pkgs {
+		inSelection := selected == nil || selected[pkg.Path]
 		for _, a := range analyzers {
+			if !inSelection && !a.WholeModule {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg,
 				All:      pkgs,
 				Fset:     pkg.Fset,
+				Prog:     prog,
 			}
 			pass.report = func(d Diagnostic) {
 				p := pkg.Fset.Position(d.Pos)
@@ -130,8 +240,34 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	sortDiagnostics(pkgs, out)
 	return out, nil
+}
+
+// sortDiagnostics orders findings by (file, line, column, analyzer,
+// message) so output is stable across runs and across incidental changes
+// in analyzer registration order.
+func sortDiagnostics(pkgs []*Package, ds []Diagnostic) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
+	})
 }
 
 // PathHasSegment reports whether the import path contains the given
@@ -146,4 +282,21 @@ func PathHasSegment(path, segment string) bool {
 		return true
 	}
 	return strings.Contains(path, "/"+segment+"/") || strings.HasPrefix(path, segment+"/")
+}
+
+// TypeIs reports whether t (after stripping one pointer) is the named type
+// pkgPath.name.
+func TypeIs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
 }

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixRoot resolves the shared fixture module relative to this package's
+// directory.
+func fixRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", "testdata", "src", "fix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("fixture module missing: %v", err)
+	}
+	return root
+}
+
+// TestLoadAllSkipPredicate verifies the skip callback prunes whole
+// subtrees: packages under the skipped directory never load, everything
+// else still does.
+func TestLoadAllSkipPredicate(t *testing.T) {
+	root := fixRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll(func(relDir string) bool {
+		return relDir == "internal/other" || strings.HasPrefix(relDir, "internal/other/")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("skip predicate pruned everything")
+	}
+	sawCache := false
+	for _, pkg := range pkgs {
+		if PathHasSegment(pkg.Path, "internal/other") {
+			t.Errorf("skipped package %s was loaded", pkg.Path)
+		}
+		if PathHasSegment(pkg.Path, "internal/cache") {
+			sawCache = true
+		}
+	}
+	if !sawCache {
+		t.Error("unskipped package internal/cache was not loaded")
+	}
+}
+
+// TestLoadAllOrdering pins the deterministic package order: sorted by
+// import path, stable across repeated loads.
+func TestLoadAllOrdering(t *testing.T) {
+	root := fixRoot(t)
+	var prev []string
+	for round := 0; round < 2; round++ {
+		loader, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var paths []string
+		for _, pkg := range pkgs {
+			paths = append(paths, pkg.Path)
+		}
+		for i := 1; i < len(paths); i++ {
+			if paths[i-1] >= paths[i] {
+				t.Fatalf("packages not in sorted order: %q before %q", paths[i-1], paths[i])
+			}
+		}
+		if round > 0 && strings.Join(prev, ",") != strings.Join(paths, ",") {
+			t.Fatalf("package order changed between loads:\n  %v\n  %v", prev, paths)
+		}
+		prev = paths
+	}
+}
+
+// TestFindModuleRoot verifies go.mod discovery from a nested directory
+// and the error when no module encloses the start point.
+func TestFindModuleRoot(t *testing.T) {
+	root := fixRoot(t)
+	got, err := FindModuleRoot(filepath.Join(root, "internal", "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != root {
+		t.Errorf("FindModuleRoot from subdirectory = %q, want %q", got, root)
+	}
+	if got, err := FindModuleRoot(root); err != nil || got != root {
+		t.Errorf("FindModuleRoot from root = %q, %v; want %q, nil", got, err, root)
+	}
+	if _, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Error("FindModuleRoot outside any module succeeded, want error")
+	}
+}
+
+// TestDiagnosticOrderingStability runs the same package set through the
+// framework twice with the analyzer list reversed and requires identical
+// rendered output: sortDiagnostics, not registration order, owns the
+// final ordering.
+func TestDiagnosticOrderingStability(t *testing.T) {
+	root := fixRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two order-only-different views of the same trivial analyzer pair,
+	// each reporting at every package's first declaration.
+	mk := func(name string) *Analyzer {
+		return &Analyzer{
+			Name: name,
+			Doc:  "test analyzer",
+			Run: func(pass *Pass) error {
+				if len(pass.Pkg.Files) > 0 && len(pass.Pkg.Files[0].Decls) > 0 {
+					pass.Report(pass.Pkg.Files[0].Decls[0].Pos(), "marker from %s", name)
+				}
+				return nil
+			},
+		}
+	}
+	a, b := mk("aaa"), mk("bbb")
+	render := func(ds []Diagnostic) []string {
+		var out []string
+		for _, d := range ds {
+			p := loader.Fset.Position(d.Pos)
+			out = append(out, p.Filename+":"+d.Analyzer+":"+d.Message)
+		}
+		return out
+	}
+	fwd, err := Run(pkgs, []*Analyzer{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := Run(pkgs, []*Analyzer{b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, r := render(fwd), render(rev)
+	if strings.Join(f, "\n") != strings.Join(r, "\n") {
+		t.Fatalf("diagnostic order depends on analyzer registration order:\nforward:\n%s\nreversed:\n%s",
+			strings.Join(f, "\n"), strings.Join(r, "\n"))
+	}
+}
+
+// TestRunSelectedScoping verifies the reporting selection: per-package
+// analyzers stay inside the selected set, while WholeModule analyzers
+// still see (and report about) the entire module.
+func TestRunSelectedScoping(t *testing.T) {
+	root := fixRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPkg := &Analyzer{
+		Name: "perpkg",
+		Doc:  "reports once per visited package",
+		Run: func(pass *Pass) error {
+			if len(pass.Pkg.Files) > 0 {
+				pass.Report(pass.Pkg.Files[0].Package, "visited %s", pass.Pkg.Path)
+			}
+			return nil
+		},
+	}
+	whole := &Analyzer{
+		Name:        "whole",
+		Doc:         "reports once per visited package, module-wide",
+		WholeModule: true,
+		Run: func(pass *Pass) error {
+			if len(pass.Pkg.Files) > 0 {
+				pass.Report(pass.Pkg.Files[0].Package, "visited %s", pass.Pkg.Path)
+			}
+			return nil
+		},
+	}
+	selected := map[string]bool{"fix/internal/cache": true}
+	diags, err := RunSelected(pkgs, []*Analyzer{perPkg, whole}, selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perPkgN, wholeN int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "perpkg":
+			perPkgN++
+			if !strings.Contains(d.Message, "fix/internal/cache") {
+				t.Errorf("per-package analyzer escaped the selection: %s", d.Message)
+			}
+		case "whole":
+			wholeN++
+		}
+	}
+	if perPkgN != 1 {
+		t.Errorf("per-package analyzer ran on %d packages, want 1", perPkgN)
+	}
+	if wholeN != len(pkgs) {
+		t.Errorf("whole-module analyzer ran on %d packages, want %d", wholeN, len(pkgs))
+	}
+}

@@ -4,15 +4,35 @@
 //	lockguard       struct fields marked "guarded by <mu>" are accessed under it
 //	protocomplete   every protocol message type is produced and dispatched
 //	closecheck      no dropped errors from Close/Flush/transfer finalization
+//	hotpath         no sorts or map-wide scans reachable from schedule()
+//	eventblock      no blocking work reachable from the manager/worker loops
+//	goroleak        every go statement has a provable shutdown lifecycle
+//	lockorder       no cycles in the lock-acquisition order graph
+//	metricparity    vine_* instrument naming, registration, and parity rules
 //
-// Usage: go run ./tools/vinelint ./...
+// Usage:
 //
-// The only accepted package pattern is "./..." rooted at the module
-// directory; the tool always analyzes the whole module because
-// protocomplete is inherently cross-package.
+//	go run ./tools/vinelint [flags] ./...
+//	go run ./tools/vinelint [flags] ./internal/core/... ./internal/worker
+//
+// The whole module is always loaded and type-checked — whole-module
+// analyzers (protocomplete, lockorder, metricparity) are inherently
+// cross-package — but explicit package patterns restrict which packages
+// the per-package analyzers report on, so pre-commit runs can target a
+// subtree.
+//
+// Flags:
+//
+//	-format text|github   diagnostic print format (github emits workflow
+//	                      ::error/::warning annotation commands)
+//	-json-file PATH       additionally write diagnostics as a JSON array
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,8 +49,34 @@ func main() {
 	}
 }
 
+// jsonDiagnostic is the machine-readable form of one finding, consumed by
+// CI to attach inline annotations.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func run() error {
-	root, err := findModuleRoot()
+	format := flag.String("format", "text", "diagnostic output format: text or github")
+	jsonFile := flag.String("json-file", "", "also write diagnostics as a JSON array to this file")
+	flag.Parse()
+	if *format != "text" && *format != "github" {
+		return fmt.Errorf("unknown -format %q (want text or github)", *format)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		return fmt.Errorf("no package patterns (try ./...)")
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := lint.FindModuleRoot(cwd)
 	if err != nil {
 		return err
 	}
@@ -45,17 +91,60 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	diags, err := lint.Run(pkgs, analyzers.All())
+
+	selected, err := selectPackages(pkgs, loader.ModulePath, root, cwd, patterns)
 	if err != nil {
 		return err
 	}
+	diags, err := lint.RunSelected(pkgs, analyzers.All(), selected)
+	if err != nil {
+		return err
+	}
+
+	var records []jsonDiagnostic
 	for _, d := range diags {
 		pos := loader.Fset.Position(d.Pos)
 		rel, rerr := filepath.Rel(root, pos.Filename)
 		if rerr != nil {
 			rel = pos.Filename
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+		rel = filepath.ToSlash(rel)
+		records = append(records, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			Severity: d.Severity.String(),
+			File:     rel,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  d.Message,
+		})
+	}
+	for _, r := range records {
+		switch *format {
+		case "github":
+			// GitHub Actions workflow command: surfaces as an inline
+			// annotation on the PR diff.
+			level := "error"
+			if r.Severity == "warning" {
+				level = "warning"
+			}
+			fmt.Printf("::%s file=%s,line=%d,col=%d::[%s] %s\n",
+				level, r.File, r.Line, r.Column, r.Analyzer, r.Message)
+		default:
+			fmt.Printf("%s:%d:%d: %s: [%s] %s\n",
+				r.File, r.Line, r.Column, r.Severity, r.Analyzer, r.Message)
+		}
+	}
+	if *jsonFile != "" {
+		if records == nil {
+			records = []jsonDiagnostic{}
+		}
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonFile, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonFile, err)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
@@ -63,20 +152,46 @@ func run() error {
 	return nil
 }
 
-// findModuleRoot walks up from the working directory to the nearest go.mod.
-func findModuleRoot() (string, error) {
-	dir, err := os.Getwd()
-	if err != nil {
-		return "", err
-	}
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir, nil
+// selectPackages resolves the command-line patterns to the set of import
+// paths the per-package analyzers report on. nil means "everything"
+// (pattern ./... at the module root). Supported forms, resolved relative
+// to the working directory: ./... (module-wide), ./dir/... (subtree),
+// ./dir (single package).
+func selectPackages(pkgs []*lint.Package, modPath, root, cwd string, patterns []string) (map[string]bool, error) {
+	selected := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		dir := pat
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			dir = rest
+			if dir == "." || dir == "" {
+				dir = "."
+			}
 		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			return "", fmt.Errorf("no go.mod found above %s", dir)
+		abs := filepath.Join(cwd, filepath.FromSlash(dir))
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q resolves outside the module rooted at %s", pat, root)
 		}
-		dir = parent
+		rel = filepath.ToSlash(rel)
+		if recursive && rel == "." {
+			return nil, nil // whole module
+		}
+		base := modPath
+		if rel != "." {
+			base = modPath + "/" + rel
+		}
+		matched := false
+		for _, p := range pkgs {
+			if p.Path == base || (recursive && strings.HasPrefix(p.Path, base+"/")) {
+				selected[p.Path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no loaded packages", pat)
+		}
 	}
+	return selected, nil
 }

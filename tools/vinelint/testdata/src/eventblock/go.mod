@@ -1,0 +1,3 @@
+module eventblock
+
+go 1.24

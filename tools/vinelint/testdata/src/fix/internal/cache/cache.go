@@ -48,8 +48,29 @@ func Read(path string) ([]byte, error) {
 	return buf[:n], nil
 }
 
-// Spill drops a Sync error under an explicit suppression comment, which
-// exercises the //vinelint:allow machinery.
+// Spill drops a Sync error under a well-formed suppression comment —
+// analyzer named, reason written — which silences exactly that analyzer
+// on that line.
 func Spill(f *os.File) {
-	f.Sync() //vinelint:allow closecheck fixture exercises suppression
+	f.Sync() //vinelint:ignore closecheck fixture exercises suppression
+}
+
+// SpillLegacy still uses the retired allow grammar: the framework reports
+// the stale comment, and the underlying finding is no longer silenced.
+func SpillLegacy(f *os.File) {
+	f.Sync() //vinelint:allow closecheck stale grammar // want:vinelint "vinelint:allow is retired" // want:closecheck "error from Sync is dropped"
+}
+
+// SpillNoReason suppresses without a written justification, which the
+// framework rejects while leaving the finding live.
+func SpillNoReason(f *os.File) {
+	// want:vinelint "has no reason" //vinelint:ignore closecheck
+	f.Sync() // want:closecheck "error from Sync is dropped"
+}
+
+// SpillNoAnalyzer names no analyzer at all, so the framework cannot tell
+// what the author meant to silence.
+func SpillNoAnalyzer(f *os.File) {
+	// want:vinelint "names no analyzer" //vinelint:ignore
+	f.Sync() // want:closecheck "error from Sync is dropped"
 }

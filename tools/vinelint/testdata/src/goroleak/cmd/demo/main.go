@@ -1,0 +1,10 @@
+// Command demo is package main: process-lifetime goroutines die with the
+// binary, so goroleak exempts the whole package.
+package main
+
+func main() {
+	go spin()
+	select {}
+}
+
+func spin() {}

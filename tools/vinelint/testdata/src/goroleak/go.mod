@@ -1,0 +1,3 @@
+module goroleak
+
+go 1.24

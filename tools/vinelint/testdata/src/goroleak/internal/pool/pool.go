@@ -1,0 +1,88 @@
+// Package pool is a fixture for the goroleak analyzer: every go statement
+// must prove a lifecycle — a WaitGroup Done, a shutdown-channel receive or
+// close, or context cancellation.
+package pool
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+// Pool tracks the helpers it launches.
+type Pool struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	jobs chan int
+}
+
+// StartTracked launches a literal that a WaitGroup waits for.
+func (p *Pool) StartTracked() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+// StartSignaled launches a literal whose exit closes the done channel —
+// the goroutine IS the completion signal someone else waits on.
+func (p *Pool) StartSignaled() {
+	go func() {
+		defer close(p.done)
+		work()
+	}()
+}
+
+// StartCancellable launches a literal parked on context cancellation.
+func (p *Pool) StartCancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Drain ranges over a shutdown-named channel, which bounds its life.
+func (p *Pool) Drain(stopped chan int) {
+	go func() {
+		for range stopped {
+		}
+	}()
+}
+
+// StartLeaky launches a literal nothing waits for.
+func (p *Pool) StartLeaky() {
+	go func() { // want:goroleak "goroutine has no provable lifecycle"
+		work()
+	}()
+}
+
+// runForever drains a channel with no shutdown name: nothing proves it
+// ever exits.
+func runForever(jobs chan int) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+// StartNamedLeaky launches a declared function whose body proves nothing.
+func (p *Pool) StartNamedLeaky() {
+	go runForever(p.jobs) // want:goroleak "goroutine has no provable lifecycle"
+}
+
+// watch receives from the pool's done channel, so launching it is fine.
+func (p *Pool) watch() {
+	<-p.done
+}
+
+// StartNamedTracked launches a declared function with a visible lifecycle.
+func (p *Pool) StartNamedTracked() {
+	go p.watch()
+}
+
+// CleanupAsync fires a function from outside the module; its body is
+// invisible, so no lifecycle can be proven.
+func CleanupAsync(tmp string) {
+	go os.Remove(tmp) // want:goroleak "goroutine launches a function whose body is not visible to the linter"
+}
+
+func work() {}

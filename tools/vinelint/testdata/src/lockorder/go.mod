@@ -1,0 +1,3 @@
+module lockorder
+
+go 1.24

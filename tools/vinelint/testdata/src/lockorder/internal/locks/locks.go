@@ -1,0 +1,154 @@
+// Package locks is a fixture for the lockorder analyzer: inconsistent
+// acquisition orders between lock classes form cycles, reported once per
+// cycle at the first witness of the edge leaving the cycle's
+// lexicographically smallest class.
+package locks
+
+import "sync"
+
+// A and B are two lock classes acquired in both orders below.
+type A struct{ mu sync.Mutex }
+
+// B pairs with A in the direct cycle.
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// LockAB takes A then B: together with LockBA this closes a cycle, and
+// the A->B edge recorded here is the reported witness.
+func LockAB() {
+	a.mu.Lock()
+	b.mu.Lock() // want:lockorder "lock ordering cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// LockBA takes B then A, the reverse order.
+func LockBA() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// NestedConsistently repeats the A-then-B order under a deferred unlock:
+// a second witness of an existing edge adds nothing.
+func NestedConsistently() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// Reacquire locks the same class twice in one body, a guaranteed
+// self-deadlock on a non-reentrant mutex.
+func Reacquire() {
+	a.mu.Lock()
+	a.mu.Lock() // want:lockorder "is re-acquired in Reacquire while already held"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// C and D close a cycle only through a call chain: each function alone
+// holds one lock while a callee acquires the other.
+type C struct{ mu sync.Mutex }
+
+// D pairs with C in the cross-function cycle.
+type D struct{ mu sync.Mutex }
+
+var (
+	c C
+	d D
+)
+
+// HoldCThenCallD holds C.mu across a call that acquires D.mu.
+func HoldCThenCallD() {
+	c.mu.Lock()
+	takeD() // want:lockorder "lock ordering cycle"
+	c.mu.Unlock()
+}
+
+func takeD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// HoldDThenCallC holds D.mu across a call that acquires C.mu.
+func HoldDThenCallC() {
+	d.mu.Lock()
+	takeC()
+	d.mu.Unlock()
+}
+
+func takeC() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// E and F would form a cycle if goroutine launches imposed ordering —
+// they do not, because a fresh goroutine starts with nothing held.
+type E struct{ mu sync.Mutex }
+
+// F pairs with E in the goroutine non-cycle.
+type F struct{ mu sync.Mutex }
+
+var (
+	e E
+	f F
+)
+
+// TakeEF orders E before F directly.
+func TakeEF() {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// HoldFThenSpawnE holds F.mu while launching a goroutine that acquires
+// E.mu: a synchronous call here would record the F->E edge and close a
+// cycle with TakeEF, but the goroutine starts with nothing held, so E/F
+// stays acyclic.
+func HoldFThenSpawnE() {
+	f.mu.Lock()
+	go takeE()
+	f.mu.Unlock()
+}
+
+func takeE() {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// Table embeds its mutex, so the named type itself is the lock class;
+// regMu is a package-level lock class.
+type Table struct {
+	sync.Mutex
+	rows int
+}
+
+var (
+	tbl   Table
+	regMu sync.Mutex
+)
+
+// LockTableThenReg and LockRegThenTable disagree on order, closing a
+// cycle between an embedded-mutex class and a package-level var class.
+func LockTableThenReg() {
+	tbl.Lock()
+	regMu.Lock() // want:lockorder "lock ordering cycle"
+	regMu.Unlock()
+	tbl.Unlock()
+}
+
+// LockRegThenTable takes the locks in the reverse order.
+func LockRegThenTable() {
+	regMu.Lock()
+	tbl.Lock()
+	tbl.rows++
+	tbl.Unlock()
+	regMu.Unlock()
+}

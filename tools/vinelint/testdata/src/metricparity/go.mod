@@ -1,0 +1,3 @@
+module metricparity
+
+go 1.24

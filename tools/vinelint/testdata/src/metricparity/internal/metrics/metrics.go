@@ -1,0 +1,68 @@
+// Package metrics is a fixture registry for the metricparity analyzer:
+// ForRegistry is the single registration point, and every instrument
+// field of VineMetrics must be assigned there.
+package metrics
+
+// Instrument kinds mirror the real registry's constructors.
+type (
+	// Counter counts monotonically.
+	Counter struct{}
+	// CounterVec is a labelled counter family.
+	CounterVec struct{}
+	// Gauge tracks a level.
+	Gauge struct{}
+	// GaugeVec is a labelled gauge family.
+	GaugeVec struct{}
+	// Histogram samples a distribution.
+	Histogram struct{}
+)
+
+// Registry constructs named instruments.
+type Registry struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// CounterVec registers a labelled counter.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// GaugeVec registers a labelled gauge.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec { return &GaugeVec{} }
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, help string) *Histogram { return &Histogram{} }
+
+// VineMetrics is the instrument bundle the rest of the module uses.
+type VineMetrics struct {
+	TasksDone   *Counter
+	Failures    *CounterVec
+	QueueDepth  *Gauge
+	QueueDepth2 *Gauge
+	DiskTotal   *Gauge
+	BytesSent   *Counter
+	WaitTime    *Histogram
+	Orphan      *Gauge // want:metricparity "VineMetrics.Orphan is not assigned in ForRegistry"
+
+	reg *Registry // not an instrument: exempt from the parity check
+}
+
+// ForRegistry builds the bundle; it is the single registration point the
+// analyzer pins.
+func ForRegistry(r *Registry) *VineMetrics {
+	return &VineMetrics{
+		TasksDone:   r.Counter("vine_tasks_done_total", "tasks completed"),
+		Failures:    r.CounterVec("vine_failures", "failures by kind", "kind"), // want:metricparity "counter \"vine_failures\" must end in _total"
+		QueueDepth:  r.Gauge("vine_queue_depth", "waiting tasks"),
+		QueueDepth2: r.Gauge("vine_queue_depth", "duplicate family name"), // want:metricparity "registered twice"
+		DiskTotal:   r.Gauge("vine_disk_total", "bytes on disk"),          // want:metricparity "ends in _total but is not a counter"
+		BytesSent:   r.Counter("vine_bytes_sent_total", "payload bytes"),  // want:metricparity "buries the _bytes unit mid-name"
+		WaitTime:    r.Histogram("vine_wait_seconds", "queue wait"),
+
+		reg: r,
+	}
+}

@@ -1,0 +1,19 @@
+// Package status exercises metricparity's out-of-package rules: stray
+// vine_* literals must name registered families, and instruments must not
+// be registered outside internal/metrics.
+package status
+
+import "metricparity/internal/metrics"
+
+// kindFamilies maps trace kinds to the families that count them; every
+// name must be one ForRegistry actually registers.
+var kindFamilies = map[string]string{
+	"task-done": "vine_tasks_done_total",
+	"evicted":   "vine_evictions_total", // want:metricparity "\"vine_evictions_total\" does not match any family registered by ForRegistry"
+}
+
+// Register adds an instrument outside internal/metrics, which breaks the
+// single-constructor parity between simulated and real runs.
+func Register(r *metrics.Registry) {
+	r.Counter("vine_rogue_total", "registered in the wrong package") // want:metricparity "instrument \"vine_rogue_total\" is registered outside internal/metrics"
+}

@@ -2,7 +2,6 @@ package main
 
 import (
 	"bufio"
-	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -62,19 +61,27 @@ func collectWants(t *testing.T, root string) []*expectation {
 	return wants
 }
 
-// TestAnalyzersAgainstFixtures runs the full analyzer suite over the
-// fixture module and requires an exact match between diagnostics and the
-// // want: expectations — every expectation fires, and nothing else does.
-func TestAnalyzersAgainstFixtures(t *testing.T) {
-	root, err := filepath.Abs(filepath.Join("testdata", "src", "fix"))
+// fixtureTrees lists the per-tree fixture modules under testdata/src. A
+// tree named after an analyzer runs only that analyzer; any other tree
+// (the shared "fix" module) runs the full suite.
+func fixtureTrees(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("reading testdata/src: %v", err)
 	}
-	wants := collectWants(t, root)
-	if len(wants) == 0 {
-		t.Fatal("no // want: expectations found in fixtures")
+	var trees []string
+	for _, e := range entries {
+		if e.IsDir() {
+			trees = append(trees, e.Name())
+		}
 	}
+	return trees
+}
 
+// loadAndRun loads one fixture module and runs the given analyzers.
+func loadAndRun(t *testing.T, root string, suite []*lint.Analyzer) ([]lint.Diagnostic, *lint.Loader) {
+	t.Helper()
 	loader, err := lint.NewLoader(root)
 	if err != nil {
 		t.Fatalf("creating loader: %v", err)
@@ -83,82 +90,151 @@ func TestAnalyzersAgainstFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading fixture module: %v", err)
 	}
-	diags, err := lint.Run(pkgs, analyzers.All())
+	diags, err := lint.Run(pkgs, suite)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
+	return diags, loader
+}
 
-	for _, d := range diags {
-		pos := loader.Fset.Position(d.Pos)
-		rel, err := filepath.Rel(root, pos.Filename)
-		if err != nil {
-			rel = pos.Filename
-		}
-		rel = filepath.ToSlash(rel)
-		matched := false
-		for _, w := range wants {
-			if w.file == rel && w.line == pos.Line && w.analyzer == d.Analyzer &&
-				strings.Contains(d.Message, w.substr) {
-				w.matched = true
-				matched = true
-			}
-		}
-		if !matched {
-			t.Errorf("unexpected diagnostic: %s:%d: [%s] %s", rel, pos.Line, d.Analyzer, d.Message)
-		}
+// TestAnalyzersAgainstFixtures runs each fixture tree and requires an
+// exact match between diagnostics and the // want: expectations — every
+// expectation fires, and nothing else does. Single-analyzer trees confirm
+// the analyzer in isolation; the shared "fix" tree confirms the full
+// suite composes.
+func TestAnalyzersAgainstFixtures(t *testing.T) {
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range analyzers.All() {
+		byName[a.Name] = a
 	}
-	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("expected diagnostic did not fire: %s:%d: [%s] containing %q",
-				w.file, w.line, w.analyzer, w.substr)
-		}
+	for _, tree := range fixtureTrees(t) {
+		t.Run(tree, func(t *testing.T) {
+			suite := analyzers.All()
+			if a := byName[tree]; a != nil {
+				suite = []*lint.Analyzer{a}
+			}
+			root, err := filepath.Abs(filepath.Join("testdata", "src", tree))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := collectWants(t, root)
+			if len(wants) == 0 {
+				t.Fatal("no // want: expectations found in fixtures")
+			}
+			diags, loader := loadAndRun(t, root, suite)
+
+			for _, d := range diags {
+				pos := loader.Fset.Position(d.Pos)
+				rel, err := filepath.Rel(root, pos.Filename)
+				if err != nil {
+					rel = pos.Filename
+				}
+				rel = filepath.ToSlash(rel)
+				matched := false
+				for _, w := range wants {
+					if w.file == rel && w.line == pos.Line && w.analyzer == d.Analyzer &&
+						strings.Contains(d.Message, w.substr) {
+						w.matched = true
+						matched = true
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s:%d: [%s] %s", rel, pos.Line, d.Analyzer, d.Message)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("expected diagnostic did not fire: %s:%d: [%s] containing %q",
+						w.file, w.line, w.analyzer, w.substr)
+				}
+			}
+		})
 	}
 }
 
-// TestCoverage asserts each analyzer has at least one firing fixture, so a
-// future analyzer cannot silently ship untested.
+// TestCoverage asserts each analyzer has at least one firing fixture
+// somewhere under testdata/src, so a future analyzer cannot silently ship
+// untested.
 func TestCoverage(t *testing.T) {
-	root, err := filepath.Abs(filepath.Join("testdata", "src", "fix"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	covered := make(map[string]bool)
-	for _, w := range collectWants(t, root) {
-		covered[w.analyzer] = true
+	for _, tree := range fixtureTrees(t) {
+		root, err := filepath.Abs(filepath.Join("testdata", "src", tree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range collectWants(t, root) {
+			covered[w.analyzer] = true
+		}
 	}
 	for _, a := range analyzers.All() {
 		if !covered[a.Name] {
-			t.Errorf("analyzer %s has no positive fixture under testdata/src/fix", a.Name)
+			t.Errorf("analyzer %s has no positive fixture under testdata/src", a.Name)
 		}
 	}
 }
 
-// TestSuppression checks that a //vinelint:allow comment present in the
-// fixtures silences the diagnostic it names: the Spill function in the
-// cache fixture drops a Sync error under suppression and must not appear
-// in the results (covered by the exact-match property of
-// TestAnalyzersAgainstFixtures, re-asserted here directly).
+// TestSuppression checks that a well-formed //vinelint:ignore comment
+// silences exactly the named analyzer on its line: the Spill function in
+// the cache fixture drops a Sync error under suppression and must not
+// appear in the results (the exact-match property of
+// TestAnalyzersAgainstFixtures also covers this; re-asserted here
+// directly against the annotated line).
 func TestSuppression(t *testing.T) {
 	root, err := filepath.Abs(filepath.Join("testdata", "src", "fix"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	loader, err := lint.NewLoader(root)
+	// Locate the suppressed line by its marker reason.
+	cachePath := filepath.Join(root, "internal", "cache", "cache.go")
+	src, err := os.ReadFile(cachePath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := loader.LoadAll(nil)
-	if err != nil {
-		t.Fatal(err)
+	supLine := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "fixture exercises suppression") {
+			supLine = i + 1
+			break
+		}
 	}
-	diags, err := lint.Run(pkgs, analyzers.All())
-	if err != nil {
-		t.Fatal(err)
+	if supLine == 0 {
+		t.Fatal("suppression marker not found in cache fixture")
 	}
+	diags, loader := loadAndRun(t, root, analyzers.All())
 	for _, d := range diags {
 		pos := loader.Fset.Position(d.Pos)
-		if strings.Contains(d.Message, "Sync") {
-			t.Errorf("suppressed diagnostic leaked: %s: %s", fmt.Sprintf("%s:%d", pos.Filename, pos.Line), d.Message)
+		if filepath.Clean(pos.Filename) == cachePath && pos.Line == supLine {
+			t.Errorf("suppressed diagnostic leaked: %s:%d: [%s] %s",
+				pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestSeverities pins the severity split: lockorder findings are warnings
+// (structural risk), while goroleak findings are errors.
+func TestSeverities(t *testing.T) {
+	for tree, want := range map[string]lint.Severity{
+		"lockorder": lint.SeverityWarning,
+		"goroleak":  lint.SeverityError,
+	} {
+		root, err := filepath.Abs(filepath.Join("testdata", "src", tree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var suite []*lint.Analyzer
+		for _, a := range analyzers.All() {
+			if a.Name == tree {
+				suite = []*lint.Analyzer{a}
+			}
+		}
+		diags, _ := loadAndRun(t, root, suite)
+		if len(diags) == 0 {
+			t.Fatalf("%s fixture produced no diagnostics", tree)
+		}
+		for _, d := range diags {
+			if d.Severity != want {
+				t.Errorf("%s diagnostic has severity %s, want %s", tree, d.Severity, want)
+			}
 		}
 	}
 }
