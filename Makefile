@@ -38,11 +38,13 @@ vet:
 race:
 	$(GO) test -race -count=2 ./...
 
-# fuzz smoke-tests the protocol codec from the seeded corpus for a short,
-# CI-friendly interval per target.
+# fuzz smoke-tests the protocol codec — both framings — from the seeded
+# corpus for a short, CI-friendly interval per target.
 fuzz:
 	$(GO) test ./internal/protocol -run '^$$' -fuzz FuzzRecv -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/protocol -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/protocol -run '^$$' -fuzz FuzzBinaryDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/protocol -run '^$$' -fuzz FuzzBinaryRoundTrip -fuzztime $(FUZZTIME)
 
 # chaos runs the seeded fault-injection suite (sim, core, worker, batch)
 # under the race detector for two fixed seeds. Fixed seeds keep failures
@@ -60,7 +62,7 @@ chaos:
 bench:
 	$(GO) test -json -run '^$$' -bench . -benchmem -count=5 \
 		./internal/core ./internal/protocol ./internal/hashing > BENCH_core.json
-	$(GO) test -json -run '^$$' -bench SimTopEFT50k -benchtime 1x -count=1 \
+	$(GO) test -json -run '^$$' -bench 'SimTopEFT50k|SimTransferBound' -benchtime 1x -count=1 \
 		./internal/workloads >> BENCH_core.json
 
 # bench-diff re-runs the benchmark suite into BENCH_new.json and prints a
@@ -70,7 +72,7 @@ bench:
 bench-diff:
 	$(GO) test -json -run '^$$' -bench . -benchmem -count=5 \
 		./internal/core ./internal/protocol ./internal/hashing > BENCH_new.json
-	$(GO) test -json -run '^$$' -bench SimTopEFT50k -benchtime 1x -count=1 \
+	$(GO) test -json -run '^$$' -bench 'SimTopEFT50k|SimTransferBound' -benchtime 1x -count=1 \
 		./internal/workloads >> BENCH_new.json
 	$(GO) run ./tools/benchdiff BENCH_core.json BENCH_new.json | tee BENCH_DIFF.txt
 

@@ -90,10 +90,18 @@ type Cache struct {
 	vm *metrics.VineMetrics // guarded by mu
 }
 
+// partPrefix marks in-progress transfer files. Writers land bytes in a
+// dot-prefixed part file and rename it to the final cache path only after
+// size and checksum verification, so adoption below can never resurrect a
+// truncated transfer as a valid object: anything at a non-dot path is, by
+// invariant, complete and verified.
+const partPrefix = ".part-"
+
 // New creates a cache rooted at dir with the given capacity in bytes. The
 // directory is created if missing. Objects already present on disk (from a
 // previous worker lifetime) are adopted as ready worker-lifetime entries:
-// their content-addressed names make them valid across runs.
+// their content-addressed names make them valid across runs. Leftover part
+// files from transfers interrupted by a crash are deleted, never adopted.
 func New(dir string, capacity int64) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: creating %s: %w", dir, err)
@@ -110,6 +118,10 @@ func New(dir string, capacity int64) (*Cache, error) {
 	}
 	for _, e := range ents {
 		name := e.Name()
+		if strings.HasPrefix(name, partPrefix) {
+			_ = os.RemoveAll(filepath.Join(dir, name))
+			continue
+		}
 		if strings.HasPrefix(name, ".") {
 			continue
 		}
@@ -382,6 +394,28 @@ func (c *Cache) Put(name string, size int64, lifetime Lifetime, r io.Reader) err
 		return err
 	}
 	return c.Commit(name)
+}
+
+// CreatePart opens a fresh part file in the cache directory for an
+// in-flight transfer. The dot-prefixed name keeps it invisible to adoption
+// (New) and to Lookup; callers finish with Promote after verifying the
+// bytes, or simply remove the file on failure.
+func (c *Cache) CreatePart() (*os.File, error) {
+	return os.CreateTemp(c.dir, partPrefix+"*")
+}
+
+// PartDir creates a fresh part directory for an in-flight directory-object
+// transfer, the tree-shaped analogue of CreatePart.
+func (c *Cache) PartDir() (string, error) {
+	return os.MkdirTemp(c.dir, partPrefix+"*")
+}
+
+// Promote atomically moves a verified part file (or directory) to the
+// object's final cache path. This rename is the cache-insert commit point:
+// an interrupted transfer leaves only a part file, which is purged rather
+// than adopted, so a path returned by Path never holds partial data.
+func (c *Cache) Promote(partPath, name string) error {
+	return os.Rename(partPath, c.Path(name))
 }
 
 // Open returns a reader over a ready plain-file object and its size.

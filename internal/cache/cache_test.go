@@ -345,3 +345,73 @@ func itoa(n int) string {
 	}
 	return string(b)
 }
+
+func TestPartFilesPurgedNotAdopted(t *testing.T) {
+	// A crash can leave .part- temporaries (in-flight transfers) in the
+	// cache directory. A fresh cache must remove them and must never adopt
+	// one as a ready object — they hold unverified bytes.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".part-123"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, ".part-tree"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "file-whole"), []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains("file-whole") {
+		t.Fatal("complete object not adopted")
+	}
+	if c.Contains(".part-123") || c.Contains(".part-tree") {
+		t.Fatal("part temporary adopted as a ready object")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".part-") {
+			t.Fatalf("part temporary %s survived startup purge", e.Name())
+		}
+	}
+	if c.Used() != 4 {
+		t.Fatalf("used = %d; part bytes must not count", c.Used())
+	}
+}
+
+func TestPartLifecycle(t *testing.T) {
+	c := newCache(t, 1000)
+	f, err := c.CreatePart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("verified bytes"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reserve("file-part", 14, LifetimeWorkflow); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Promote(f.Name(), "file-part"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit("file-part"); err != nil {
+		t.Fatal(err)
+	}
+	r, n, err := c.Open("file-part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b, _ := io.ReadAll(r)
+	if n != 14 || string(b) != "verified bytes" {
+		t.Fatalf("promoted object = %q (%d bytes)", b, n)
+	}
+}

@@ -35,7 +35,19 @@ func (m *Manager) handleMessage(ev event) {
 	case protocol.TypeComplete:
 		m.handleComplete(ev.workerID, msg)
 	case protocol.TypeData:
-		if msg.Checksum != "" && string(hashing.HashBytes(ev.data)) != msg.Checksum {
+		if ev.spool != nil {
+			// The checksum was computed while spooling, off this loop; here
+			// we only compare strings.
+			if msg.Checksum != "" && ev.spool.sum != msg.Checksum {
+				sp := ev.spool
+				sp.refs.Store(1)
+				m.goBG(sp.release)
+				m.deliverFetch(msg.CacheName, fetchResult{err: fmt.Errorf(
+					"core: fetched %s from %s failed checksum verification", msg.CacheName, ev.workerID)})
+			} else {
+				m.deliverFetch(msg.CacheName, fetchResult{spool: ev.spool})
+			}
+		} else if msg.Checksum != "" && string(hashing.HashBytes(ev.data)) != msg.Checksum {
 			m.deliverFetch(msg.CacheName, fetchResult{err: fmt.Errorf(
 				"core: fetched %s from %s failed checksum verification", msg.CacheName, ev.workerID)})
 		} else {
@@ -99,6 +111,17 @@ func (m *Manager) registerWorker(conn *protocol.Conn, msg *protocol.Message) {
 		libsReady:    make(map[string]bool),
 	}
 	w.lastHeard = time.Now()
+	// Framing negotiation: a worker advertising binary gets its messages in
+	// binary frames from here on, and the register ack — its first binary
+	// frame — tells it to upgrade its own sends. Workers that said nothing
+	// (or a manager configured JSON-only) stay on JSON; receive-side
+	// autodetect makes either choice safe mid-stream.
+	if msg.Proto >= protocol.ProtoBinary && !m.cfg.DisableBinaryProto {
+		conn.EnableBinary()
+		if err := conn.Send(&protocol.Message{Type: protocol.TypeRegister, Proto: protocol.ProtoBinary}); err != nil {
+			m.logf("acking registration of %s: %v", msg.WorkerID, err)
+		}
+	}
 	m.joinSeq++
 	m.workers[w.id] = w
 	m.liveCount++
@@ -270,6 +293,16 @@ func (m *Manager) returnOutputs(t *taskState) {
 				m.logf("returning output %s to %s: %v", fileID, dest, r.err)
 				return
 			}
+			if r.spool != nil {
+				// Stream the spooled object into place rather than loading
+				// it into memory.
+				err := copyFileAtomic(dest, r.spool.path)
+				r.spool.release()
+				if err != nil {
+					m.logf("writing output %s: %v", dest, err)
+				}
+				return
+			}
 			if err := writeFileAtomic(dest, r.data); err != nil {
 				m.logf("writing output %s: %v", dest, err)
 			}
@@ -327,6 +360,18 @@ func (m *Manager) startFetch(fileID string, reply chan fetchResult) {
 func (m *Manager) deliverFetch(fileID string, r fetchResult) {
 	waiters := m.fetches[fileID]
 	delete(m.fetches, fileID)
+	if r.spool != nil {
+		if len(waiters) == 0 {
+			// A data reply with nobody waiting (stale or duplicate fetch);
+			// discard the spool off the loop.
+			sp := r.spool
+			sp.refs.Store(1)
+			m.goBG(sp.release)
+			return
+		}
+		// One reference per waiter; the last consumer removes the file.
+		r.spool.refs.Store(int32(len(waiters)))
+	}
 	for _, ch := range waiters {
 		ch <- r // eventloop-ok: every waiter channel is buffered with one slot per registered fetch, and this is its single send
 	}

@@ -19,10 +19,15 @@ package core
 
 import (
 	"context"
+	"crypto/md5"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taskvine/internal/chaos"
@@ -85,6 +90,10 @@ type Config struct {
 	// Faults is a test-only fault injector consulted by the transfer
 	// supervisor; nil (the default) disables injection.
 	Faults *chaos.Injector
+	// DisableBinaryProto keeps all connections on line-delimited JSON even
+	// when a worker advertises binary framing — for netcat debugging and
+	// cross-version tests. Default false: binary is negotiated when offered.
+	DisableBinaryProto bool
 }
 
 // Result is the outcome of one task delivered to the application.
@@ -253,7 +262,10 @@ type event struct {
 	// registration
 	conn *protocol.Conn
 	msg  *protocol.Message
-	data []byte // payload of data messages
+	data []byte // payload of data messages (small; large ones spool)
+	// spool holds a large data payload on local disk instead of in memory;
+	// its checksum was computed while spooling, off the event loop.
+	spool *spool
 	// API requests
 	spec       *taskspec.Spec
 	replyInt   chan int
@@ -290,7 +302,57 @@ const (
 
 type fetchResult struct {
 	data []byte
-	err  error
+	// spool, when non-nil, holds the payload on disk instead of in data.
+	// Each waiter owns one reference and must call spool.release() after
+	// consuming the file.
+	spool *spool
+	err   error
+}
+
+// spoolThreshold is the largest data payload the manager buffers in memory;
+// anything bigger lands in a temporary spool file while the reader goroutine
+// computes its checksum, so neither the event loop nor the heap ever holds a
+// multi-gigabyte object.
+const spoolThreshold = 1 << 20
+
+// spool is a fetched payload parked on the manager's local disk. refs counts
+// the waiters handed the spool; the last release removes the file.
+type spool struct {
+	path string
+	size int64
+	sum  string // hex MD5, computed while spooling
+	refs atomic.Int32
+}
+
+func (s *spool) release() {
+	if s.refs.Add(-1) <= 0 {
+		_ = os.Remove(s.path)
+	}
+}
+
+func (s *spool) readAll() ([]byte, error) { return os.ReadFile(s.path) }
+
+// spoolPayload streams exactly size bytes from r into a fresh temp file,
+// hashing as it copies. Runs on connection reader goroutines only.
+func spoolPayload(r io.Reader, size int64) (*spool, error) {
+	f, err := os.CreateTemp("", "vine-spool-*")
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	digest := md5.New()
+	n, err := protocol.CopyBuffer(f, io.TeeReader(io.LimitReader(r, size), digest))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil && n != size {
+		err = fmt.Errorf("core: spooled %d of %d payload bytes", n, size)
+	}
+	if err != nil {
+		_ = os.Remove(path)
+		return nil, err
+	}
+	return &spool{path: path, size: size, sum: hex.EncodeToString(digest.Sum(nil))}, nil
 }
 
 // NewManager starts a manager listening for workers.
@@ -590,8 +652,28 @@ func (m *Manager) FetchFile(ctx context.Context, fileID string) ([]byte, error) 
 	}
 	select {
 	case r := <-reply:
+		if r.spool != nil {
+			data, err := r.spool.readAll()
+			r.spool.release()
+			if err != nil {
+				return nil, err
+			}
+			return data, r.err
+		}
 		return r.data, r.err
 	case <-ctx.Done():
+		// The fetch may still resolve into the buffered reply; if it
+		// delivers a spool, release the abandoned reference so the file is
+		// not leaked.
+		m.goBG(func() {
+			select {
+			case r := <-reply:
+				if r.spool != nil {
+					r.spool.release()
+				}
+			case <-m.loopDone:
+			}
+		})
 		return nil, ctx.Err()
 	}
 }
@@ -735,34 +817,52 @@ func (m *Manager) handleConn(conn *protocol.Conn) {
 			return
 		}
 		var data []byte
+		var sp *spool
 		if payload != nil {
-			data = make([]byte, msg.Size)
-			if _, err := ioReadFull(payload, data); err != nil {
-				select {
-				case m.events <- event{kind: evWorkerGone, workerID: workerID, err: err}:
-				case <-m.loopDone:
+			switch {
+			case msg.Type == protocol.TypeData && msg.Size > spoolThreshold:
+				// Large object fetch: stream to disk, hashing as we go, so
+				// the size claimed by the worker never drives an allocation.
+				sp, err = spoolPayload(payload, msg.Size)
+				if err != nil {
+					select {
+					case m.events <- event{kind: evWorkerGone, workerID: workerID, err: err}:
+					case <-m.loopDone:
+					}
+					return
 				}
-				return
+			case msg.Type != protocol.TypeData && msg.Size > protocol.MaxControlPayload:
+				// An untrusted size this large on a control message is either
+				// a bug or an attack; reject it without allocating. The
+				// unread payload is drained by the next Recv.
+				m.logf("rejecting %s from %s: payload of %d bytes exceeds limit %d",
+					msg.Type, workerID, msg.Size, protocol.MaxControlPayload)
+				_ = conn.Send(&protocol.Message{
+					Type: protocol.TypeError, CacheName: msg.CacheName,
+					Error: fmt.Sprintf("core: %s payload of %d bytes exceeds limit %d",
+						msg.Type, msg.Size, protocol.MaxControlPayload),
+				})
+				continue
+			default:
+				data = make([]byte, msg.Size)
+				if _, err := io.ReadFull(payload, data); err != nil {
+					select {
+					case m.events <- event{kind: evWorkerGone, workerID: workerID, err: err}:
+					case <-m.loopDone:
+					}
+					return
+				}
 			}
 		}
 		select {
-		case m.events <- event{kind: evMsg, msg: msg, data: data, workerID: workerID}:
+		case m.events <- event{kind: evMsg, msg: msg, data: data, spool: sp, workerID: workerID}:
 		case <-m.loopDone:
+			if sp != nil {
+				sp.release()
+			}
 			return
 		}
 	}
-}
-
-func ioReadFull(r interface{ Read([]byte) (int, error) }, buf []byte) (int, error) {
-	n := 0
-	for n < len(buf) {
-		k, err := r.Read(buf[n:])
-		n += k
-		if err != nil {
-			return n, err
-		}
-	}
-	return n, nil
 }
 
 // batchLimit caps how many queued events one scheduling pass absorbs, so a

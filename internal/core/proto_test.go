@@ -1,0 +1,161 @@
+package core
+
+// Tests for the wire-framing negotiation and the manager's streaming read
+// path: every cross-version framing combination must interoperate, large
+// data payloads must travel through the disk spool rather than memory, and
+// oversized control frames must be rejected without allocation.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"taskvine/internal/files"
+	"taskvine/internal/httpsource"
+	"taskvine/internal/protocol"
+	"taskvine/internal/resources"
+	"taskvine/internal/worker"
+)
+
+// protoHarness starts a manager and one worker with explicit framing
+// preferences on each side.
+func protoHarness(t *testing.T, mgrJSON, wkrJSON bool) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{Head: httpsource.Head, DisableBinaryProto: mgrJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := worker.New(worker.Config{
+		ManagerAddr:        m.Addr(),
+		WorkDir:            t.TempDir(),
+		Capacity:           resources.R{Cores: 2, Memory: resources.GB, Disk: resources.GB},
+		ID:                 "proto-worker",
+		DisableBinaryProto: wkrJSON,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	t.Cleanup(func() {
+		m.Close()
+		cancel()
+		<-done
+	})
+	return m
+}
+
+// TestProtoNegotiationMatrix runs a complete put-execute-fetch round trip
+// under every combination of manager and worker framing preference: new
+// peers settle on binary frames, while either side preferring JSON keeps
+// the whole link on JSON — the cross-version compatibility story.
+func TestProtoNegotiationMatrix(t *testing.T) {
+	cases := []struct {
+		name             string
+		mgrJSON, wkrJSON bool
+	}{
+		{"binary-binary", false, false},
+		{"json-manager-binary-worker", true, false},
+		{"binary-manager-json-worker", false, true},
+		{"json-json", true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := protoHarness(t, tc.mgrJSON, tc.wkrJSON)
+			in, err := m.Files().DeclareBuffer([]byte("framing matrix"), files.LifetimeWorkflow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := m.Files().DeclareTemp()
+			spec := command("tr a-z A-Z < in > out")
+			spec.AddInput(in.ID, "in")
+			spec.AddOutput(out.ID, "out")
+			if _, err := m.Submit(spec); err != nil {
+				t.Fatal(err)
+			}
+			r := waitResult(t, m)
+			if !r.OK {
+				t.Fatalf("task failed under %s: %+v", tc.name, r)
+			}
+			got, err := m.FetchFile(context.Background(), out.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "FRAMING MATRIX" {
+				t.Fatalf("fetched %q under %s", got, tc.name)
+			}
+		})
+	}
+}
+
+// TestSpooledLargePayloadRoundTrip fetches an object larger than the spool
+// threshold: the payload must stream through the manager's disk spool
+// (checksummed on the way) and come back byte-identical, with no spool
+// temp files leaked.
+func TestSpooledLargePayloadRoundTrip(t *testing.T) {
+	h := newHarness(t, 1, Config{})
+	const n = 2 * spoolThreshold
+	out := h.m.Files().DeclareTemp()
+	spec := command(fmt.Sprintf("yes x | head -c %d > out", n))
+	spec.AddOutput(out.ID, "out")
+	if _, err := h.m.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	r := waitResult(t, h.m)
+	if !r.OK {
+		t.Fatalf("producer failed: %+v", r)
+	}
+	got, err := h.m.FetchFile(context.Background(), out.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("fetched %d bytes, want %d", len(got), n)
+	}
+	if !bytes.Equal(got[:4], []byte("x\nx\n")) || !bytes.Equal(got[n-2:], []byte("x\n")) {
+		t.Fatalf("fetched content corrupt at edges: %q ... %q", got[:4], got[n-2:])
+	}
+}
+
+// TestOversizedControlFrameRejected sends a control message whose claimed
+// payload size exceeds MaxControlPayload. The manager must answer with an
+// error frame instead of allocating the attacker-controlled size, and the
+// connection must survive to reject a second attempt the same way.
+func TestOversizedControlFrameRejected(t *testing.T) {
+	h := newHarness(t, 0, Config{})
+	conn, err := protocol.Dial(h.m.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&protocol.Message{
+		Type: protocol.TypeRegister, WorkerID: "rogue",
+		Capacity: &resources.R{Cores: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, protocol.MaxControlPayload+1)
+	for i := 0; i < 2; i++ {
+		errc := make(chan error, 1)
+		go func() {
+			errc <- conn.SendPayload(&protocol.Message{
+				Type: protocol.TypeComplete, TaskID: 1, CacheName: "bomb",
+				Size: int64(len(huge)),
+			}, bytes.NewReader(huge))
+		}()
+		m, _, err := conn.Recv()
+		if err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+		if m.Type != protocol.TypeError || !strings.Contains(m.Error, "exceeds limit") {
+			t.Fatalf("attempt %d answered %+v", i, m)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("attempt %d send: %v", i, err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -329,8 +330,22 @@ func (m *Manager) startTransfer(fileID string, src replica.Source, w *workerConn
 			if peer == nil || peer.gone {
 				err = fmt.Errorf("peer %s is gone", src.ID)
 			} else {
+				// List the other live holders so the destination can fetch
+				// disjoint chunks of a large object from several replicas in
+				// parallel; the chosen source stays the primary.
+				var extras []string
+				for _, wid := range m.reps.Locate(fileID) {
+					if wid == src.ID || wid == w.id {
+						continue
+					}
+					if pw := m.workers[wid]; pw != nil && !pw.gone && pw.transferAddr != "" {
+						extras = append(extras, pw.transferAddr)
+					}
+				}
+				sort.Strings(extras)
 				err = w.conn.Send(&protocol.Message{
 					Type: protocol.TypeFetchPeer, CacheName: fileID, PeerAddr: peer.transferAddr,
+					PeerAddrs: extras, Total: f.Size,
 					Size: f.Size, Lifetime: int(f.Lifetime), TransferID: tr.ID,
 				})
 			}

@@ -3,6 +3,8 @@ package core
 import (
 	"os"
 	"path/filepath"
+
+	"taskvine/internal/protocol"
 )
 
 // readLocal reads a manager-side file's content. Directory-valued local
@@ -31,6 +33,35 @@ func writeFileAtomic(path string, data []byte) error {
 		return err
 	}
 	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// copyFileAtomic streams src into path via a temporary sibling and rename —
+// writeFileAtomic for content that lives on disk (a fetch spool) instead of
+// in memory.
+func copyFileAtomic(path, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".vine-out-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	_, err = protocol.CopyBuffer(tmp, in)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		os.Remove(name)
 		return err
 	}

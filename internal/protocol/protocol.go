@@ -2,16 +2,23 @@
 // manager and its workers, and between peer workers during supervised
 // worker-to-worker transfers (§2.2, §3.3).
 //
-// The protocol is a stream of newline-delimited JSON control messages over
-// TCP. A control message whose Size field is positive and whose Payload
-// flag is set is immediately followed by exactly Size raw bytes of file
-// data. The manager directs all policy; workers respond asynchronously with
-// cache-update and completion messages, so the connection is fully
+// The protocol has two interchangeable framings. The baseline (ProtoJSON)
+// is a stream of newline-delimited JSON control messages over TCP; a
+// control message whose Size field is positive and whose Payload flag is
+// set is immediately followed by exactly Size raw bytes of file data. The
+// fast path (ProtoBinary, see binary.go) replaces the JSON line with a
+// length-prefixed binary frame carrying the same fields. Receivers
+// distinguish the two by the first byte of each message, so negotiation is
+// sender-side only: a peer advertises ProtoBinary in its register message
+// (or transfer request) and the other side upgrades its sends after the
+// handshake. The manager directs all policy; workers respond asynchronously
+// with cache-update and completion messages, so the connection is fully
 // bidirectional and unsynchronized.
 package protocol
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -128,6 +135,20 @@ type Message struct {
 	// message; receivers that find it non-empty verify the payload against
 	// it and treat a mismatch as a transfer failure.
 	Checksum string `json:"checksum,omitempty"`
+	// Offset and Total support ranged object reads for chunk-parallel peer
+	// fetches: a TypeGet with Total > 0 requests Size bytes starting at
+	// Offset of an object whose full length is Total, and the TypeData
+	// reply's Checksum covers just that range.
+	Offset int64 `json:"offset,omitempty"`
+	Total  int64 `json:"total,omitempty"`
+	// PeerAddrs lists additional replica holders of the object named by a
+	// fetch instruction, enabling the receiving worker to fetch disjoint
+	// chunks of a large object from several sources in parallel.
+	PeerAddrs []string `json:"peer_addrs,omitempty"`
+	// Proto advertises the highest protocol version the sender speaks
+	// (ProtoJSON or ProtoBinary); carried in register messages and transfer
+	// requests to negotiate binary framing.
+	Proto int `json:"proto,omitempty"`
 
 	// Status reporting.
 	Status string `json:"status,omitempty"`
@@ -143,9 +164,16 @@ type Conn struct {
 	r   *bufio.Reader
 	w   *bufio.Writer // guarded by wmu
 	wmu sync.Mutex
+	// bin selects binary framing for outgoing messages (guarded by wmu).
+	// Incoming framing needs no state: every message self-identifies by
+	// its first byte.
+	bin bool
 	// pending is the unread remainder of the previous message's payload;
 	// it must be drained before the next control message can be decoded.
 	pending int64
+	// line accumulates JSON control lines that overflow the bufio buffer,
+	// reused across Recv calls to avoid per-message allocation.
+	line []byte
 }
 
 // NewConn wraps an established network connection.
@@ -180,23 +208,52 @@ func (c *Conn) Send(m *Message) error {
 	return c.SendPayload(m, nil)
 }
 
+// EnableBinary switches outgoing messages on this connection to binary
+// framing. Call it only after the peer has advertised ProtoBinary; the
+// receive path is unaffected (framing is detected per message).
+func (c *Conn) EnableBinary() {
+	c.wmu.Lock()
+	c.bin = true
+	c.wmu.Unlock()
+}
+
+// SendsBinary reports whether outgoing messages use binary framing.
+func (c *Conn) SendsBinary() bool {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.bin
+}
+
 // SendPayload writes a control message followed by exactly m.Size bytes
-// read from payload. If payload is non-nil, m.Payload is forced true.
+// read from payload. The caller's message is never mutated: a payload
+// marker is set on a private copy, so one Message may be broadcast to many
+// connections concurrently.
 func (c *Conn) SendPayload(m *Message, payload io.Reader) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if payload != nil && !m.Payload {
+		mm := *m
+		mm.Payload = true
+		m = &mm
+	}
+	if c.bin {
+		if err := c.writeBinaryHeader(m, payload != nil); err != nil {
+			return err
+		}
+	} else {
+		b, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("protocol: encoding %s: %w", m.Type, err)
+		}
+		if _, err := c.w.Write(b); err != nil {
+			return err
+		}
+		if err := c.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
 	if payload != nil {
-		m.Payload = true
-	}
-	b, err := json.Marshal(m)
-	if err != nil {
-		return fmt.Errorf("protocol: encoding %s: %w", m.Type, err)
-	}
-	if _, err := c.w.Write(append(b, '\n')); err != nil {
-		return err
-	}
-	if payload != nil {
-		n, err := io.Copy(c.w, io.LimitReader(payload, m.Size))
+		n, err := CopyBuffer(c.w, io.LimitReader(payload, m.Size))
 		if err != nil {
 			return fmt.Errorf("protocol: sending payload of %s: %w", m.CacheName, err)
 		}
@@ -207,10 +264,38 @@ func (c *Conn) SendPayload(m *Message, payload io.Reader) error {
 	return c.w.Flush()
 }
 
-// Recv reads the next control message. If the message carries a payload,
-// the returned reader yields exactly Size bytes and MUST be fully consumed
-// (or the connection abandoned) before the next call to Recv; Recv drains
-// any unconsumed remainder itself as a safety net.
+// writeBinaryHeader emits the frame prologue and binary-encoded header.
+// Caller holds wmu.
+func (c *Conn) writeBinaryHeader(m *Message, hasPayload bool) error {
+	hb := getEncBuf()
+	h := encodeMessage((*hb)[:0], m)
+	var prologue [framePrologueLen]byte
+	prologue[0] = frameMagic
+	prologue[1] = frameVersion
+	if hasPayload {
+		prologue[2] = frameFlagPayload
+	}
+	binary.BigEndian.PutUint32(prologue[3:7], uint32(len(h)))
+	if hasPayload {
+		binary.BigEndian.PutUint64(prologue[7:15], uint64(m.Size))
+	}
+	_, err := c.w.Write(prologue[:])
+	if err == nil {
+		_, err = c.w.Write(h)
+	}
+	*hb = h
+	putEncBuf(hb)
+	if err != nil {
+		return fmt.Errorf("protocol: writing frame for %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv reads the next control message, auto-detecting the framing from its
+// first byte. If the message carries a payload, the returned reader yields
+// exactly Size bytes and MUST be fully consumed (or the connection
+// abandoned) before the next call to Recv; Recv drains any unconsumed
+// remainder itself as a safety net.
 func (c *Conn) Recv() (*Message, io.Reader, error) {
 	if c.pending > 0 {
 		if _, err := io.CopyN(io.Discard, c.r, c.pending); err != nil {
@@ -218,7 +303,14 @@ func (c *Conn) Recv() (*Message, io.Reader, error) {
 		}
 		c.pending = 0
 	}
-	line, err := c.r.ReadBytes('\n')
+	first, err := c.r.Peek(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if first[0] == frameMagic {
+		return c.recvBinary()
+	}
+	line, err := c.readLine()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -235,6 +327,77 @@ func (c *Conn) Recv() (*Message, io.Reader, error) {
 	c.pending = m.Size
 	pr := &payloadReader{c: c, r: io.LimitReader(c.r, m.Size)}
 	return &m, pr, nil
+}
+
+// readLine reads one newline-terminated JSON control line without the
+// per-call allocation of ReadBytes. Lines that fit the bufio buffer are
+// returned as a view into it (valid until the next read); longer lines are
+// accumulated into a buffer reused across calls, capped at maxHeaderBytes.
+func (c *Conn) readLine() ([]byte, error) {
+	line, err := c.r.ReadSlice('\n')
+	if err == nil {
+		return line, nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	c.line = append(c.line[:0], line...)
+	for {
+		line, err = c.r.ReadSlice('\n')
+		c.line = append(c.line, line...)
+		if len(c.line) > maxHeaderBytes {
+			return nil, fmt.Errorf("protocol: control line exceeds %d bytes", maxHeaderBytes)
+		}
+		if err == nil {
+			return c.line, nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}
+
+// recvBinary parses one binary frame whose magic byte is already buffered.
+func (c *Conn) recvBinary() (*Message, io.Reader, error) {
+	var prologue [framePrologueLen]byte
+	if _, err := io.ReadFull(c.r, prologue[:]); err != nil {
+		return nil, nil, fmt.Errorf("protocol: reading frame prologue: %w", err)
+	}
+	if prologue[1] != frameVersion {
+		return nil, nil, fmt.Errorf("protocol: unsupported frame version %d", prologue[1])
+	}
+	hlen := binary.BigEndian.Uint32(prologue[3:7])
+	if hlen > maxHeaderBytes {
+		return nil, nil, fmt.Errorf("protocol: frame header of %d bytes exceeds limit %d", hlen, maxHeaderBytes)
+	}
+	hb := getEncBuf()
+	defer putEncBuf(hb)
+	h := *hb
+	if cap(h) < int(hlen) {
+		h = make([]byte, hlen)
+	} else {
+		h = h[:hlen]
+	}
+	*hb = h
+	if _, err := io.ReadFull(c.r, h); err != nil {
+		return nil, nil, fmt.Errorf("protocol: reading frame header: %w", err)
+	}
+	m, err := decodeMessage(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	if prologue[2]&frameFlagPayload == 0 {
+		return m, nil, nil
+	}
+	plen := binary.BigEndian.Uint64(prologue[7:15])
+	if plen > 1<<62 {
+		return nil, nil, fmt.Errorf("protocol: %s frame with absurd payload size %d", m.Type, plen)
+	}
+	m.Payload = true
+	m.Size = int64(plen)
+	c.pending = m.Size
+	pr := &payloadReader{c: c, r: io.LimitReader(c.r, m.Size)}
+	return m, pr, nil
 }
 
 // payloadReader tracks consumption so Recv can drain leftovers.

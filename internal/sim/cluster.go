@@ -363,6 +363,13 @@ func (c *Cluster) liveWorkerList() []*simWorker {
 	return c.liveSorted
 }
 
+// framingCost is the wire-plane overhead for one message moving n payload
+// bytes: zero under the binary streaming plane (the defaults), positive
+// when Params model the legacy JSON line protocol.
+func (c *Cluster) framingCost(n float64) float64 {
+	return c.params.FramePerMessageCost + c.params.FramePerByteCost*n
+}
+
 // requestSchedule coalesces schedule passes: at most one pending pass,
 // ControlLatency after the triggering event.
 func (c *Cluster) requestSchedule() {
@@ -370,7 +377,7 @@ func (c *Cluster) requestSchedule() {
 		return
 	}
 	c.scheduled = true
-	c.eng.After(c.params.ControlLatency, func() {
+	c.eng.After(c.params.ControlLatency+c.framingCost(0), func() {
 		c.scheduled = false
 		c.schedule()
 	})
@@ -615,7 +622,7 @@ func (c *Cluster) startTransfer(fileID string, src replica.Source, w *simWorker)
 		File: fileID, Source: c.sourceLabel(src),
 	})
 	var from *Endpoint
-	latency := c.params.TransferLatency
+	latency := c.params.TransferLatency + c.framingCost(float64(f.Size))
 	if fault.Action == chaos.Slow {
 		latency += fault.Delay.Seconds()
 	}
@@ -740,7 +747,7 @@ func (c *Cluster) finishRun(id int, t *simTask, w *simWorker) {
 			File: fmt.Sprintf("task-%d-outputs", id), Source: "worker:" + w.spec.ID,
 		})
 		epoch := t.epoch
-		c.net.StartFlow(w.ep, c.manager, float64(total), c.params.TransferLatency, func() {
+		c.net.StartFlow(w.ep, c.manager, float64(total), c.params.TransferLatency+c.framingCost(float64(total)), func() {
 			if t.epoch != epoch || !w.joined {
 				return // preempted while returning outputs
 			}

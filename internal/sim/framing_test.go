@@ -1,0 +1,48 @@
+package sim
+
+// Tests for the wire-framing cost model: the defaults (binary plane) add
+// nothing — golden traces stay byte-identical — while JSONFraming charges
+// per-message and per-byte overhead that visibly stretches transfer-bound
+// workloads.
+
+import (
+	"testing"
+
+	"taskvine/internal/policy"
+)
+
+func TestFramingDefaultsAreFree(t *testing.T) {
+	base := NewCluster(simpleWorkload(20, 4, 50e6, 1), DefaultParams(), policy.Limits{})
+	ms1 := base.Run()
+	p := DefaultParams()
+	if p.FramePerMessageCost != 0 || p.FramePerByteCost != 0 {
+		t.Fatalf("default framing costs nonzero: %+v", p)
+	}
+	again := NewCluster(simpleWorkload(20, 4, 50e6, 1), p, policy.Limits{})
+	ms2 := again.Run()
+	if ms1 != ms2 {
+		t.Fatalf("default framing changed makespan: %v vs %v", ms1, ms2)
+	}
+}
+
+func TestJSONFramingStretchesTransferBoundWorkload(t *testing.T) {
+	// Transfer-bound: many short tasks each pulling a large shared file.
+	mk := func(p Params) float64 {
+		c := NewCluster(simpleWorkload(32, 8, 500e6, 0.1), p, policy.Limits{})
+		ms := c.Run()
+		if c.CompletedTasks() != 32 {
+			t.Fatalf("completed %d of 32", c.CompletedTasks())
+		}
+		return ms
+	}
+	binary := mk(DefaultParams())
+	json := mk(JSONFraming(DefaultParams()))
+	if json <= binary {
+		t.Fatalf("JSON framing makespan %v not slower than binary %v", json, binary)
+	}
+	// 500 MB at ~400 MB/s encode overhead adds over a second per transfer;
+	// the gap must be material, not rounding noise.
+	if json < binary*1.05 {
+		t.Fatalf("JSON framing gap too small: %v vs %v", json, binary)
+	}
+}

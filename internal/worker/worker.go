@@ -69,6 +69,18 @@ type Config struct {
 	// locally, with capped exponential backoff, before the failure is
 	// reported to the manager; defaults to 2 (negative disables retries).
 	PeerFetchRetries int
+	// DisableBinaryProto keeps the manager link on JSON line framing even
+	// when the manager offers the binary protocol — useful when debugging
+	// the wire with netcat, and for old managers it is simply never
+	// offered.
+	DisableBinaryProto bool
+	// ChunkThreshold is the minimum object size, in bytes, at which a peer
+	// fetch with more than one known replica splits into parallel ranged
+	// requests; defaults to 4 MB.
+	ChunkThreshold int64
+	// MaxFetchChunks caps how many parallel ranged requests one chunked
+	// fetch issues; defaults to 4.
+	MaxFetchChunks int
 	// Faults is a test-only fault injector consulted at the worker's
 	// instrumented failure points; nil (the default) disables injection.
 	Faults *chaos.Injector
@@ -141,6 +153,12 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.PeerFetchRetries < 0 {
 		cfg.PeerFetchRetries = 0
 	}
+	if cfg.ChunkThreshold <= 0 {
+		cfg.ChunkThreshold = 4 << 20
+	}
+	if cfg.MaxFetchChunks <= 0 {
+		cfg.MaxFetchChunks = 4
+	}
 	if cfg.Libraries == nil {
 		cfg.Libraries = serverless.NewRegistry()
 	}
@@ -211,12 +229,19 @@ func (w *Worker) Run(ctx context.Context) error {
 	defer conn.Close()
 
 	cap := w.cfg.Capacity
-	if err := conn.Send(&protocol.Message{
+	reg := &protocol.Message{
 		Type:         protocol.TypeRegister,
 		WorkerID:     w.cfg.ID,
 		TransferAddr: w.peerAddr,
 		Capacity:     &cap,
-	}); err != nil {
+	}
+	if !w.cfg.DisableBinaryProto {
+		// Advertise binary framing. The register itself is always JSON, so
+		// an old manager simply ignores the field; a new one answers with a
+		// binary-framed ack and both directions switch over.
+		reg.Proto = protocol.ProtoBinary
+	}
+	if err := conn.Send(reg); err != nil {
 		return err
 	}
 	// Report adopted cache contents so the manager's replica table learns
@@ -268,6 +293,18 @@ func (w *Worker) readLoop(ctx context.Context) error {
 			return err
 		}
 		switch m.Type {
+		case protocol.TypeRegister:
+			// The manager's registration ack. Proto confirms the framing
+			// both ends will speak from here on; Recv autodetects per frame,
+			// so only the send side needs switching.
+			if m.Proto >= protocol.ProtoBinary && !w.cfg.DisableBinaryProto {
+				w.conn.EnableBinary()
+			}
+		case protocol.TypeError:
+			// The manager rejected one of our frames (for example an
+			// oversized control payload). The transfer supervisor owns the
+			// recovery; the worker just records what happened.
+			w.logf("manager rejected %s: %s", m.CacheName, m.Error)
 		case protocol.TypePut:
 			w.handlePut(m, payload)
 		case protocol.TypeGet:
@@ -484,15 +521,30 @@ func (w *Worker) downloadURL(ctx context.Context, url, name string) (int64, erro
 	if resp.StatusCode != http.StatusOK {
 		return 0, fmt.Errorf("worker: GET %s: %s", url, resp.Status)
 	}
-	f, err := os.Create(w.cache.Path(name))
+	// Download into a part file and rename only once the body is complete,
+	// so an interrupted download never leaves a truncated object at the
+	// final cache path for a later workflow to adopt.
+	f, err := w.cache.CreatePart()
 	if err != nil {
 		return 0, err
 	}
-	n, err := io.Copy(f, resp.Body)
+	partPath := f.Name()
+	n, err := protocol.CopyBuffer(f, resp.Body)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	return n, err
+	if err == nil && resp.ContentLength >= 0 && n != resp.ContentLength {
+		err = fmt.Errorf("worker: GET %s: got %d of %d bytes", url, n, resp.ContentLength)
+	}
+	if err != nil {
+		os.Remove(partPath)
+		return 0, err
+	}
+	if err := w.cache.Promote(partPath, name); err != nil {
+		os.Remove(partPath)
+		return 0, err
+	}
+	return n, nil
 }
 
 func (w *Worker) handleFetchPeer(ctx context.Context, m *protocol.Message) {
@@ -508,7 +560,7 @@ func (w *Worker) handleFetchPeer(ctx context.Context, m *protocol.Message) {
 		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
 		return
 	}
-	size, err := w.fetchFromPeer(ctx, m.PeerAddr, m.CacheName)
+	size, err := w.fetchFromPeer(ctx, m)
 	if err != nil {
 		w.cache.Fail(m.CacheName, err)
 		w.cacheUpdate(m.CacheName, 0, m.TransferID, err)
@@ -526,7 +578,20 @@ func (w *Worker) handleFetchPeer(ctx context.Context, m *protocol.Message) {
 // the manager. Local retries absorb transient faults (connection resets,
 // momentary peer restarts) without a round trip through the manager's
 // transfer supervisor; only a persistently failing source escalates.
-func (w *Worker) fetchFromPeer(ctx context.Context, addr, name string) (int64, error) {
+//
+// When the manager names additional replicas and the object is large, the
+// first attempt fetches disjoint ranges from several sources in parallel;
+// any chunked failure falls back to the single-stream retry loop, so the
+// fast path never reduces availability.
+func (w *Worker) fetchFromPeer(ctx context.Context, m *protocol.Message) (int64, error) {
+	addr, name := m.PeerAddr, m.CacheName
+	if sources := peerSources(m); len(sources) > 1 && m.Total >= w.cfg.ChunkThreshold {
+		n, err := w.fetchChunked(sources, name, m.Total)
+		if err == nil {
+			return n, nil
+		}
+		w.logf("chunked fetch of %s failed (%v); falling back to single stream", name, err)
+	}
 	attempts := w.cfg.PeerFetchRetries + 1
 	var err error
 	for a := 1; a <= attempts; a++ {
@@ -546,6 +611,21 @@ func (w *Worker) fetchFromPeer(ctx context.Context, addr, name string) (int64, e
 		}
 	}
 	return 0, err
+}
+
+// peerSources returns the deduplicated transfer addresses named in a fetch
+// instruction: the manager's chosen primary first, then the alternates.
+func peerSources(m *protocol.Message) []string {
+	seen := make(map[string]bool, 1+len(m.PeerAddrs))
+	out := make([]string, 0, 1+len(m.PeerAddrs))
+	for _, a := range append([]string{m.PeerAddr}, m.PeerAddrs...) {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	return out
 }
 
 // idleReader refreshes the connection's read deadline before every read, so
@@ -579,6 +659,27 @@ func (cr *corruptReader) Read(b []byte) (int, error) {
 	return n, err
 }
 
+// countingReader counts the bytes actually delivered downstream, so a
+// caller can verify that a consumer (like a tar unpacker) really saw the
+// advertised payload rather than stopping early at an end-of-archive
+// marker inside a truncated stream.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(b []byte) (int, error) {
+	n, err := cr.r.Read(b)
+	cr.n += int64(n)
+	return n, err
+}
+
+// fetchFromPeerOnce performs one complete fetch attempt. Nothing touches
+// the object's final cache path until the payload has been fully received
+// and its size and checksum verified: the body lands in a dot-prefixed
+// part file (invisible to cache adoption, purged at startup), and only the
+// final rename publishes it. A fetch killed mid-transfer therefore never
+// leaves a truncated object where a future workflow could adopt it.
 func (w *Worker) fetchFromPeerOnce(addr, name string) (int64, error) {
 	if f := w.cfg.Faults.At(chaos.PeerDial, w.cfg.ID, name); f.Action != chaos.None {
 		return 0, fmt.Errorf("worker: dialing peer %s: %s (injected)", addr, f.Action)
@@ -611,39 +712,169 @@ func (w *Worker) fetchFromPeerOnce(addr, name string) (int64, error) {
 		body = io.TeeReader(body, digest)
 	}
 	var n int64
+	var partPath string
 	if m.Dir {
-		lim := io.LimitReader(body, m.Size)
-		if err := tardir.Unpack(lim, w.cache.Path(name)); err != nil {
+		counted := &countingReader{r: body}
+		lim := io.LimitReader(counted, m.Size)
+		dir, err := w.cache.PartDir()
+		if err != nil {
+			return 0, err
+		}
+		partPath = dir
+		if err := tardir.Unpack(lim, dir); err != nil {
+			_ = os.RemoveAll(dir) // best-effort cleanup; the fetch error is what matters
 			return 0, err
 		}
 		// Drain any trailing tar padding Unpack left unread so the digest
-		// covers the whole payload.
+		// covers the whole payload — and so the consumed-byte count below
+		// is meaningful.
 		if _, err := io.Copy(io.Discard, lim); err != nil {
+			_ = os.RemoveAll(dir) // best-effort cleanup; the fetch error is what matters
 			return 0, err
+		}
+		if counted.n != m.Size {
+			// The unpacker can stop at an end-of-archive marker well before
+			// the stream does; only the transport-level count proves the
+			// peer delivered what it promised.
+			_ = os.RemoveAll(dir) // best-effort cleanup; the fetch error is what matters
+			return 0, fmt.Errorf("worker: peer sent %d of %d bytes", counted.n, m.Size)
 		}
 		n = m.Size
 	} else {
-		f, err := os.Create(w.cache.Path(name))
+		part, err := w.cache.CreatePart()
 		if err != nil {
 			return 0, err
 		}
-		n, err = io.Copy(f, body)
-		if cerr := f.Close(); err == nil {
+		partPath = part.Name()
+		n, err = protocol.CopyBuffer(part, body)
+		if cerr := part.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
+			os.Remove(partPath)
 			return 0, err
 		}
 		if n != m.Size {
+			os.Remove(partPath)
 			return 0, fmt.Errorf("worker: peer sent %d of %d bytes", n, m.Size)
 		}
 	}
 	if digest != nil {
 		if got := hex.EncodeToString(digest.Sum(nil)); got != m.Checksum {
+			_ = os.RemoveAll(partPath) // best-effort cleanup; the fetch error is what matters
 			return 0, fmt.Errorf("worker: %s from peer %s: checksum mismatch (got %s want %s)", name, addr, got, m.Checksum)
 		}
 	}
+	if err := w.cache.Promote(partPath, name); err != nil {
+		_ = os.RemoveAll(partPath) // best-effort cleanup; the fetch error is what matters
+		return 0, err
+	}
 	return n, nil
+}
+
+// fetchChunked pulls disjoint ranges of a plain-file object from several
+// replicas in parallel, assembling them in one part file that is promoted
+// only after every range has verified. Any error — a peer that predates
+// ranged serving, a directory object, a checksum mismatch — aborts the
+// whole attempt; the caller falls back to the single-stream path.
+func (w *Worker) fetchChunked(sources []string, name string, total int64) (int64, error) {
+	part, err := w.cache.CreatePart()
+	if err != nil {
+		return 0, err
+	}
+	partPath := part.Name()
+	nchunks := w.cfg.MaxFetchChunks
+	if len(sources) < nchunks {
+		nchunks = len(sources)
+	}
+	chunk := (total + int64(nchunks) - 1) / int64(nchunks)
+	type rng struct{ off, len int64 }
+	var chunks []rng
+	for off := int64(0); off < total; off += chunk {
+		l := chunk
+		if off+l > total {
+			l = total - off
+		}
+		chunks = append(chunks, rng{off, l})
+	}
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for i, c := range chunks {
+		wg.Add(1)
+		go func(i int, addr string, c rng) {
+			defer wg.Done()
+			errs[i] = w.fetchRange(addr, name, c.off, c.len, total, part)
+		}(i, sources[i%len(sources)], c)
+	}
+	wg.Wait()
+	err = part.Close()
+	for _, e := range errs {
+		if err == nil {
+			err = e
+		}
+	}
+	if err != nil {
+		os.Remove(partPath)
+		return 0, err
+	}
+	if err := w.cache.Promote(partPath, name); err != nil {
+		os.Remove(partPath)
+		return 0, err
+	}
+	w.logf("fetched %s (%d bytes) as %d chunks from %d peers", name, total, len(chunks), len(sources))
+	return total, nil
+}
+
+// fetchRange retrieves one byte range of an object from a peer and writes
+// it at its offset in dst. The per-range checksum from the serving peer
+// covers exactly the requested window.
+func (w *Worker) fetchRange(addr, name string, off, length, total int64, dst io.WriterAt) error {
+	if f := w.cfg.Faults.At(chaos.PeerDial, w.cfg.ID, name); f.Action != chaos.None {
+		return fmt.Errorf("worker: dialing peer %s: %s (injected)", addr, f.Action)
+	}
+	conn, err := protocol.Dial(addr, w.cfg.PeerDialTimeout)
+	if err != nil {
+		return fmt.Errorf("worker: dialing peer %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(w.cfg.PeerIOTimeout))
+	if err := conn.Send(&protocol.Message{
+		Type: protocol.TypeGet, CacheName: name, Offset: off, Size: length, Total: total,
+	}); err != nil {
+		return err
+	}
+	m, payload, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	if m.Type != protocol.TypeData {
+		return fmt.Errorf("worker: peer %s: %s", addr, m.Error)
+	}
+	if m.Offset != off || m.Size != length {
+		return fmt.Errorf("worker: peer %s returned range %d+%d, want %d+%d", addr, m.Offset, m.Size, off, length)
+	}
+	var body io.Reader = &idleReader{c: conn, r: payload, timeout: w.cfg.PeerIOTimeout}
+	if f := w.cfg.Faults.At(chaos.PeerRead, w.cfg.ID, name); f.Action == chaos.Corrupt {
+		body = &corruptReader{r: body}
+	}
+	var digest hash.Hash
+	if m.Checksum != "" {
+		digest = md5.New()
+		body = io.TeeReader(body, digest)
+	}
+	n, err := protocol.CopyBuffer(io.NewOffsetWriter(dst, off), io.LimitReader(body, length))
+	if err != nil {
+		return err
+	}
+	if n != length {
+		return fmt.Errorf("worker: peer %s sent %d of %d bytes", addr, n, length)
+	}
+	if digest != nil {
+		if got := hex.EncodeToString(digest.Sum(nil)); got != m.Checksum {
+			return fmt.Errorf("worker: %s[%d,+%d) from peer %s: checksum mismatch (got %s want %s)", name, off, length, addr, got, m.Checksum)
+		}
+	}
+	return nil
 }
 
 // servePeers answers worker-to-worker get requests from the cache. Each
@@ -675,6 +906,12 @@ func (w *Worker) servePeers() {
 				// deadline, not our goodwill, bounds its wait.
 				return
 			}
+			if m.Total > 0 {
+				// A Total on a get marks a ranged request from a chunking
+				// fetcher.
+				w.serveRange(conn, nc, m)
+				return
+			}
 			r, size, dir, sum, err := w.openObject(m.CacheName)
 			if err != nil {
 				conn.Send(&protocol.Message{Type: protocol.TypeError, CacheName: m.CacheName, Error: err.Error()})
@@ -692,6 +929,67 @@ func (w *Worker) servePeers() {
 			w.vm.PeerServeBytes.Add(size)
 		}()
 	}
+}
+
+// serveRange answers a ranged get for one byte window of a plain-file
+// object. Directory objects are refused — their wire form is a packed tar
+// whose bytes are not stable across servings — which makes the requester
+// fall back to a whole-object stream. The checksum covers exactly the
+// served window so each chunk verifies independently.
+func (w *Worker) serveRange(conn *protocol.Conn, nc net.Conn, m *protocol.Message) {
+	fail := func(err error) {
+		conn.Send(&protocol.Message{Type: protocol.TypeError, CacheName: m.CacheName, Error: err.Error()})
+	}
+	e, ok := w.cache.Lookup(m.CacheName)
+	if !ok || e.State != cache.StateReady {
+		fail(fmt.Errorf("worker: %s not present", m.CacheName))
+		return
+	}
+	if e.Dir {
+		fail(fmt.Errorf("worker: %s is a directory; ranged gets serve plain files only", m.CacheName))
+		return
+	}
+	rc, size, err := w.cache.Open(m.CacheName)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer rc.Close()
+	if m.Offset < 0 || m.Size <= 0 || m.Offset+m.Size > size || m.Total != size {
+		fail(fmt.Errorf("worker: bad range [%d,+%d) of %s: have %d bytes", m.Offset, m.Size, m.CacheName, size))
+		return
+	}
+	f, ok := rc.(io.ReadSeeker)
+	if !ok {
+		fail(fmt.Errorf("worker: %s is not seekable", m.CacheName))
+		return
+	}
+	// Hash the window, then rewind and stream it. Two passes over a range
+	// beat materializing it in memory.
+	if _, err := f.Seek(m.Offset, io.SeekStart); err != nil {
+		fail(err)
+		return
+	}
+	digest := md5.New()
+	if _, err := protocol.CopyBuffer(digest, io.LimitReader(f, m.Size)); err != nil {
+		fail(err)
+		return
+	}
+	sum := hex.EncodeToString(digest.Sum(nil))
+	if _, err := f.Seek(m.Offset, io.SeekStart); err != nil {
+		fail(err)
+		return
+	}
+	nc.SetDeadline(time.Now().Add(10 * w.cfg.PeerIOTimeout))
+	if err := conn.SendPayload(&protocol.Message{
+		Type: protocol.TypeData, CacheName: m.CacheName,
+		Size: m.Size, Offset: m.Offset, Total: size, Checksum: sum,
+	}, io.LimitReader(f, m.Size)); err != nil {
+		w.logf("sending %s[%d,+%d) to peer %s: %v", m.CacheName, m.Offset, m.Size, conn.RemoteAddr(), err)
+		return
+	}
+	w.vm.PeerServes.Inc()
+	w.vm.PeerServeBytes.Add(m.Size)
 }
 
 // crash abruptly severs the worker's manager connection and peer listener,

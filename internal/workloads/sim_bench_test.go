@@ -32,3 +32,40 @@ func BenchmarkSimTopEFT50k(b *testing.B) {
 	}
 	b.ReportMetric(float64(tasks), "tasks/run")
 }
+
+// benchTransferBound runs a transfer-heavy TopEFT slice — large inputs,
+// short tasks — under the given parameters and reports the virtual
+// makespan, the number the wire-plane cost model moves.
+func benchTransferBound(b *testing.B, params sim.Params) {
+	cfg := DefaultTopEFT(false)
+	cfg.ProcessTasks = 2_000
+	cfg.Workers = 50
+	cfg.CoresPerWorker = 4
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := TopEFT(cfg)
+		c := sim.NewCluster(w, params, policy.DefaultLimits())
+		tasks := len(w.Tasks)
+		b.StartTimer()
+		makespan = c.Run()
+		if got := c.CompletedTasks(); got != tasks {
+			b.Fatalf("completed %d/%d tasks", got, tasks)
+		}
+	}
+	b.ReportMetric(makespan, "virtual-makespan-s")
+}
+
+// BenchmarkSimTransferBoundBinary models the default binary streaming
+// plane: framing costs are zero.
+func BenchmarkSimTransferBoundBinary(b *testing.B) {
+	benchTransferBound(b, sim.DefaultParams())
+}
+
+// BenchmarkSimTransferBoundJSON models the legacy JSON line protocol via
+// sim.JSONFraming: every transferred byte pays encode-and-copy overhead.
+// The virtual-makespan gap against the Binary variant is the data plane's
+// dividend on transfer-bound workloads.
+func BenchmarkSimTransferBoundJSON(b *testing.B) {
+	benchTransferBound(b, sim.JSONFraming(sim.DefaultParams()))
+}

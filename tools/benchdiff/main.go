@@ -21,8 +21,9 @@ import (
 
 // testEvent is the subset of the test2json stream benchdiff reads.
 type testEvent struct {
-	Action string `json:"Action"`
-	Output string `json:"Output"`
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
 }
 
 // sample is one benchmark's recorded means, keyed by unit (ns/op, B/op,
@@ -51,6 +52,13 @@ func (s *sample) mean(unit string) (float64, bool) {
 // load parses one test2json file into benchmark name -> sample. The
 // GOMAXPROCS suffix (-8) is stripped so recordings from different machines
 // still line up.
+//
+// test2json splits a result line across output events whenever the
+// benchmark pauses between printing its name and its numbers (it flushes
+// partial lines after a timeout), so a result can arrive as
+// "BenchmarkX \t" in one event and "  680\t 1620892 ns/op...\n" in the
+// next. Events from concurrently-tested packages interleave, so the
+// partial line is buffered per package until its newline arrives.
 func load(path string) (map[string]*sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -58,6 +66,7 @@ func load(path string) (map[string]*sample, error) {
 	}
 	defer f.Close()
 	out := make(map[string]*sample)
+	partial := make(map[string]string) // package -> incomplete output line
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -65,34 +74,55 @@ func load(path string) (map[string]*sample, error) {
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			continue // tolerate non-JSON noise in the stream
 		}
-		if ev.Action != "output" || !strings.HasPrefix(ev.Output, "Benchmark") {
+		if ev.Action != "output" {
 			continue
 		}
-		fields := strings.Fields(ev.Output)
-		// Name N v1 unit1 v2 unit2 ... — anything shorter is a header line.
-		if len(fields) < 4 {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		s := out[name]
-		if s == nil {
-			s = &sample{}
-			out[name] = s
-		}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
+		text := partial[ev.Package] + ev.Output
+		for {
+			i := strings.IndexByte(text, '\n')
+			if i < 0 {
 				break
 			}
-			s.add(fields[i+1], v)
+			addLine(out, text[:i])
+			text = text[i+1:]
+		}
+		if strings.HasPrefix(text, "Benchmark") {
+			partial[ev.Package] = text
+		} else {
+			delete(partial, ev.Package) // non-benchmark fragment: drop it
 		}
 	}
 	return out, sc.Err()
+}
+
+// addLine parses one complete benchmark result line into out.
+func addLine(out map[string]*sample, line string) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return
+	}
+	fields := strings.Fields(line)
+	// Name N v1 unit1 v2 unit2 ... — anything shorter is a header line.
+	if len(fields) < 4 {
+		return
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	s := out[name]
+	if s == nil {
+		s = &sample{}
+		out[name] = s
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		s.add(fields[i+1], v)
+	}
 }
 
 func main() {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeStream writes a test2json fixture and returns its path.
+func writeStream(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCompleteLine(t *testing.T) {
+	path := writeStream(t, `{"Action":"output","Package":"p","Output":"BenchmarkFoo-8 \t     855\t   1472341 ns/op\t       679.2 tasks/s\n"}
+`)
+	s, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s["BenchmarkFoo"].mean("tasks/s")
+	if !ok || v != 679.2 {
+		t.Fatalf("tasks/s = %v, %v; want 679.2, true", v, ok)
+	}
+}
+
+// TestLoadSplitLine pins the stitching of a result line that test2json
+// flushed as two events: the name alone, then the numbers. Before the
+// per-package partial buffer, such results were silently dropped and the
+// benchmark reported as "gone".
+func TestLoadSplitLine(t *testing.T) {
+	path := writeStream(t, `{"Action":"output","Package":"p","Output":"BenchmarkFoo \t"}
+{"Action":"output","Package":"q","Output":"BenchmarkBar \t"}
+{"Action":"output","Package":"p","Output":"     680\t   1620892 ns/op\t       617.0 tasks/s\n"}
+{"Action":"output","Package":"q","Output":"     100\t    500 ns/op\n"}
+`)
+	s, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s["BenchmarkFoo"].mean("ns/op"); !ok || v != 1620892 {
+		t.Fatalf("Foo ns/op = %v, %v; want 1620892, true", v, ok)
+	}
+	if v, ok := s["BenchmarkBar"].mean("ns/op"); !ok || v != 500 {
+		t.Fatalf("Bar ns/op = %v, %v; want 500, true", v, ok)
+	}
+}
+
+// TestLoadInterleavedNoise checks that non-benchmark fragments between a
+// split name and its numbers do not corrupt the stitch, and that repeated
+// counts average.
+func TestLoadInterleavedNoise(t *testing.T) {
+	path := writeStream(t, `{"Action":"output","Package":"p","Output":"=== RUN   BenchmarkFoo\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkFoo \t"}
+{"Action":"output","Package":"p","Output":"     10\t   100 ns/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkFoo \t     10\t   300 ns/op\n"}
+{"Action":"run","Package":"p"}
+not json at all
+`)
+	s, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s["BenchmarkFoo"].mean("ns/op"); !ok || v != 200 {
+		t.Fatalf("Foo ns/op mean = %v, %v; want 200, true", v, ok)
+	}
+}

@@ -29,6 +29,7 @@ func (m *Manager) handleEvent(ev int) {
 	m.stream()
 	m.cleanup()
 	m.reply(make(chan int, 1))
+	m.deliverSpool(&spool{path: "vine-spool-1"})
 	go m.slowWork() // handed to another goroutine: the sanctioned fix
 }
 
@@ -61,4 +62,25 @@ func (m *Manager) reply(ch chan int) {
 // invisible to the loop.
 func (m *Manager) slowWork() {
 	_, _ = os.ReadFile("big")
+}
+
+// spool models a disk-spooled large payload: the reader goroutine streams
+// the body to a temp file before the event reaches the loop, so the loop
+// only ever touches metadata — and must hand the unlink back to a
+// background goroutine.
+type spool struct{ path string }
+
+// release unlinks the spool file; reached only through go statements.
+func (s *spool) release() {
+	_ = os.Remove(s.path)
+}
+
+// deliverSpool is the loop-side half of the spooling path: comparing
+// checksum strings is fine, removing the spool file synchronously is not.
+func (m *Manager) deliverSpool(s *spool) {
+	if s.path == "" {
+		return
+	}
+	_ = os.Remove(s.path) // want:eventblock "os.Remove in deliverSpool is synchronously reachable from the handleEvent loop"
+	go s.release()        // the sanctioned shape: refcount, then unlink off-loop
 }
