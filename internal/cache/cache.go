@@ -6,9 +6,18 @@
 // against a capacity, and distinguishes objects by declared lifetime so
 // that workflow conclusion can evict ephemeral data while worker-lifetime
 // software packages and reference datasets persist for future workflows.
+//
+// Storage is tiered (§3.4): objects live either on disk (TierDisk) or in
+// RAM (TierMemory). The memory tier holds serverless results and other
+// byte-addressed objects under a configurable budget; under memory
+// pressure the least-recently-used unpinned objects spill to disk, and
+// hot small disk objects are promoted into RAM on repeated access. Either
+// tier serves reads through Open, so peers and the manager fetch
+// memory-resident objects without the bytes ever touching disk.
 package cache
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -48,12 +57,45 @@ const (
 	StateFailed
 )
 
+// Tier identifies where a ready object's bytes live. The integer values
+// travel in protocol cache-update messages.
+type Tier int
+
+const (
+	// TierDisk objects live at Path(name); this is the only tier for
+	// directory objects and for anything materialized by a transfer.
+	TierDisk Tier = iota
+	// TierMemory objects live in RAM under the memory budget; they have no
+	// on-disk presence until spilled or materialized.
+	TierMemory
+)
+
+// String returns a readable name for the tier.
+func (t Tier) String() string {
+	if t == TierMemory {
+		return "memory"
+	}
+	return "disk"
+}
+
+// promoteUseThreshold is how many accesses make a disk object "hot" enough
+// to promote into the memory tier (the access that crosses the threshold
+// is served from memory).
+const promoteUseThreshold = 2
+
+// promoteSizeDivisor bounds promotion to small objects: only objects no
+// larger than budget/promoteSizeDivisor are promoted, so one large object
+// cannot monopolize the tier through incidental reuse.
+const promoteSizeDivisor = 8
+
 // Entry describes one cached object.
 type Entry struct {
 	Name     string
 	Size     int64
 	State    State
 	Lifetime Lifetime
+	// Tier records where the bytes live; meaningful only when ready.
+	Tier Tier
 	// LastUse orders ready entries for least-recently-used eviction.
 	LastUse time.Time
 	// Dir marks directory objects (unpacked trees).
@@ -63,21 +105,35 @@ type Entry struct {
 	// pins counts tasks currently using the object; pinned objects are
 	// never evicted.
 	pins int
+	// uses counts reads since the entry became ready, to detect hot disk
+	// objects worth promoting into the memory tier.
+	uses int
+	// deferred marks an object whose deletion was requested while pinned;
+	// the removal happens when the last pin is released and is reported
+	// through the evicted list so the manager's replica table converges.
+	deferred bool
+	// data holds the object's bytes while the entry is in the memory tier.
+	// The slice is immutable once stored; readers handed a reference keep a
+	// consistent view even if the entry spills concurrently.
+	data []byte
 }
 
 // ErrNoSpace is returned when an object cannot be admitted even after
 // evicting every unpinned ephemeral object.
 var ErrNoSpace = errors.New("cache: insufficient storage")
 
-// Cache is a disk-backed object store. All methods are safe for concurrent
-// use.
+// Cache is a tiered (disk + optional RAM) object store. All methods are
+// safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
 	dir      string
 	capacity int64
-	used     int64             // guarded by mu
+	used     int64             // disk-tier bytes, guarded by mu
 	entries  map[string]*Entry // guarded by mu
 	clock    func() time.Time  // guarded by mu
+	// memBudget caps memory-tier bytes; 0 disables the tier entirely.
+	memBudget int64 // guarded by mu
+	memUsed   int64 // memory-tier bytes, guarded by mu
 	// evicted records names evicted since the last DrainEvicted call, so
 	// the worker can send cache-invalid messages to the manager.
 	evicted []string // guarded by mu
@@ -102,6 +158,7 @@ const partPrefix = ".part-"
 // previous worker lifetime) are adopted as ready worker-lifetime entries:
 // their content-addressed names make them valid across runs. Leftover part
 // files from transfers interrupted by a crash are deleted, never adopted.
+// The memory tier starts disabled; see SetMemoryBudget.
 func New(dir string, capacity int64) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: creating %s: %w", dir, err)
@@ -125,7 +182,10 @@ func New(dir string, capacity int64) (*Cache, error) {
 		if strings.HasPrefix(name, ".") {
 			continue
 		}
-		size, isDir := diskUsage(filepath.Join(dir, name))
+		size, isDir, err := diskUsage(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
 		c.entries[name] = &Entry{
 			Name:     name,
 			Size:     size,
@@ -163,13 +223,44 @@ func (c *Cache) SetMetrics(vm *metrics.VineMetrics) {
 	c.vm = vm
 	if vm != nil {
 		vm.CacheUsedBytes.Set(float64(c.used))
+		vm.CacheMemUsedBytes.Set(float64(c.memUsed))
 	}
+}
+
+// SetMemoryBudget caps memory-tier bytes; n <= 0 disables the tier. If the
+// new budget is below current memory-tier use, excess objects spill to
+// disk immediately (LRU first).
+func (c *Cache) SetMemoryBudget(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.memBudget = n
+	if c.memUsed > c.memBudget {
+		c.spillForSpaceLocked(0)
+	}
+}
+
+// MemoryBudget returns the configured memory-tier budget in bytes.
+func (c *Cache) MemoryBudget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memBudget
+}
+
+// MemUsed returns the bytes currently accounted to memory-tier objects.
+func (c *Cache) MemUsed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memUsed
 }
 
 // syncUsedLocked publishes the current byte accounting; caller holds c.mu.
 func (c *Cache) syncUsedLocked() {
 	if c.vm != nil {
 		c.vm.CacheUsedBytes.Set(float64(c.used))
+		c.vm.CacheMemUsedBytes.Set(float64(c.memUsed))
 	}
 }
 
@@ -180,13 +271,16 @@ func (c *Cache) logErrLocked(format string, args ...any) {
 	}
 }
 
-func diskUsage(path string) (int64, bool) {
+// diskUsage measures the bytes at path. The error is the Lstat failure for
+// an absent path — callers decide whether absence is fatal (Commit) or
+// skippable (adoption).
+func diskUsage(path string) (int64, bool, error) {
 	info, err := os.Lstat(path)
 	if err != nil {
-		return 0, false
+		return 0, false, err
 	}
 	if !info.IsDir() {
-		return info.Size(), false
+		return info.Size(), false, nil
 	}
 	var total int64
 	filepath.WalkDir(path, func(_ string, d os.DirEntry, err error) error {
@@ -198,7 +292,7 @@ func diskUsage(path string) (int64, bool) {
 		}
 		return nil
 	})
-	return total, true
+	return total, true, nil
 }
 
 // Dir returns the cache's root directory.
@@ -207,7 +301,7 @@ func (c *Cache) Dir() string { return c.dir }
 // Capacity returns the configured storage capacity in bytes.
 func (c *Cache) Capacity() int64 { return c.capacity }
 
-// Used returns the bytes currently accounted to cached objects.
+// Used returns the bytes currently accounted to disk-tier objects.
 func (c *Cache) Used() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -215,6 +309,7 @@ func (c *Cache) Used() int64 {
 }
 
 // Path returns the on-disk location of an object, whether or not it exists.
+// Memory-tier objects have no bytes at this path until Materialize.
 func (c *Cache) Path(name string) string {
 	return filepath.Join(c.dir, name)
 }
@@ -278,24 +373,32 @@ func (c *Cache) Reserve(name string, size int64, lifetime Lifetime) (alreadyPend
 	return false, nil
 }
 
-// ensureSpaceLocked evicts unpinned, non-pending objects (cheapest lifetime
-// first, LRU within a lifetime) until need bytes fit under capacity.
-func (c *Cache) ensureSpaceLocked(need int64) error {
-	if c.used+need <= c.capacity {
-		return nil
-	}
-	victims := make([]*Entry, 0, len(c.entries))
-	for _, e := range c.entries {
-		if e.State == StateReady && e.pins == 0 {
-			victims = append(victims, e)
-		}
-	}
+// evictionOrder sorts eviction/spill victims cheapest-lifetime first, LRU
+// within a lifetime.
+func evictionOrder(victims []*Entry) {
 	sort.Slice(victims, func(i, j int) bool {
 		if victims[i].Lifetime != victims[j].Lifetime {
 			return victims[i].Lifetime < victims[j].Lifetime
 		}
 		return victims[i].LastUse.Before(victims[j].LastUse)
 	})
+}
+
+// ensureSpaceLocked evicts unpinned, non-pending disk-tier objects
+// (cheapest lifetime first, LRU within a lifetime) until need bytes fit
+// under capacity. Memory-tier objects occupy no disk and are never
+// eviction victims here.
+func (c *Cache) ensureSpaceLocked(need int64) error {
+	if c.used+need <= c.capacity {
+		return nil
+	}
+	victims := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		if e.State == StateReady && e.pins == 0 && e.Tier == TierDisk {
+			victims = append(victims, e)
+		}
+	}
+	evictionOrder(victims)
 	for _, v := range victims {
 		if c.used+need <= c.capacity {
 			break
@@ -308,10 +411,125 @@ func (c *Cache) ensureSpaceLocked(need int64) error {
 	return nil
 }
 
+// spillForSpaceLocked spills memory-tier objects (cheapest lifetime first,
+// LRU within a lifetime; pinned objects are spillable — a spill changes
+// where the bytes live, not whether they exist) until need bytes fit under
+// the memory budget. Returns nil when the space exists.
+func (c *Cache) spillForSpaceLocked(need int64) error {
+	if c.memUsed+need <= c.memBudget {
+		return nil
+	}
+	victims := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		if e.State == StateReady && e.Tier == TierMemory {
+			victims = append(victims, e)
+		}
+	}
+	evictionOrder(victims)
+	for _, v := range victims {
+		if c.memUsed+need <= c.memBudget {
+			break
+		}
+		if err := c.spillLocked(v); err != nil {
+			c.logErrLocked("cache: spilling %s: %v", v.Name, err)
+		}
+	}
+	if c.memUsed+need > c.memBudget {
+		return fmt.Errorf("%w: memory tier needs %d, used %d of %d", ErrNoSpace, need, c.memUsed, c.memBudget)
+	}
+	return nil
+}
+
+// spillLocked moves one memory-tier object's bytes to disk: written to a
+// part file, fsynced by rename into place, accounting moved from the
+// memory tier to the disk tier. The data slice already handed to readers
+// stays valid; only the entry's tier flips.
+func (c *Cache) spillLocked(e *Entry) error {
+	if err := c.ensureSpaceLocked(e.Size); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(c.dir, partPrefix+"*")
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(e.data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(f.Name(), c.Path(e.Name))
+	}
+	if werr != nil {
+		os.Remove(f.Name())
+		return werr
+	}
+	c.memUsed -= e.Size
+	c.used += e.Size
+	e.Tier = TierDisk
+	e.data = nil
+	if c.vm != nil {
+		c.vm.CacheMemSpills.Inc()
+		c.vm.CacheMemSpillBytes.Add(e.Size)
+	}
+	c.syncUsedLocked()
+	return nil
+}
+
+// PutBytes stores an object directly into the memory tier, spilling colder
+// objects to disk if needed to fit the budget. The cache takes ownership
+// of data, which must not be mutated afterwards. When the memory tier is
+// disabled or cannot fit the object even after spilling, the bytes land in
+// the disk tier instead — PutBytes always yields a ready object or an
+// error, never a partial state.
+func (c *Cache) PutBytes(name string, lifetime Lifetime, data []byte) error {
+	size := int64(len(data))
+	c.mu.Lock()
+	if e, ok := c.entries[name]; ok {
+		switch e.State {
+		case StateReady:
+			c.mu.Unlock()
+			return fmt.Errorf("cache: %s already present; objects are immutable", name)
+		case StatePending:
+			c.mu.Unlock()
+			return fmt.Errorf("cache: %s is already being materialized", name)
+		case StateFailed:
+			c.used -= e.Size
+			delete(c.entries, name)
+		}
+	}
+	if c.memBudget > 0 && size <= c.memBudget {
+		if err := c.spillForSpaceLocked(size); err == nil {
+			e := &Entry{
+				Name:     name,
+				Size:     size,
+				State:    StateReady,
+				Lifetime: lifetime,
+				Tier:     TierMemory,
+				LastUse:  c.clock(),
+				data:     data,
+			}
+			c.entries[name] = e
+			c.memUsed += size
+			if c.vm != nil {
+				c.vm.CacheMemInserts.Inc()
+				c.vm.CacheMemInsertBytes.Add(size)
+			}
+			c.syncUsedLocked()
+			c.mu.Unlock()
+			return nil
+		}
+	}
+	c.mu.Unlock()
+	return c.Put(name, size, lifetime, bytes.NewReader(data))
+}
+
 // Commit marks a pending object ready, adjusting accounting to its actual
-// on-disk size. The object's bytes must already be at Path(name).
+// on-disk size. The object's bytes must already be at Path(name); a commit
+// with nothing at that path fails the entry rather than minting a ready
+// zero-byte object (a failed materialization must look failed).
 func (c *Cache) Commit(name string) error {
-	actual, isDir := diskUsage(c.Path(name))
+	actual, isDir, statErr := diskUsage(c.Path(name))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[name]
@@ -321,10 +539,19 @@ func (c *Cache) Commit(name string) error {
 	if e.State == StateReady {
 		return fmt.Errorf("cache: double commit of %s", name)
 	}
+	if statErr != nil {
+		c.used -= e.Size
+		e.Size = 0
+		e.State = StateFailed
+		e.Err = fmt.Errorf("cache: commit of absent object %s: %w", name, statErr)
+		c.syncUsedLocked()
+		return e.Err
+	}
 	c.used += actual - e.Size
 	e.Size = actual
 	e.Dir = isDir
 	e.State = StateReady
+	e.Tier = TierDisk
 	e.Err = nil
 	e.LastUse = c.clock()
 	if c.vm != nil {
@@ -366,8 +593,8 @@ func (c *Cache) Fail(name string, cause error) {
 	}
 }
 
-// Put stores an object read from r (size bytes) directly into the cache,
-// reserving, writing, and committing in one step.
+// Put stores an object read from r (size bytes) directly into the disk
+// tier, reserving, writing, and committing in one step.
 func (c *Cache) Put(name string, size int64, lifetime Lifetime, r io.Reader) error {
 	already, err := c.Reserve(name, size, lifetime)
 	if err != nil {
@@ -418,7 +645,19 @@ func (c *Cache) Promote(partPath, name string) error {
 	return os.Rename(partPath, c.Path(name))
 }
 
+// readSeekNopCloser adapts an in-memory reader to the ReadCloser contract
+// of Open while preserving Seek, which the worker's ranged peer-serving
+// path requires. io.NopCloser would erase the Seeker.
+type readSeekNopCloser struct {
+	*bytes.Reader
+}
+
+func (readSeekNopCloser) Close() error { return nil }
+
 // Open returns a reader over a ready plain-file object and its size.
+// Memory-tier objects are served straight from RAM (the reader also
+// implements io.Seeker for ranged reads); hot small disk objects are
+// promoted into the memory tier when the budget has room.
 func (c *Cache) Open(name string) (io.ReadCloser, int64, error) {
 	c.mu.Lock()
 	e, ok := c.entries[name]
@@ -431,6 +670,19 @@ func (c *Cache) Open(name string) (io.ReadCloser, int64, error) {
 		return nil, 0, fmt.Errorf("cache: %s is a directory; transfer as archive", name)
 	}
 	e.LastUse = c.clock()
+	e.uses++
+	if e.Tier == TierDisk {
+		c.maybePromoteLocked(e)
+	}
+	if e.Tier == TierMemory {
+		if c.vm != nil {
+			c.vm.CacheMemHits.Inc()
+		}
+		r := readSeekNopCloser{bytes.NewReader(e.data)}
+		size := e.Size
+		c.mu.Unlock()
+		return r, size, nil
+	}
 	size := e.Size
 	c.mu.Unlock()
 	f, err := os.Open(c.Path(name))
@@ -438,6 +690,78 @@ func (c *Cache) Open(name string) (io.ReadCloser, int64, error) {
 		return nil, 0, err
 	}
 	return f, size, nil
+}
+
+// MemoryBytes returns the raw bytes of a ready memory-tier object, or
+// (nil, false) when the object is absent or disk-resident. The returned
+// slice is immutable shared storage; callers must not modify it. Counts as
+// an access for LRU and promotion purposes.
+func (c *Cache) MemoryBytes(name string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok || e.State != StateReady {
+		return nil, false
+	}
+	e.LastUse = c.clock()
+	e.uses++
+	if e.Tier == TierDisk {
+		c.maybePromoteLocked(e)
+	}
+	if e.Tier != TierMemory {
+		return nil, false
+	}
+	if c.vm != nil {
+		c.vm.CacheMemHits.Inc()
+	}
+	return e.data, true
+}
+
+// maybePromoteLocked lifts a hot small disk object into the memory tier
+// when the budget has free room. Promotion never spills others — it only
+// consumes slack — and never applies to directories or pinned-path users:
+// the on-disk copy is removed, so anything relying on Path must call
+// Materialize first.
+func (c *Cache) maybePromoteLocked(e *Entry) {
+	if c.memBudget <= 0 || e.Dir || e.Tier != TierDisk || e.uses < promoteUseThreshold {
+		return
+	}
+	if e.Size > c.memBudget/promoteSizeDivisor || c.memUsed+e.Size > c.memBudget {
+		return
+	}
+	data, err := os.ReadFile(c.Path(e.Name))
+	if err != nil || int64(len(data)) != e.Size {
+		return
+	}
+	if err := os.Remove(c.Path(e.Name)); err != nil {
+		c.logErrLocked("cache: promoting %s: %v", e.Name, err)
+		return
+	}
+	e.data = data
+	e.Tier = TierMemory
+	c.used -= e.Size
+	c.memUsed += e.Size
+	if c.vm != nil {
+		c.vm.CacheMemPromotions.Inc()
+	}
+	c.syncUsedLocked()
+}
+
+// Materialize guarantees a ready object's bytes exist at Path(name),
+// spilling it out of the memory tier if needed. Callers that hand the path
+// to something outside the cache (sandbox input links, file hashing) must
+// materialize first; Open does not require it.
+func (c *Cache) Materialize(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok || e.State != StateReady {
+		return fmt.Errorf("cache: %s not present", name)
+	}
+	if e.Tier != TierMemory {
+		return nil
+	}
+	return c.spillLocked(e)
 }
 
 // Pin marks an object in use by a task, protecting it from eviction, and
@@ -460,22 +784,34 @@ func (c *Cache) Pin(name string) error {
 	return nil
 }
 
-// Unpin releases a task's use of an object.
+// Unpin releases a task's use of an object. Releasing the last pin of an
+// object whose deletion was deferred removes it now; the removal is
+// recorded for DrainEvicted so the worker reports it through the
+// cache-invalid path and the manager's replica table converges.
 func (c *Cache) Unpin(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[name]; ok && e.pins > 0 {
+	e, ok := c.entries[name]
+	if !ok {
+		return
+	}
+	if e.pins > 0 {
 		e.pins--
+	}
+	if e.pins == 0 && e.deferred {
+		c.removeLocked(name, true)
 	}
 }
 
-// Delete removes an object at the manager's direction. Pinned objects are
-// not deleted; the deletion is a no-op in that case (the manager will
-// retry after the task completes).
+// Delete removes an object at the manager's direction. A pinned object is
+// not removed immediately — running tasks keep their inputs — but the
+// deletion is deferred and happens when the last pin is released, reported
+// through DrainEvicted like an eviction.
 func (c *Cache) Delete(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[name]; ok && e.pins > 0 {
+		e.deferred = true
 		return
 	}
 	c.removeLocked(name, false)
@@ -486,13 +822,20 @@ func (c *Cache) removeLocked(name string, recordEviction bool) {
 	if !ok {
 		return
 	}
-	c.used -= e.Size
+	if e.Tier == TierMemory {
+		c.memUsed -= e.Size
+		e.data = nil
+	} else {
+		c.used -= e.Size
+	}
 	delete(c.entries, name)
 	c.syncUsedLocked()
-	if err := os.RemoveAll(c.Path(name)); err != nil {
-		// Failing to delete an evicted object means its bytes still occupy
-		// the disk while the accounting says they don't; make it visible.
-		c.logErrLocked("cache: removing %s: %v", name, err)
+	if e.Tier != TierMemory {
+		if err := os.RemoveAll(c.Path(name)); err != nil {
+			// Failing to delete an evicted object means its bytes still occupy
+			// the disk while the accounting says they don't; make it visible.
+			c.logErrLocked("cache: removing %s: %v", name, err)
+		}
 	}
 	if recordEviction {
 		c.evicted = append(c.evicted, name)
@@ -500,8 +843,9 @@ func (c *Cache) removeLocked(name string, recordEviction bool) {
 }
 
 // DrainEvicted returns and clears the list of objects evicted for space
-// since the last call. The worker reports these to the manager as
-// cache-invalid messages so the replica table stays accurate.
+// (or removed by a deferred delete) since the last call. The worker
+// reports these to the manager as cache-invalid messages so the replica
+// table stays accurate.
 func (c *Cache) DrainEvicted() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -511,17 +855,24 @@ func (c *Cache) DrainEvicted() []string {
 }
 
 // EndWorkflow deletes all task- and workflow-lifetime objects, implementing
-// the automatic cleanup at workflow conclusion (§3.2). Returns the names
-// removed.
+// the automatic cleanup at workflow conclusion (§3.2). Pinned ephemerals
+// are marked for deferred deletion and removed at their final Unpin, so no
+// ephemeral bytes outlive the workflow indefinitely. Returns the names
+// removed now.
 func (c *Cache) EndWorkflow() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var removed []string
 	for name, e := range c.entries {
-		if e.Lifetime != LifetimeWorker && e.pins == 0 {
-			removed = append(removed, name)
-			c.removeLocked(name, false)
+		if e.Lifetime == LifetimeWorker {
+			continue
 		}
+		if e.pins > 0 {
+			e.deferred = true
+			continue
+		}
+		removed = append(removed, name)
+		c.removeLocked(name, false)
 	}
 	return removed
 }

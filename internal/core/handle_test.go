@@ -1,0 +1,236 @@
+package core
+
+// Tests for pass-by-reference handles: InvokeResident leaves the result in
+// the executing worker's cache (memory tier when budgeted), InvokeChained
+// dereferences a handle worker-side, and only the final FetchFile moves
+// bytes back to the manager. The instrument registry of the worker is
+// observed directly to prove which tier absorbed the intermediates.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"taskvine/internal/httpsource"
+	"taskvine/internal/metrics"
+	"taskvine/internal/resources"
+	"taskvine/internal/serverless"
+	"taskvine/internal/trace"
+	"taskvine/internal/worker"
+)
+
+func chainLibrary() *serverless.Registry {
+	libs := serverless.NewRegistry()
+	libs.Register(&serverless.Library{
+		Name: "chain",
+		Functions: map[string]serverless.Function{
+			"double": func(args []byte) ([]byte, error) {
+				return append(args, args...), nil
+			},
+			"ident": func(args []byte) ([]byte, error) {
+				out := make([]byte, len(args))
+				copy(out, args)
+				return out, nil
+			},
+		},
+	})
+	return libs
+}
+
+// startChainRig starts a manager plus one library worker and returns the
+// worker's instrument set, so callers can count memory- vs disk-tier cache
+// inserts. memBudget follows worker.Config semantics: 0 takes the default
+// (a quarter of capacity memory), negative disables the memory tier.
+func startChainRig(tb testing.TB, memBudget int64) (*Manager, *metrics.VineMetrics) {
+	tb.Helper()
+	m, err := NewManager(Config{Head: httpsource.Head})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := metrics.NewRegistry()
+	w, err := worker.New(worker.Config{
+		ManagerAddr:  m.Addr(),
+		WorkDir:      tb.TempDir(),
+		Capacity:     resources.R{Cores: 4, Memory: 4 * resources.GB, Disk: resources.GB},
+		ID:           "w-chain",
+		Libraries:    chainLibrary(),
+		Metrics:      reg,
+		MemoryBudget: memBudget,
+	})
+	if err != nil {
+		cancel()
+		tb.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.Run(ctx)
+	}()
+	tb.Cleanup(func() {
+		m.Close()
+		cancel()
+		wg.Wait()
+	})
+	m.InstallLibrary("chain", resources.R{Cores: 1})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ready := false
+		for _, e := range m.Trace().Events() {
+			if e.Kind == trace.LibraryReady {
+				ready = true
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			tb.Fatal("library instance never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return m, metrics.ForRegistry(reg)
+}
+
+func waitResultTB(tb testing.TB, m *Manager) *Result {
+	tb.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	r, err := m.Wait(ctx)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+// TestChainedInvokeStaysInMemory is the acceptance check for
+// pass-by-reference: a chain of resident invocations produces zero
+// disk-tier cache inserts — every intermediate lands in the memory tier —
+// and no intermediate bytes travel inline to the manager.
+func TestChainedInvokeStaysInMemory(t *testing.T) {
+	m, vm := startChainRig(t, 0)
+
+	const chain = 5
+	id, hid, err := m.InvokeResident("chain", "double", []byte("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := waitResultTB(t, m)
+	if r.TaskID != id || !r.OK {
+		t.Fatalf("resident invoke result = %+v", r)
+	}
+	if len(r.Output) != 0 {
+		t.Fatalf("resident invoke shipped %d bytes inline; want none", len(r.Output))
+	}
+	for i := 1; i < chain; i++ {
+		if id, hid, err = m.InvokeChained("chain", "double", hid); err != nil {
+			t.Fatal(err)
+		}
+		r = waitResultTB(t, m)
+		if r.TaskID != id || !r.OK {
+			t.Fatalf("chained invoke %d result = %+v", i, r)
+		}
+		if len(r.Output) != 0 {
+			t.Fatalf("chained invoke %d shipped %d bytes inline", i, len(r.Output))
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := m.FetchFile(ctx, hid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Repeat("ab", 1<<chain)
+	if got := string(final); got != want {
+		t.Fatalf("final result = %q (len %d), want len %d", got, len(got), len(want))
+	}
+
+	if n := vm.CacheInserts.Value(); n != 0 {
+		t.Fatalf("disk-tier cache inserts = %d, want 0", n)
+	}
+	if n := vm.CacheMemInserts.Value(); n != chain {
+		t.Fatalf("memory-tier cache inserts = %d, want %d", n, chain)
+	}
+}
+
+// TestChainedInvokeFallsBackToDisk pins the same workload to a worker with
+// the memory tier disabled: every resident result must then be a disk-tier
+// insert, which is the "before" column of the EXPERIMENTS.md comparison.
+func TestChainedInvokeFallsBackToDisk(t *testing.T) {
+	m, vm := startChainRig(t, -1)
+
+	const chain = 3
+	_, hid, err := m.InvokeResident("chain", "double", []byte("xy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitResultTB(t, m)
+	for i := 1; i < chain; i++ {
+		if _, hid, err = m.InvokeChained("chain", "double", hid); err != nil {
+			t.Fatal(err)
+		}
+		waitResultTB(t, m)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := m.FetchFile(ctx, hid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 2*(1<<chain) {
+		t.Fatalf("final result length = %d, want %d", len(final), 2*(1<<chain))
+	}
+	if n := vm.CacheInserts.Value(); n != chain {
+		t.Fatalf("disk-tier cache inserts = %d, want %d", n, chain)
+	}
+	if n := vm.CacheMemInserts.Value(); n != 0 {
+		t.Fatalf("memory-tier cache inserts = %d, want 0", n)
+	}
+}
+
+func TestInvokeChainedRejectsNonHandle(t *testing.T) {
+	h := newHarness(t, 0, Config{})
+	if _, _, err := h.m.InvokeChained("chain", "double", "file-nope"); err == nil {
+		t.Fatal("undeclared handle accepted")
+	}
+}
+
+// BenchmarkChainedInvoke measures one chained resident invocation
+// round-trip (submit → worker-side dereference → resident store → result).
+// The mem/disk variants differ only in the worker's memory budget; the
+// disk-inserts/op metric makes the tier split visible in bench-diff output.
+func BenchmarkChainedInvoke(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"mem", 0},
+		{"disk", -1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m, vm := startChainRig(b, tc.budget)
+			_, hid, err := m.InvokeResident("chain", "ident", []byte("payload-0123456789abcdef"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			waitResultTB(b, m)
+			start := vm.CacheInserts.Value()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, hid, err = m.InvokeChained("chain", "ident", hid); err != nil {
+					b.Fatal(err)
+				}
+				if r := waitResultTB(b, m); !r.OK {
+					b.Fatalf("chained invoke failed: %s", r.Error)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(vm.CacheInserts.Value()-start)/float64(b.N), "disk-inserts/op")
+		})
+	}
+}

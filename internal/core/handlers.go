@@ -559,7 +559,11 @@ func (m *Manager) handleInvoke(ev event) {
 	m.trackNew(id, t)
 	m.pendingWk++
 	m.vm.TasksSubmitted.Inc()
-	w := m.readyLibraryWorker(ev.spec.Library)
+	m.reg.Retain(ev.spec.InputIDs())
+	for _, out := range ev.spec.Outputs {
+		m.reg.SetProducer(out.FileID, id)
+	}
+	w := m.readyLibraryWorkerFor(ev.spec)
 	if w == nil {
 		m.waiting = append(m.waiting, id)
 		m.wakeSet[id] = true
@@ -591,6 +595,39 @@ func (m *Manager) readyLibraryWorker(lib string) *workerConn {
 	var best *workerConn
 	for _, w := range m.workers {
 		if w.gone || !w.libsReady[lib] {
+			continue
+		}
+		if best == nil || w.joinOrder < best.joinOrder {
+			best = w
+		}
+	}
+	return best
+}
+
+// readyLibraryWorkerFor picks a worker for the direct invoke route. For a
+// spec with no inputs any ready instance of the library will do. For a spec
+// with inputs — a chained invocation referencing a handle — only a worker
+// that already holds every input replica qualifies: the point of
+// pass-by-reference is that the call runs where the object lives. When no
+// ready-instance worker holds all inputs the call falls back to the queue,
+// where the scheduler stages the objects via the normal transfer machinery.
+func (m *Manager) readyLibraryWorkerFor(spec *taskspec.Spec) *workerConn {
+	if len(spec.Inputs) == 0 {
+		return m.readyLibraryWorker(spec.Library)
+	}
+	var best *workerConn
+	for _, w := range m.workers {
+		if w.gone || !w.libsReady[spec.Library] {
+			continue
+		}
+		holdsAll := true
+		for _, mt := range spec.Inputs {
+			if !m.reps.Has(mt.FileID, w.id) {
+				holdsAll = false
+				break
+			}
+		}
+		if !holdsAll {
 			continue
 		}
 		if best == nil || w.joinOrder < best.joinOrder {

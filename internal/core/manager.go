@@ -542,6 +542,63 @@ func (m *Manager) Invoke(library, function string, args []byte) (int, error) {
 	}
 }
 
+// InvokeResident submits a function call whose result stays resident in
+// the executing worker's cache — preferentially in its memory tier — and
+// is never shipped back inline. The returned handle ID names the resident
+// object; pass it to InvokeChained to feed it into a further call, attach
+// it as a task input via its registry entry, or FetchFile it to finally
+// materialize the bytes at the manager.
+func (m *Manager) InvokeResident(library, function string, args []byte) (int, string, error) {
+	return m.invokeResident(library, function, args, "")
+}
+
+// InvokeChained submits a resident function call whose argument bytes are
+// the contents of handleID, a handle returned by a previous InvokeResident
+// or InvokeChained. The argument object is resolved worker-side
+// (pass-by-reference): chained calls move only the handle name through the
+// manager, never the intermediate data.
+func (m *Manager) InvokeChained(library, function, handleID string) (int, string, error) {
+	if f, ok := m.reg.Lookup(handleID); !ok || f.Type != files.Handle {
+		return 0, "", fmt.Errorf("core: %q is not a declared handle", handleID)
+	}
+	return m.invokeResident(library, function, nil, handleID)
+}
+
+func (m *Manager) invokeResident(library, function string, args []byte, argsFrom string) (int, string, error) {
+	h := m.reg.DeclareHandle()
+	spec := &taskspec.Spec{
+		Kind:     taskspec.KindFunction,
+		Library:  library,
+		Function: function,
+		Args:     append([]byte(nil), args...),
+		Category: "function",
+		Resident: true,
+	}
+	spec.AddOutput(h.ID, h.ID)
+	if argsFrom != "" {
+		spec.AddInput(argsFrom, argsFrom)
+		spec.ArgsFrom = argsFrom
+	}
+	if err := spec.Validate(); err != nil {
+		return 0, "", err
+	}
+	reply := make(chan int, 1)
+	select {
+	case m.events <- event{kind: evInvoke, spec: spec, replyInt: reply}:
+	case <-m.loopDone:
+		return 0, "", fmt.Errorf("core: manager is shutting down")
+	}
+	select {
+	case id := <-reply:
+		if id < 0 {
+			return 0, "", fmt.Errorf("core: manager is shutting down")
+		}
+		return id, h.ID, nil
+	case <-m.loopDone:
+		return 0, "", fmt.Errorf("core: manager is shutting down")
+	}
+}
+
 // Cancel aborts a submitted task. Waiting and staging tasks finish
 // immediately with a cancellation result; running tasks are killed at their
 // worker and finish when the worker's completion report arrives. Cancelling

@@ -148,18 +148,20 @@ func (m *Manager) depsSatisfiable(t *taskState) bool {
 			return false
 		}
 		switch f.Type {
-		case files.Temp:
+		case files.Temp, files.Handle:
 			if m.reps.CountReplicas(f.ID) > 0 {
 				continue
 			}
 			if m.trs.InFlightOf(f.ID) > 0 {
 				return false // on its way somewhere
 			}
-			// No replica anywhere: the producer must (re-)run.
+			// No replica anywhere: the producer must (re-)run. For a
+			// handle this re-executes the resident invocation whose
+			// result was lost with its worker.
 			if prodID, ok := m.reg.Producer(f.ID); ok {
 				p := m.taskByID(prodID)
 				if p != nil && (p.state == taskspec.StateDone) {
-					m.logf("temp %s lost; re-executing producer task %d", f.ID, prodID)
+					m.logf("%s %s lost; re-executing producer task %d", f.Type, f.ID, prodID)
 					m.requeue(prodID, p, false)
 				}
 			}
@@ -242,8 +244,10 @@ func (m *Manager) fileNeeds(mounts []taskspec.Mount) []policy.FileNeed {
 					add(in.FileID)
 				}
 			}
-		case files.Temp:
-			// Worker replicas only.
+		case files.Temp, files.Handle:
+			// Worker replicas only: the bytes exist solely inside the
+			// cluster (for handles, typically in a worker's memory tier)
+			// and move by peer transfer.
 		}
 		needs = append(needs, n)
 	}

@@ -38,6 +38,12 @@ const (
 	// Mini is a file produced on demand at a worker by executing a
 	// MiniTask specification.
 	Mini
+	// Handle is a pass-by-reference object: the worker-resident result of
+	// a resident function invocation (§3.4). Like Temp it exists only
+	// within the cluster, but it is expected to live in a worker's memory
+	// tier and is consumed by downstream tasks without the manager ever
+	// materializing the bytes.
+	Handle
 )
 
 // String returns a readable name for the type.
@@ -53,6 +59,8 @@ func (t Type) String() string {
 		return "temp"
 	case Mini:
 		return "minitask"
+	case Handle:
+		return "handle"
 	default:
 		return fmt.Sprintf("type(%d)", int(t))
 	}
@@ -115,7 +123,7 @@ type File struct {
 // files, declaring them does not mean they exist yet at any worker; the
 // worker sends an asynchronous cache-update when it acquires them (§2.3).
 func (f *File) IsRemote() bool {
-	return f.Type == URL || f.Type == Temp || f.Type == Mini
+	return f.Type == URL || f.Type == Temp || f.Type == Mini || f.Type == Handle
 }
 
 // HeadFunc retrieves the naming metadata of a remote URL, typically via an
@@ -287,6 +295,18 @@ func (r *Registry) DeclareTemp() *File {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := &File{ID: r.randomNameLocked(hashing.PrefixTemp), Type: Temp, Size: -1, Lifetime: LifetimeWorkflow}
+	r.files[f.ID] = f
+	return f
+}
+
+// DeclareHandle declares a pass-by-reference object: the worker-resident
+// result of a resident function invocation. Like a Temp it is workflow
+// scoped and intra-cluster, so a workflow-private random name suffices;
+// the size becomes known when the producing invocation completes.
+func (r *Registry) DeclareHandle() *File {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := &File{ID: r.randomNameLocked(hashing.PrefixHandle), Type: Handle, Size: -1, Lifetime: LifetimeWorkflow}
 	r.files[f.ID] = f
 	return f
 }

@@ -31,6 +31,7 @@ const (
 	PrefixURL    = "url"
 	PrefixTemp   = "temp"
 	PrefixTask   = "task"
+	PrefixHandle = "handle"
 	PrefixRandom = "rnd"
 )
 

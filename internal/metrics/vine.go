@@ -77,14 +77,25 @@ type VineMetrics struct {
 	// Serverless (§3.4).
 	LibrariesReady *Counter
 
-	// Worker cache (internal/cache + sim storage).
-	CacheHits          *Counter
-	CacheMisses        *Counter
-	CacheInserts       *Counter
-	CacheInsertBytes   *Counter
-	CacheEvictions     *Counter
-	CacheEvictionBytes *Counter
-	CacheUsedBytes     *Gauge
+	// Worker cache (internal/cache + sim storage). The Inserts/UsedBytes
+	// families account the disk tier; the CacheMem* families account the
+	// RAM-backed tier (PR 8), so "zero disk inserts" for handle-resident
+	// results is directly observable as CacheInserts staying flat while
+	// CacheMemInserts grows.
+	CacheHits           *Counter
+	CacheMisses         *Counter
+	CacheInserts        *Counter
+	CacheInsertBytes    *Counter
+	CacheEvictions      *Counter
+	CacheEvictionBytes  *Counter
+	CacheUsedBytes      *Gauge
+	CacheMemHits        *Counter
+	CacheMemInserts     *Counter
+	CacheMemInsertBytes *Counter
+	CacheMemSpills      *Counter
+	CacheMemSpillBytes  *Counter
+	CacheMemPromotions  *Counter
+	CacheMemUsedBytes   *Gauge
 
 	// Worker sandbox lifecycle and peer transfer service.
 	SandboxesCreated       *Counter
@@ -188,7 +199,21 @@ func ForRegistry(r *Registry) *VineMetrics {
 		CacheEvictionBytes: r.Counter("vine_cache_eviction_bytes_total",
 			"Bytes evicted from worker caches for space."),
 		CacheUsedBytes: r.Gauge("vine_cache_used_bytes",
-			"Bytes currently accounted to cached objects."),
+			"Bytes currently accounted to disk-tier cached objects."),
+		CacheMemHits: r.Counter("vine_cache_mem_hits_total",
+			"Cache reads served straight from the memory tier."),
+		CacheMemInserts: r.Counter("vine_cache_mem_inserts_total",
+			"Objects inserted into the memory tier of a worker cache."),
+		CacheMemInsertBytes: r.Counter("vine_cache_mem_insert_bytes_total",
+			"Bytes inserted into memory tiers of worker caches."),
+		CacheMemSpills: r.Counter("vine_cache_mem_spills_total",
+			"Memory-tier objects spilled to disk under memory pressure."),
+		CacheMemSpillBytes: r.Counter("vine_cache_mem_spill_bytes_total",
+			"Bytes spilled from memory tiers to disk."),
+		CacheMemPromotions: r.Counter("vine_cache_mem_promotions_total",
+			"Hot disk-tier objects promoted into the memory tier on access."),
+		CacheMemUsedBytes: r.Gauge("vine_cache_mem_used_bytes",
+			"Bytes currently accounted to memory-tier cached objects."),
 
 		SandboxesCreated: r.Counter("vine_sandboxes_created_total",
 			"Task sandboxes created."),

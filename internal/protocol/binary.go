@@ -96,6 +96,7 @@ const (
 	fOffset         = 25
 	fTotal          = 26
 	fPeerAddrs      = 27
+	fTier           = 28
 )
 
 // Spec field IDs (nested message, its own field space).
@@ -113,6 +114,8 @@ const (
 	sMaxRetries    = 11
 	sMaxRunSeconds = 12
 	sCategory      = 13
+	sArgsFrom      = 14
+	sResident      = 15
 )
 
 const (
@@ -303,6 +306,10 @@ func appendSpec(b []byte, field int, s *taskspec.Spec) []byte {
 		v = binary.AppendUvarint(v, math.Float64bits(s.MaxRunSeconds))
 	}
 	v = appendStringField(v, sCategory, s.Category)
+	v = appendStringField(v, sArgsFrom, s.ArgsFrom)
+	if s.Resident {
+		v = appendVarintField(v, sResident, 1)
+	}
 	// A spec that encodes to nothing still marks presence with an empty
 	// nested field, so decode restores a non-nil *Spec.
 	b = appendTag(b, field, wireBytes)
@@ -346,6 +353,7 @@ func encodeMessage(b []byte, m *Message) []byte {
 	b = appendVarintField(b, fOffset, m.Offset)
 	b = appendVarintField(b, fTotal, m.Total)
 	b = appendStrings(b, fPeerAddrs, m.PeerAddrs)
+	b = appendVarintField(b, fTier, int64(m.Tier))
 	return b
 }
 
@@ -576,6 +584,12 @@ func decodeSpec(b []byte) (*taskspec.Spec, error) {
 			s.MaxRunSeconds = math.Float64frombits(u)
 		case sCategory:
 			s.Category, err = d.str()
+		case sArgsFrom:
+			s.ArgsFrom, err = d.str()
+		case sResident:
+			var v int64
+			v, err = d.varint()
+			s.Resident = v != 0
 		default:
 			err = d.skip(wire)
 		}
@@ -677,6 +691,10 @@ func decodeMessage(b []byte) (*Message, error) {
 			if v, err = d.bytes(); err == nil {
 				m.PeerAddrs, err = decodeStrings(v)
 			}
+		case fTier:
+			var v int64
+			v, err = d.varint()
+			m.Tier = int(v)
 		default:
 			err = d.skip(wire)
 		}

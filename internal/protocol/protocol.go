@@ -128,6 +128,10 @@ type Message struct {
 	// rather than raw file bytes.
 	Dir        bool   `json:"dir,omitempty"`
 	Lifetime   int    `json:"lifetime,omitempty"`
+	// Tier reports which storage tier holds the object named by a
+	// cache-update (0 disk, 1 memory), so the manager can distinguish
+	// RAM-resident handle results from disk-materialized objects.
+	Tier int `json:"tier,omitempty"`
 	URL        string `json:"url,omitempty"`
 	PeerAddr   string `json:"peer_addr,omitempty"`
 	TransferID string `json:"transfer_id,omitempty"`

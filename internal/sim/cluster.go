@@ -77,6 +77,7 @@ type simWorker struct {
 	ep        *Endpoint
 	pool      *resources.Pool
 	cacheUsed int64
+	memUsed   int64
 	running   map[int]bool
 	joinOrder int
 	joined    bool
@@ -265,6 +266,8 @@ func (c *Cluster) workerLeave(w *simWorker) {
 	// Reset the pool and cache: the node is gone.
 	w.pool = resources.NewPool(resources.R{Cores: w.spec.Cores, Disk: w.spec.Disk, Memory: resources.TB})
 	w.cacheUsed = 0
+	c.vm.CacheMemUsedBytes.Add(-float64(w.memUsed))
+	w.memUsed = 0
 	w.cache = nil
 	w.materializing = make(map[string]bool)
 	w.libReady = make(map[string]bool)
@@ -764,10 +767,7 @@ func (c *Cluster) finishRun(id int, t *simTask, w *simWorker) {
 	}
 	// In-cluster mode: outputs appear in the worker's cache as temps.
 	for _, out := range t.t.Outputs {
-		if f := c.workload.Files[out.ID]; f != nil {
-			c.admit(w, f)
-		}
-		c.store(w, out.ID, out.Size)
+		c.storeOutput(w, out.ID, out.Size)
 	}
 	c.completeTask(id, t, w)
 }

@@ -14,6 +14,13 @@ import (
 // least-recently-used (§2.1: storage resources are enforced at the worker
 // and controlled by the manager, including cache admittance and eviction).
 
+// Storage tiers, mirroring internal/cache: disk is the default; memory
+// holds small hot objects (task outputs) when the worker carries a budget.
+const (
+	tierDisk = iota
+	tierMemory
+)
+
 // cachedObject tracks one object resident at a simulated worker.
 type cachedObject struct {
 	id      string
@@ -21,6 +28,8 @@ type cachedObject struct {
 	lastUse float64
 	// pins counts running tasks using the object.
 	pins int
+	// tier is the object's storage tier (tierDisk or tierMemory).
+	tier int
 }
 
 // storageOf lazily initializes a worker's cache map.
@@ -51,10 +60,11 @@ func (c *Cluster) admit(w *simWorker, f *File) bool {
 	if w.cacheUsed+f.Size <= w.spec.Disk {
 		return true
 	}
-	// Gather victims: unpinned, not currently being materialized.
+	// Gather victims: disk tier (memory residents free no disk space),
+	// unpinned, not currently being materialized.
 	var victims []*cachedObject
 	for id, obj := range cache { // hotpath-ok: eviction scan, only when one worker's disk is full
-		if obj.pins > 0 || w.materializing[id] {
+		if obj.tier != tierDisk || obj.pins > 0 || w.materializing[id] {
 			continue
 		}
 		victims = append(victims, obj)
@@ -102,6 +112,70 @@ func (c *Cluster) store(w *simWorker, fileID string, size int64) {
 	c.reps.Commit(fileID, w.spec.ID)
 }
 
+// storeOutput records a task output, preferring the memory tier when the
+// worker carries a memory budget — the simulator's mirror of
+// cache.PutBytes. Memory residents spill LRU-first to disk under budget
+// pressure; objects larger than the whole budget go straight to disk.
+func (c *Cluster) storeOutput(w *simWorker, fileID string, size int64) {
+	budget := w.spec.MemoryBudget
+	if budget <= 0 || size > budget {
+		if f := c.workload.Files[fileID]; f != nil {
+			c.admit(w, f)
+		}
+		c.store(w, fileID, size)
+		return
+	}
+	cache := w.storage()
+	if _, ok := cache[fileID]; ok {
+		return
+	}
+	for w.memUsed+size > budget {
+		v := c.oldestMemoryResident(w)
+		if v == nil {
+			break
+		}
+		c.spill(w, v)
+	}
+	if w.memUsed+size > budget {
+		c.store(w, fileID, size)
+		return
+	}
+	cache[fileID] = &cachedObject{id: fileID, size: size, lastUse: c.eng.Now(), tier: tierMemory}
+	w.memUsed += size
+	c.vm.CacheMemInserts.Inc()
+	c.vm.CacheMemInsertBytes.Add(size)
+	c.vm.CacheMemUsedBytes.Add(float64(size))
+	c.reps.Commit(fileID, w.spec.ID)
+}
+
+// spill relocates a memory resident to the disk tier, mirroring
+// cache.spillLocked: the object stays resident — only its tier and
+// accounting move — so pinned objects are spillable too.
+func (c *Cluster) spill(w *simWorker, obj *cachedObject) {
+	obj.tier = tierDisk
+	w.memUsed -= obj.size
+	w.cacheUsed += obj.size
+	c.vm.CacheMemSpills.Inc()
+	c.vm.CacheMemSpillBytes.Add(obj.size)
+	c.vm.CacheMemUsedBytes.Add(-float64(obj.size))
+}
+
+// oldestMemoryResident picks the LRU memory-tier object (ID tie-break for
+// determinism), or nil when the tier is empty.
+func (c *Cluster) oldestMemoryResident(w *simWorker) *cachedObject {
+	var best *cachedObject
+	for _, obj := range w.storage() { // hotpath-ok: spill scan, only when one worker's memory budget is full
+		if obj.tier != tierMemory {
+			continue
+		}
+		if best == nil || obj.lastUse < best.lastUse ||
+			(obj.lastUse == best.lastUse && obj.id < best.id) {
+			best = obj
+		}
+	}
+	return best
+}
+
 // evict removes an object from the worker and the replica table, recording
 // the trace event the worker's cache-invalid message would produce.
 func (c *Cluster) evict(w *simWorker, fileID string) {
@@ -111,7 +185,12 @@ func (c *Cluster) evict(w *simWorker, fileID string) {
 		return
 	}
 	delete(cache, fileID)
-	w.cacheUsed -= obj.size
+	if obj.tier == tierMemory {
+		w.memUsed -= obj.size
+		c.vm.CacheMemUsedBytes.Add(-float64(obj.size))
+	} else {
+		w.cacheUsed -= obj.size
+	}
 	c.reps.Remove(fileID, w.spec.ID)
 	c.log.Add(trace.Event{
 		Time: c.eng.Now(), Kind: trace.FileEvicted, Worker: w.spec.ID, File: fileID,

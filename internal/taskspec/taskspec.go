@@ -119,6 +119,16 @@ type Spec struct {
 	Function string `json:"function,omitempty"`
 	// Args carries the serialized function arguments (KindFunction).
 	Args []byte `json:"args,omitempty"`
+	// ArgsFrom names a cached object whose contents replace Args at the
+	// worker (KindFunction): the pass-by-reference leg of a chained
+	// serverless call. The object must also appear as an input mount so
+	// the scheduler stages it before dispatch.
+	ArgsFrom string `json:"args_from,omitempty"`
+	// Resident asks the worker to keep the function result in its cache
+	// (memory tier when budgeted) under the declared output mounts instead
+	// of shipping the bytes back inline; the manager hands the caller a
+	// handle to the worker-resident object.
+	Resident bool `json:"resident,omitempty"`
 
 	Inputs  []Mount `json:"inputs,omitempty"`
 	Outputs []Mount `json:"outputs,omitempty"`
@@ -206,6 +216,21 @@ func (s *Spec) Validate() error {
 	case KindFunction:
 		if s.Function == "" {
 			return fmt.Errorf("task %d: function task without function name", s.ID)
+		}
+		if s.ArgsFrom != "" {
+			found := false
+			for _, m := range s.Inputs {
+				if m.FileID == s.ArgsFrom {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("task %d: args_from %q is not an input mount", s.ID, s.ArgsFrom)
+			}
+		}
+		if s.Resident && len(s.Outputs) == 0 {
+			return fmt.Errorf("task %d: resident function task without an output mount", s.ID)
 		}
 	case KindLibrary:
 		if s.Library == "" {

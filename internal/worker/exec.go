@@ -127,7 +127,9 @@ func (w *Worker) executeTask(ctx context.Context, spec *taskspec.Spec) {
 // extracts declared outputs into the cache.
 func (w *Worker) runCommandTask(ctx context.Context, spec *taskspec.Spec) {
 	t0 := time.Now()
-	// Pin inputs so concurrent cache pressure cannot evict them mid-task.
+	// Pin inputs so concurrent cache pressure cannot evict them mid-task,
+	// and materialize memory-resident objects: the sandbox links inputs
+	// from their on-disk cache paths.
 	var pinned []string
 	for _, m := range spec.Inputs {
 		if err := w.cache.Pin(m.FileID); err != nil {
@@ -137,6 +139,12 @@ func (w *Worker) runCommandTask(ctx context.Context, spec *taskspec.Spec) {
 			return
 		}
 		pinned = append(pinned, m.FileID)
+		if err := w.cache.Materialize(m.FileID); err != nil {
+			w.unpin(pinned)
+			w.sendComplete(spec, true, 1, nil, nil, 0, 0,
+				fmt.Errorf("materializing input %s: %w", m.FileID, err))
+			return
+		}
 	}
 	defer w.unpin(pinned)
 
@@ -383,30 +391,79 @@ func (w *Worker) runFunction(ctx context.Context, spec *taskspec.Spec) {
 		defer eph.Stop()
 	}
 
+	args, err := w.resolveArgs(spec)
+	if err != nil {
+		w.sendComplete(spec, true, 1, nil, nil, stagedMS, 0, err)
+		return
+	}
 	t1 := time.Now()
 	res := inst.Invoke(serverless.InvokeMessage{
 		InvocationID: spec.ID,
 		Function:     spec.Function,
-		Args:         json.RawMessage(spec.Args),
+		Args:         json.RawMessage(args),
 	})
 	runMS := time.Since(t1).Milliseconds()
 	if !res.OK {
 		w.sendComplete(spec, true, 1, nil, nil, stagedMS, runMS, fmt.Errorf("%s", res.Error))
 		return
 	}
-	// A function task may declare outputs: the convention is that a
-	// single declared output receives the serialized result as its
-	// content, making function results first-class files.
+	// A function task may declare outputs: the convention is that each
+	// declared output receives the serialized result as its content,
+	// making function results first-class files. They land in the memory
+	// tier when budgeted, so chained calls read them without disk IO.
+	outputs, err := w.storeResult(spec, res.Result)
+	if err != nil {
+		w.sendComplete(spec, true, 1, nil, nil, stagedMS, runMS, err)
+		return
+	}
+	inline := res.Result
+	if spec.Resident {
+		// The caller holds a handle; shipping the bytes to the manager
+		// would defeat pass-by-reference.
+		inline = nil
+	}
+	w.sendComplete(spec, true, 0, inline, outputs, stagedMS, runMS, nil)
+}
+
+// resolveArgs returns a function call's arguments, dereferencing ArgsFrom
+// into the cached object's bytes — the pass-by-reference leg of a chained
+// invocation. The object is pinned for the duration of the read; the
+// returned slice may be shared immutable storage and must not be mutated.
+func (w *Worker) resolveArgs(spec *taskspec.Spec) ([]byte, error) {
+	if spec.ArgsFrom == "" {
+		return spec.Args, nil
+	}
+	if err := w.cache.Pin(spec.ArgsFrom); err != nil {
+		return nil, fmt.Errorf("args object %s missing from cache: %w", spec.ArgsFrom, err)
+	}
+	defer w.cache.Unpin(spec.ArgsFrom)
+	if b, ok := w.cache.MemoryBytes(spec.ArgsFrom); ok {
+		return b, nil
+	}
+	r, _, err := w.cache.Open(spec.ArgsFrom)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// storeResult lands a function result in the cache under each declared
+// output mount (memory tier when budgeted) and reports any evictions the
+// insertion pressure caused, so the manager's replica table converges
+// before it sees the completion's outputs.
+func (w *Worker) storeResult(spec *taskspec.Spec, result []byte) ([]protocol.OutputInfo, error) {
 	var outputs []protocol.OutputInfo
 	for _, m := range spec.Outputs {
-		if err := w.cache.Put(m.FileID, int64(len(res.Result)), cache.LifetimeWorkflow,
-			bytes.NewReader(res.Result)); err != nil {
-			w.sendComplete(spec, true, 1, nil, nil, stagedMS, runMS, err)
-			return
+		if err := w.cache.PutBytes(m.FileID, cache.LifetimeWorkflow, result); err != nil {
+			return nil, err
 		}
-		outputs = append(outputs, protocol.OutputInfo{CacheName: m.FileID, Size: int64(len(res.Result))})
+		outputs = append(outputs, protocol.OutputInfo{CacheName: m.FileID, Size: int64(len(result))})
 	}
-	w.sendComplete(spec, true, 0, res.Result, outputs, stagedMS, runMS, nil)
+	if len(outputs) > 0 {
+		w.reportEvictions()
+	}
+	return outputs, nil
 }
 
 // handleInvoke routes a FunctionCall directly to a running library
@@ -427,18 +484,35 @@ func (w *Worker) handleInvoke(spec *taskspec.Spec) {
 			fmt.Errorf("no running instance of library %q", spec.Library))
 		return
 	}
+	args, err := w.resolveArgs(spec)
+	if err != nil {
+		w.sendComplete(spec, false, 1, nil, nil, 0, 0, err)
+		return
+	}
 	t0 := time.Now()
 	res := inst.Invoke(serverless.InvokeMessage{
 		InvocationID: spec.ID,
 		Function:     spec.Function,
-		Args:         json.RawMessage(spec.Args),
+		Args:         json.RawMessage(args),
 	})
 	runMS := time.Since(t0).Milliseconds()
 	if !res.OK {
 		w.sendComplete(spec, false, 1, nil, nil, 0, runMS, fmt.Errorf("%s", res.Error))
 		return
 	}
-	w.sendComplete(spec, false, 0, res.Result, nil, 0, runMS, nil)
+	// A resident invocation leaves its result in this worker's cache under
+	// the declared output mounts; the completion reports the outputs so
+	// the manager records the replica, and the bytes stay here.
+	outputs, err := w.storeResult(spec, res.Result)
+	if err != nil {
+		w.sendComplete(spec, false, 1, nil, nil, 0, runMS, err)
+		return
+	}
+	inline := res.Result
+	if spec.Resident {
+		inline = nil
+	}
+	w.sendComplete(spec, false, 0, inline, outputs, 0, runMS, nil)
 }
 
 // handleMini materializes a file by executing its MiniTask specification
@@ -470,6 +544,10 @@ func (w *Worker) handleMini(ctx context.Context, m *protocol.Message) {
 			return
 		}
 		pinned = append(pinned, in.FileID)
+		if err := w.cache.Materialize(in.FileID); err != nil {
+			fail(fmt.Errorf("materializing minitask input %s: %w", in.FileID, err))
+			return
+		}
 	}
 	sb, err := sandbox.Create(filepath.Join(w.cfg.WorkDir, "sandboxes"), w.sandboxName(spec.ID),
 		spec.Inputs, spec.Outputs, w.cache.Path)
@@ -513,9 +591,16 @@ func (w *Worker) destroySandbox(sb *sandbox.Sandbox) {
 	w.vm.SandboxesDestroyed.Inc()
 }
 
+// unpin releases a task's input pins. Releasing a pin may fire a deferred
+// delete (the manager asked for a removal while the task was running), so
+// any removals are reported immediately rather than waiting for the next
+// cache-update.
 func (w *Worker) unpin(names []string) {
 	for _, n := range names {
 		w.cache.Unpin(n)
+	}
+	if len(names) > 0 {
+		w.reportEvictions()
 	}
 }
 

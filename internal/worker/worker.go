@@ -48,6 +48,10 @@ type Config struct {
 	// CacheCapacity bounds cache disk use in bytes; defaults to
 	// Capacity.Disk, or 1 GB if that is also zero.
 	CacheCapacity int64
+	// MemoryBudget bounds the cache's RAM-backed object tier in bytes.
+	// Zero defaults to a quarter of Capacity.Memory; a negative value
+	// disables the memory tier entirely (all objects land on disk).
+	MemoryBudget int64
 	// ID identifies the worker; generated from the hostname and PID when
 	// empty.
 	ID string
@@ -138,6 +142,12 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.CacheCapacity == 0 {
 		cfg.CacheCapacity = resources.GB
 	}
+	if cfg.MemoryBudget == 0 {
+		cfg.MemoryBudget = cfg.Capacity.Memory / 4
+	}
+	if cfg.MemoryBudget < 0 {
+		cfg.MemoryBudget = 0
+	}
 	if cfg.MaxConcurrentTransfers <= 0 {
 		cfg.MaxConcurrentTransfers = 8
 	}
@@ -166,6 +176,7 @@ func New(cfg Config) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.SetMemoryBudget(cfg.MemoryBudget)
 	if cfg.Logger != nil {
 		logger := cfg.Logger
 		c.SetLogger(func(format string, args ...any) { logger.Printf(format, args...) })
@@ -387,6 +398,9 @@ func (w *Worker) cacheUpdate(name string, size int64, transferID string, err err
 		TransferID: transferID,
 		Status:     protocol.StatusOK,
 	}
+	if e, ok := w.cache.Lookup(name); ok {
+		m.Tier = int(e.Tier)
+	}
 	if err != nil {
 		m.Status = protocol.StatusFailed
 		m.Error = err.Error()
@@ -441,6 +455,14 @@ func (w *Worker) putDir(name string, size int64, lt cache.Lifetime, payload io.R
 	return w.cache.Commit(name)
 }
 
+// memReader adapts an in-RAM object to the ReadCloser contract while
+// keeping Seek available for ranged serving.
+type memReader struct {
+	*bytes.Reader
+}
+
+func (memReader) Close() error { return nil }
+
 // openObject returns a payload reader for a cached object, packing
 // directory objects into tar streams, along with the payload's hex MD5 so
 // receivers can verify integrity end to end. An unhashable file (raced
@@ -452,6 +474,11 @@ func (w *Worker) openObject(name string) (r io.ReadCloser, size int64, dir bool,
 		return nil, 0, false, "", fmt.Errorf("worker: %s not present", name)
 	}
 	if !e.Dir {
+		// Memory-tier objects are hashed and served straight from RAM; the
+		// bytes never touch disk on the serving side.
+		if b, ok := w.cache.MemoryBytes(name); ok {
+			return memReader{bytes.NewReader(b)}, int64(len(b)), false, string(hashing.HashBytes(b)), nil
+		}
 		if d, herr := hashing.HashFile(w.cache.Path(name)); herr == nil {
 			sum = string(d)
 		}

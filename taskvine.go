@@ -340,6 +340,44 @@ func (m *Manager) Invoke(library, function string, args []byte) (int, error) {
 	return m.core.Invoke(library, function, args)
 }
 
+// Handle is a pass-by-reference name for a function result left resident
+// in a worker's cache (preferentially its in-memory tier). A Handle moves
+// through the manager as a name only; the bytes it denotes stay in the
+// cluster until fetched or the workflow ends.
+type Handle struct{ id string }
+
+// ID returns the handle's cache name.
+func (h Handle) ID() string { return h.id }
+
+// File converts the handle into a File so the resident object can be
+// mounted as an input of an ordinary task.
+func (h Handle) File() File { return File{h.id} }
+
+// InvokeResident calls a function like Invoke but leaves the result
+// resident at the executing worker instead of shipping it back inline. The
+// returned Handle names the result; chain it with InvokeChained, mount it
+// via Handle.File, or FetchFile it to materialize the bytes:
+//
+//	_, h, _ := m.InvokeResident("math", "double", []byte("[1]"))
+//	for i := 0; i < 10; i++ {
+//		_, h, _ = m.InvokeChained("math", "double", h)
+//	}
+//	final, _ := m.FetchFile(ctx, h.File())
+//
+// The intermediate results of the chain above never leave the worker.
+func (m *Manager) InvokeResident(library, function string, args []byte) (int, Handle, error) {
+	id, hid, err := m.core.InvokeResident(library, function, args)
+	return id, Handle{hid}, err
+}
+
+// InvokeChained calls a function whose argument bytes are the contents of
+// a previously returned Handle, resolved at the worker holding them. The
+// result is again left resident and named by the returned Handle.
+func (m *Manager) InvokeChained(library, function string, h Handle) (int, Handle, error) {
+	id, hid, err := m.core.InvokeChained(library, function, h.id)
+	return id, Handle{hid}, err
+}
+
 // Cancel aborts a submitted task. Waiting tasks finish immediately with a
 // cancellation result; running tasks are killed at their worker and finish
 // when the worker confirms. Cancelling an unknown or finished task errors.

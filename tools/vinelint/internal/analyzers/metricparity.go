@@ -90,8 +90,42 @@ func runMetricParity(pass *lint.Pass) error {
 		}
 	}
 
+	checkBytesCounterPairs(pass, regs, registered)
 	checkVineMetricsStruct(pass)
 	return nil
+}
+
+// checkBytesCounterPairs requires every byte-volume counter to ship with
+// an event-count companion. A lone <stem>_bytes_total cannot be turned
+// into an average object size and is the signature of a half-added
+// family — the exact hazard when a tier grows a new instrument set, as
+// with vine_cache_mem_insert_bytes_total / vine_cache_mem_inserts_total
+// or vine_cache_mem_spill_bytes_total / vine_cache_mem_spills_total. The
+// companion is the pluralized stem: either <stem>s_total exactly, or any
+// counter prefixed <stem>s_ (vine_transfer_bytes_total is satisfied by
+// vine_transfers_completed_total).
+func checkBytesCounterPairs(pass *lint.Pass, regs []registration, registered map[string]*registration) {
+	for i := range regs {
+		r := &regs[i]
+		if !r.counter || !strings.HasSuffix(r.name, "_bytes_total") {
+			continue
+		}
+		stem := strings.TrimSuffix(r.name, "_bytes_total")
+		if registered[stem+"s_total"] != nil {
+			continue
+		}
+		paired := false
+		for name, companion := range registered {
+			if companion.counter && strings.HasPrefix(name, stem+"s_") {
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			pass.Report(r.pos,
+				"byte counter %q has no event-count companion (%ss_total or %ss_*): register the count alongside the volume so the family stays interpretable", r.name, stem, stem)
+		}
+	}
 }
 
 // collectRegistrations finds every Registry instrument-constructor call

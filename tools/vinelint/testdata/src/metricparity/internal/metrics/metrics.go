@@ -46,6 +46,9 @@ type VineMetrics struct {
 	DiskTotal   *Gauge
 	BytesSent   *Counter
 	WaitTime    *Histogram
+	Inserts     *Counter
+	InsertBytes *Counter
+	SpillBytes  *Counter
 	Orphan      *Gauge // want:metricparity "VineMetrics.Orphan is not assigned in ForRegistry"
 
 	reg *Registry // not an instrument: exempt from the parity check
@@ -62,6 +65,12 @@ func ForRegistry(r *Registry) *VineMetrics {
 		DiskTotal:   r.Gauge("vine_disk_total", "bytes on disk"),          // want:metricparity "ends in _total but is not a counter"
 		BytesSent:   r.Counter("vine_bytes_sent_total", "payload bytes"),  // want:metricparity "buries the _bytes unit mid-name"
 		WaitTime:    r.Histogram("vine_wait_seconds", "queue wait"),
+		// A byte-volume counter is fine when its event-count companion
+		// is registered alongside it...
+		Inserts:     r.Counter("vine_inserts_total", "insert events"),
+		InsertBytes: r.Counter("vine_insert_bytes_total", "insert volume"),
+		// ...and a diagnostic when it stands alone.
+		SpillBytes: r.Counter("vine_spill_bytes_total", "spill volume"), // want:metricparity "byte counter \"vine_spill_bytes_total\" has no event-count companion"
 
 		reg: r,
 	}
