@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet race fuzz chaos bench bench-diff ci
+.PHONY: all build test lint vet race fuzz chaos bench bench-diff cover cover-update ci
 
 all: build
 
@@ -53,6 +53,24 @@ chaos:
 	VINE_CHAOS_SEED=1 $(GO) test -race -count=1 -run Chaos ./...
 	VINE_CHAOS_SEED=2 $(GO) test -race -count=1 -run Chaos ./...
 
+# cover measures per-package statement coverage and gates it against the
+# floors in COVERAGE.json (tools/covercheck). The full per-package report
+# lands in COVERAGE_REPORT.json — a non-gating artifact CI uploads so
+# coverage trends stay visible — while the floors (internal/core,
+# internal/sim) fail the build on regression. cover-update additionally
+# refreshes the recorded "measured" section of COVERAGE.json after an
+# intentional change.
+cover:
+	$(GO) test -cover ./... > COVER.out || { cat COVER.out; rm -f COVER.out; exit 1; }
+	cat COVER.out
+	$(GO) run ./tools/covercheck -ratchet COVERAGE.json -report COVERAGE_REPORT.json < COVER.out
+	rm -f COVER.out
+
+cover-update:
+	$(GO) test -cover ./... > COVER.out || { cat COVER.out; rm -f COVER.out; exit 1; }
+	$(GO) run ./tools/covercheck -ratchet COVERAGE.json -report COVERAGE_REPORT.json -update < COVER.out
+	rm -f COVER.out
+
 # bench runs the dispatch, scheduler-pass, protocol, and hashing
 # benchmarks with -count=5 (enough repetitions for benchstat-style
 # comparison), plus one full 50k-task simulated workflow, and records the
@@ -76,4 +94,4 @@ bench-diff:
 		./internal/workloads >> BENCH_new.json
 	$(GO) run ./tools/benchdiff BENCH_core.json BENCH_new.json | tee BENCH_DIFF.txt
 
-ci: build lint race chaos fuzz
+ci: build lint race chaos fuzz cover

@@ -28,6 +28,7 @@ func (m *Manager) handleMessage(ev event) {
 	case protocol.TypeCacheUpdate:
 		m.handleCacheUpdate(msg)
 	case protocol.TypeCacheInvalid:
+		m.placementGone(msg.CacheName, msg.WorkerID)
 		m.reps.Remove(msg.CacheName, msg.WorkerID)
 		m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.FileEvicted, Worker: msg.WorkerID, File: msg.CacheName})
 		// Staging tasks that counted on the evicted replica must replan.
@@ -145,6 +146,7 @@ func (m *Manager) handleCacheUpdate(msg *protocol.Message) {
 				File: msg.CacheName, Bytes: msg.Size, Source: sourceLabel(tr.Source),
 			})
 			m.clearTransferFailure(msg.CacheName, msg.WorkerID)
+			m.placementLanded(msg.CacheName, msg.WorkerID)
 		} else if ok {
 			m.tlog.Add(trace.Event{
 				Time: m.now(), Kind: trace.TransferFailed, Worker: msg.WorkerID,
@@ -430,6 +432,7 @@ func (m *Manager) workerGone(workerID string) {
 	m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.WorkerLeft, Worker: workerID})
 	m.logf("worker %s left", workerID)
 
+	m.placementDropWorker(workerID)
 	affected := m.reps.DropWorker(workerID)
 	cancelled := m.trs.DropWorker(workerID)
 	for _, tr := range cancelled {
@@ -493,8 +496,14 @@ func (m *Manager) workerGone(workerID string) {
 func (m *Manager) endWorkflow(release bool) {
 	for _, fid := range m.reg.WorkflowGarbage() {
 		for _, wid := range m.reps.Locate(fid) {
+			m.placementGone(fid, wid)
 			m.reps.Remove(fid, wid)
 		}
+	}
+	if release {
+		// Any placement still unresolved when the run ends was moved for
+		// nothing; flush it as waste so the conservation law closes.
+		m.placementFlush()
 	}
 	for _, w := range m.workers {
 		if w.gone {
@@ -573,6 +582,9 @@ func (m *Manager) handleInvoke(ev event) {
 	// Direct route: the instance's static allocation covers execution, so
 	// the task itself holds a zero allocation (balanced by finishTask's
 	// release).
+	for _, mt := range ev.spec.Inputs {
+		m.placementUse(mt.FileID, w.id)
+	}
 	m.setState(id, t, taskspec.StateRunning)
 	t.worker = w.id
 	w.running[id] = true

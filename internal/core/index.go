@@ -119,6 +119,7 @@ func (m *Manager) indexInputs(id int, t *taskState) {
 			m.fileWaiters[in.FileID] = set
 		}
 		set[id] = true
+		m.placementIndex(in.FileID, len(set))
 	}
 }
 
@@ -129,6 +130,7 @@ func (m *Manager) unindexInputs(id int, t *taskState) {
 			if len(set) == 0 {
 				delete(m.fileWaiters, in.FileID)
 			}
+			m.placementIndex(in.FileID, len(set))
 		}
 	}
 }

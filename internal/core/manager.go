@@ -94,6 +94,10 @@ type Config struct {
 	// when a worker advertises binary framing — for netcat debugging and
 	// cross-version tests. Default false: binary is negotiated when offered.
 	DisableBinaryProto bool
+	// Placement configures workflow-aware lookahead placement: prefetching
+	// queued tasks' inputs toward their likely workers and replicating
+	// high-fan-out files ahead of their consumers. Disabled by default.
+	Placement policy.PlacementSpec
 }
 
 // Result is the outcome of one task delivered to the application.
@@ -189,6 +193,9 @@ type Manager struct {
 	// invariant surfaced through DebugReport.
 	eventsHandled int64
 	passes        int64
+	// place is the lookahead placement engine; nil unless cfg.Placement is
+	// enabled. Event-loop-owned like everything above.
+	place *placementEngine
 
 	loopDone chan struct{}
 	closing  bool
@@ -410,6 +417,10 @@ func newManagerState(cfg Config) *Manager {
 	// (queue gauges, pass durations, dispatch latency, submissions).
 	metrics.BridgeTrace(tlog, vm)
 	cfg.Faults.SetMetrics(vm.ChaosInjections)
+	var place *placementEngine
+	if cfg.Placement.Enabled {
+		place = newPlacementEngine(cfg.Placement)
+	}
 	return &Manager{
 		cfg:           cfg,
 		reg:           files.NewRegistry(cfg.Head),
@@ -432,6 +443,7 @@ func newManagerState(cfg Config) *Manager {
 		fileWaiters:   make(map[string]map[int]bool),
 		wakeSet:       make(map[int]bool),
 		stagingDirty:  make(map[int]bool),
+		place:         place,
 		loopDone:      make(chan struct{}),
 		conns:         make(map[*protocol.Conn]struct{}),
 		resSig:        make(chan struct{}, 1),

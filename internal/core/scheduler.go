@@ -58,6 +58,16 @@ func (m *Manager) schedule() {
 		m.vm.SchedulePassSeconds.Observe(time.Since(passStart).Seconds())
 		m.updateGauges()
 	}()
+	m.schedulePass()
+	// Lookahead placement runs strictly after assignment and dispatch, so a
+	// ready task is never delayed by speculative data movement, and inside
+	// the same pass accounting (no extra passes, passes≤events holds).
+	m.placeLookahead()
+}
+
+// schedulePass is the assignment body of schedule: advance staging,
+// reconcile, and walk the marked portion of the waiting queue.
+func (m *Manager) schedulePass() {
 	full := m.needFull
 	m.needFull = false
 	// Advance staging tasks first so freshly arrived data dispatches
@@ -187,7 +197,13 @@ func (m *Manager) tryAssign(id int, t *taskState) bool {
 		return false
 	}
 	needs := m.fileNeeds(t.spec.Inputs)
-	chosen, ok := policy.BestWorker(needs, t.spec.Resources, candidates, view{m})
+	pick := policy.BestWorker
+	if m.place != nil {
+		// Placement-aware dispatch: honor bytes the lookahead engine already
+		// has in flight toward a worker.
+		pick = policy.BestWorkerArrivalAware
+	}
+	chosen, ok := pick(needs, t.spec.Resources, candidates, view{m})
 	if !ok {
 		return false
 	}
@@ -268,7 +284,7 @@ func (m *Manager) progressStaging(id int, t *taskState) {
 	needs := m.fileNeeds(t.spec.Inputs)
 	plan := policy.PlanTransfers(needs, w.id, m.cfg.Limits, view{m})
 	for _, tr := range plan.Transfers {
-		m.startTransfer(tr.File, tr.Source, w)
+		m.startTransfer(tr.File, tr.Source, w, "")
 	}
 	// Materialize MiniTask products whose inputs are now fully present.
 	for _, blockedID := range plan.Blocked {
@@ -304,8 +320,10 @@ func (m *Manager) progressStaging(id int, t *taskState) {
 
 // startTransfer records and issues one supervised transfer instruction.
 // Placements inside a retry backoff window are silently skipped: the
-// per-tick replanner re-offers them until the window opens.
-func (m *Manager) startTransfer(fileID string, src replica.Source, w *workerConn) {
+// per-tick replanner re-offers them until the window opens. detail tags the
+// TransferStart trace event with why the transfer was issued; demand
+// staging passes "" so traces are unchanged unless placement runs.
+func (m *Manager) startTransfer(fileID string, src replica.Source, w *workerConn, detail string) {
 	f, ok := m.reg.Lookup(fileID)
 	if !ok {
 		return
@@ -317,7 +335,7 @@ func (m *Manager) startTransfer(fileID string, src replica.Source, w *workerConn
 	m.reps.Add(fileID, w.id, replica.Pending)
 	m.tlog.Add(trace.Event{
 		Time: m.now(), Kind: trace.TransferStart, Worker: w.id, File: fileID,
-		Source: sourceLabel(src),
+		Source: sourceLabel(src), Detail: detail,
 	})
 	var err error
 	if fault := m.cfg.Faults.At(chaos.Transfer, w.id, fileID); fault.Action != chaos.None {
@@ -426,6 +444,9 @@ func (m *Manager) sendPut(w *workerConn, f *files.File, transferID string) error
 // (§3.1). Materialization is tracked as a pending replica; the worker's
 // cache-update (with no transfer UUID) commits it.
 func (m *Manager) materializeMini(f *files.File, w *workerConn) {
+	for _, in := range f.MiniTask.Inputs {
+		m.placementUse(in.FileID, w.id)
+	}
 	m.reps.Add(f.ID, w.id, replica.Pending)
 	m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.StageStart, Worker: w.id, File: f.ID})
 	err := w.conn.Send(&protocol.Message{
@@ -441,6 +462,9 @@ func (m *Manager) materializeMini(f *files.File, w *workerConn) {
 
 // dispatch sends a fully staged task to its worker.
 func (m *Manager) dispatch(id int, t *taskState, w *workerConn) {
+	for _, mt := range t.spec.Inputs {
+		m.placementUse(mt.FileID, w.id)
+	}
 	m.setState(id, t, taskspec.StateRunning)
 	m.vm.DispatchLatency.Observe(m.now() - t.submitTime)
 	m.tlog.Add(trace.Event{
@@ -521,6 +545,7 @@ func (m *Manager) finishTask(id int, t *taskState, res *Result) {
 // deleteEverywhere removes an object from every worker holding it.
 func (m *Manager) deleteEverywhere(fileID string) {
 	for _, wid := range m.reps.Locate(fileID) {
+		m.placementGone(fileID, wid)
 		if w := m.workers[wid]; w != nil && !w.gone {
 			if err := w.conn.Send(&protocol.Message{Type: protocol.TypeUnlink, CacheName: fileID}); err != nil {
 				m.logf("unlinking %s at %s: %v", fileID, wid, err)
@@ -578,7 +603,7 @@ func (m *Manager) reconcileReplication() {
 			for _, tr := range plan.Transfers {
 				if tr.File == fileID {
 					if w := m.workers[target]; w != nil {
-						m.startTransfer(fileID, tr.Source, w)
+						m.startTransfer(fileID, tr.Source, w, "")
 					}
 				}
 			}

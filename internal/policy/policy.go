@@ -119,6 +119,14 @@ type FileNeed struct {
 	// files that can only be produced in-cluster (temps, minitask
 	// products), which have no fallback.
 	FixedSource *replica.Source
+	// BornAt names the worker currently assigned the task producing this
+	// not-yet-existing file, if any. Lookahead placement treats the file as
+	// if it were already there: a fan-in task becomes ready the moment its
+	// last producer finishes — freeing a core on that very worker — so
+	// gathering siblings toward it is the placement most likely to be
+	// honored by dispatch. Only the placement path fills this; demand
+	// staging ignores it.
+	BornAt string
 }
 
 // View is the read-only cluster state the policy consults. Both the real
@@ -145,6 +153,20 @@ type View interface {
 // fits. This is the "schedule tasks to match the cached files present at
 // each worker" rule.
 func BestWorker(needs []FileNeed, req resources.R, workers []WorkerInfo, v View) (WorkerInfo, bool) {
+	return bestWorker(needs, req, workers, v, false)
+}
+
+// BestWorkerArrivalAware is BestWorker with one extension: input bytes
+// already on their way to a worker count toward locality like bytes landed.
+// Lookahead placement moves inputs ahead of dispatch, so dispatch must
+// credit those arrivals — otherwise it races the speculative transfers it
+// asked for and strands them. Callers use it only when placement is
+// enabled, leaving baseline scheduling decisions untouched.
+func BestWorkerArrivalAware(needs []FileNeed, req resources.R, workers []WorkerInfo, v View) (WorkerInfo, bool) {
+	return bestWorker(needs, req, workers, v, true)
+}
+
+func bestWorker(needs []FileNeed, req resources.R, workers []WorkerInfo, v View, arrivals bool) (WorkerInfo, bool) {
 	best := -1
 	var bestBytes int64 = -1
 	for i, w := range workers {
@@ -153,7 +175,7 @@ func BestWorker(needs []FileNeed, req resources.R, workers []WorkerInfo, v View)
 		}
 		var cached int64
 		for _, n := range needs {
-			if v.HasReplica(n.ID, w.ID) {
+			if v.HasReplica(n.ID, w.ID) || (arrivals && v.TransferPending(n.ID, w.ID)) {
 				if n.Size > 0 {
 					cached += n.Size
 				} else {

@@ -66,6 +66,10 @@ type Cluster struct {
 	scheduled bool // a schedule pass is queued
 	completed int
 
+	// place is the lookahead placement engine; nil unless SetPlacement
+	// enabled it. Mirrors core.Manager.place.
+	place *simPlacement
+
 	// faults is the seeded fault injector; nil disables injection. Because
 	// the injector's decisions depend only on its seed and each site's
 	// opportunity history, a faulted simulation replays bit-for-bit.
@@ -237,6 +241,7 @@ func (c *Cluster) workerLeave(w *simWorker) {
 	c.liveCount--
 	c.workersDirty = true
 	c.log.Add(trace.Event{Time: c.eng.Now(), Kind: trace.WorkerLeft, Worker: w.spec.ID})
+	c.placementDropWorker(w.spec.ID)
 	affected := c.reps.DropWorker(w.spec.ID)
 	for _, tr := range c.trs.DropWorker(w.spec.ID) {
 		if tr.Dest != w.spec.ID {
@@ -336,14 +341,30 @@ func (c *Cluster) setState(id int, t *simTask, s int) {
 	if t.state == s {
 		return
 	}
-	if t.state == 1 {
+	old := t.state
+	if old == 1 {
 		delete(c.staging, id)
 	}
-	c.stateCount[t.state]--
+	c.stateCount[old]--
 	t.state = s
 	c.stateCount[s]++
 	if s == 1 {
 		c.staging[id] = true
+	}
+	// Keep the placement waiter index exact: waiting and staging tasks are
+	// the lookahead's consumers, mirroring core's fileWaiters maintenance.
+	if c.place != nil {
+		wasWaiter := old == 0 || old == 1
+		isWaiter := s == 0 || s == 1
+		if wasWaiter != isWaiter {
+			delta := -1
+			if isWaiter {
+				delta = 1
+			}
+			for _, in := range t.t.Inputs {
+				c.placementWaiters(in, delta)
+			}
+		}
 	}
 }
 
@@ -420,6 +441,10 @@ func (v simView) InFlightOf(f string) int { return v.c.trs.InFlightOf(f) }
 func (c *Cluster) schedule() {
 	c.vm.SchedulePasses.Inc()
 	defer c.updateGauges()
+	// Deferred after updateGauges so it runs first (LIFO): placement plans
+	// strictly after assignment and dispatch, even when the pass bails out
+	// early below with no free cores.
+	defer c.placeLookahead()
 	// Progress staging tasks first (mirrors internal/core.schedule). The
 	// staging index holds exactly the state-1 tasks, so collecting them
 	// costs O(staging), not O(every task ever submitted).
@@ -555,7 +580,13 @@ func (c *Cluster) tryAssign(id int, t *simTask) bool {
 	if req.Cores == 0 {
 		req.Cores = 1
 	}
-	chosen, ok := policy.BestWorker(needs, req, cands, simView{c})
+	pick := policy.BestWorker
+	if c.place != nil {
+		// Placement-aware dispatch: honor bytes the lookahead engine already
+		// has in flight toward a worker.
+		pick = policy.BestWorkerArrivalAware
+	}
+	chosen, ok := pick(needs, req, cands, simView{c})
 	if !ok {
 		return false
 	}
@@ -575,7 +606,7 @@ func (c *Cluster) progressStaging(id int, t *simTask) {
 	needs := c.fileNeeds(t.t.Inputs)
 	plan := policy.PlanTransfers(needs, w.spec.ID, c.limits, simView{c})
 	for _, tr := range plan.Transfers {
-		c.startTransfer(tr.File, tr.Source, w)
+		c.startTransfer(tr.File, tr.Source, w, "")
 	}
 	for _, blockedID := range plan.Blocked {
 		f := c.workload.Files[blockedID]
@@ -607,7 +638,7 @@ func (c *Cluster) progressStaging(id int, t *simTask) {
 	c.startRun(id, t, w)
 }
 
-func (c *Cluster) startTransfer(fileID string, src replica.Source, w *simWorker) {
+func (c *Cluster) startTransfer(fileID string, src replica.Source, w *simWorker, detail string) {
 	f := c.workload.Files[fileID]
 	if !c.admit(w, f) {
 		// The object cannot fit even after eviction; the consumer stays
@@ -622,7 +653,7 @@ func (c *Cluster) startTransfer(fileID string, src replica.Source, w *simWorker)
 	c.reps.Add(fileID, w.spec.ID, replica.Pending)
 	c.log.Add(trace.Event{
 		Time: c.eng.Now(), Kind: trace.TransferStart, Worker: w.spec.ID,
-		File: fileID, Source: c.sourceLabel(src),
+		File: fileID, Source: c.sourceLabel(src), Detail: detail,
 	})
 	var from *Endpoint
 	latency := c.params.TransferLatency + c.framingCost(float64(f.Size))
@@ -649,6 +680,7 @@ func (c *Cluster) startTransfer(fileID string, src replica.Source, w *simWorker)
 			return // worker preempted while the transfer was in flight
 		}
 		if fault.Action != chaos.None && fault.Action != chaos.Slow {
+			c.placementFailed(fileID, w.spec.ID)
 			c.reps.Remove(fileID, w.spec.ID)
 			c.log.Add(trace.Event{
 				Time: c.eng.Now(), Kind: trace.TransferFailed, Worker: w.spec.ID,
@@ -686,6 +718,9 @@ func (c *Cluster) materialize(f *File, w *simWorker) {
 	if !c.admit(w, f) {
 		return
 	}
+	for _, in := range f.MiniInputs {
+		c.placementUse(in, w.spec.ID)
+	}
 	w.materializing[f.ID] = true
 	c.reps.Add(f.ID, w.spec.ID, replica.Pending)
 	c.log.Add(trace.Event{Time: c.eng.Now(), Kind: trace.StageStart, Worker: w.spec.ID, File: f.ID})
@@ -714,6 +749,9 @@ func (c *Cluster) startRun(id int, t *simTask, w *simWorker) {
 		// node held.
 		c.eng.After(0, func() { c.workerLeave(w) })
 		return
+	}
+	for _, in := range t.t.Inputs {
+		c.placementUse(in, w.spec.ID)
 	}
 	c.setState(id, t, 2)
 	t.started = c.eng.Now()
@@ -834,7 +872,7 @@ func (c *Cluster) stageLibraryEnv(w *simWorker, lib *Library, then func()) {
 	needs := c.fileNeeds([]string{lib.EnvFile})
 	plan := policy.PlanTransfers(needs, w.spec.ID, c.limits, simView{c})
 	for _, tr := range plan.Transfers {
-		c.startTransfer(tr.File, tr.Source, w)
+		c.startTransfer(tr.File, tr.Source, w, "")
 	}
 	// MiniProduct environments may need materialization.
 	for _, blockedID := range plan.Blocked {

@@ -1,0 +1,60 @@
+package workloads
+
+// Before/after makespan checks for lookahead placement on the paper's two
+// headline workload shapes. These pin the tentpole's reason to exist: with
+// placement on, BLAST and TopEFT must finish no later — and at these scales
+// measurably earlier — than with placement off, and the baseline (off) runs
+// must remain byte-identical to the golden scheduler.
+
+import (
+	"testing"
+
+	"taskvine/internal/policy"
+	"taskvine/internal/sim"
+)
+
+// runSpan simulates a workload and returns the makespan, with or without
+// default-tuned lookahead placement.
+func runSpan(t *testing.T, w *sim.Workload, placement bool) float64 {
+	t.Helper()
+	c := sim.NewCluster(w, sim.DefaultParams(), policy.Limits{})
+	if placement {
+		c.SetPlacement(policy.PlacementSpec{Enabled: true})
+	}
+	span := c.Run()
+	if c.CompletedTasks() != len(w.Tasks) {
+		t.Fatalf("completed %d/%d tasks (placement=%v)", c.CompletedTasks(), len(w.Tasks), placement)
+	}
+	return span
+}
+
+// placementBlast is the BLAST shape the tentpole targets: sequence-heavy
+// batched queries (one 25 MB FASTA split shared by each batch of 12 tasks)
+// on a modest pool, so each wave's batch file is a high-fan-out input that
+// speculative replication can spread ahead of the wave. goldenBlast itself
+// (tiny per-task queries, all workers present at t=0) has no
+// placement-addressable transfer time and stays byte-identical under the
+// golden determinism suite.
+func placementBlast() *sim.Workload {
+	return Blast(BlastConfig{Tasks: 120, Workers: 10, CoresPerWorker: 2,
+		SoftwareTarMB: 30, DatabaseTarMB: 150, QueryRuntime: 5, UnpackRate: 100e6,
+		QueryMB: 25, QueryBatch: 12})
+}
+
+func TestPlacementImprovesBlastMakespan(t *testing.T) {
+	off := runSpan(t, placementBlast(), false)
+	on := runSpan(t, placementBlast(), true)
+	t.Logf("blast makespan: off=%.1fs on=%.1fs (%.1f%%)", off, on, 100*(off-on)/off)
+	if on >= off {
+		t.Fatalf("placement did not improve BLAST makespan: %.3fs on vs %.3fs off", on, off)
+	}
+}
+
+func TestPlacementImprovesTopEFTMakespan(t *testing.T) {
+	off := runSpan(t, goldenTopEFT(), false)
+	on := runSpan(t, goldenTopEFT(), true)
+	t.Logf("topeft makespan: off=%.1fs on=%.1fs (%.1f%%)", off, on, 100*(off-on)/off)
+	if on >= off {
+		t.Fatalf("placement did not improve TopEFT makespan: %.3fs on vs %.3fs off", on, off)
+	}
+}

@@ -54,6 +54,15 @@ type BlastConfig struct {
 	DatabaseTarMB  float64 // compressed landmark database
 	QueryRuntime   float64 // seconds per query task
 	UnpackRate     float64 // bytes/second of MiniTask unpacking
+	// QueryMB sizes each query file; zero means the paper's tiny 2 KB
+	// queries. Large query batches model the sequence-heavy runs where
+	// per-task input movement, not the shared database, dominates transfer
+	// time.
+	QueryMB float64
+	// QueryBatch shares one query file among this many consecutive tasks
+	// (BLAST batches sequences into one FASTA input per split). Zero or one
+	// keeps the per-task query files.
+	QueryBatch int
 	// Hot prestages the unpacked software and database on every worker,
 	// modeling the persistent cache of a previous run (Figure 9b).
 	Hot bool
@@ -88,11 +97,24 @@ func Blast(cfg BlastConfig) *sim.Workload {
 			MiniInputs: []string{"url-landmark.tar"}, UnpackRate: cfg.UnpackRate,
 			Lifetime: files.LifetimeWorker},
 	}}
+	qSize := int64(2048)
+	if cfg.QueryMB > 0 {
+		qSize = int64(cfg.QueryMB * 1e6)
+	}
 	r := newRNG(9)
 	for i := 0; i < cfg.Tasks; i++ {
 		qid := fmt.Sprintf("query-%d", i)
-		w.Files[qid] = &sim.File{ID: qid, Size: 2048, Kind: sim.FromManager,
-			Lifetime: files.LifetimeTask}
+		life := files.LifetimeTask
+		if cfg.QueryBatch > 1 {
+			// One shared FASTA split per batch of tasks, cached like the
+			// database so later batch members reuse the worker's copy.
+			qid = fmt.Sprintf("query-%03d", i/cfg.QueryBatch)
+			life = files.LifetimeWorker
+		}
+		if w.Files[qid] == nil {
+			w.Files[qid] = &sim.File{ID: qid, Size: qSize, Kind: sim.FromManager,
+				Lifetime: life}
+		}
 		w.Tasks = append(w.Tasks, &sim.Task{
 			ID:       i + 1,
 			Inputs:   []string{qid, "blast", "landmark"},

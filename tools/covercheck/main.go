@@ -1,0 +1,165 @@
+// Command covercheck turns `go test -cover` output into a coverage report
+// and gates it against the ratchet file COVERAGE.json.
+//
+// Usage:
+//
+//	go test -cover ./... | go run ./tools/covercheck -ratchet COVERAGE.json [-report FILE] [-update]
+//
+// The ratchet file has two sections: "floors" maps a package to the
+// minimum statement coverage it must keep (gating — the build fails when a
+// floored package measures below its floor or stops reporting), and
+// "measured" records the last accepted per-package numbers (non-gating —
+// a trend report for reviewers, refreshed with -update). Only stdlib is
+// used, so the tool runs anywhere the repo builds.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Ratchet is the COVERAGE.json schema.
+type Ratchet struct {
+	// Floors maps package import paths to gating minimum coverage (percent).
+	Floors map[string]float64 `json:"floors"`
+	// Measured records the last accepted coverage per package (percent);
+	// informational, refreshed by -update.
+	Measured map[string]float64 `json:"measured"`
+}
+
+// parseCover extracts per-package statement coverage from `go test -cover`
+// output. Lines without a coverage figure (no-test packages, vet output,
+// "[no statements]") are skipped.
+func parseCover(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, "coverage:")
+		if i < 0 {
+			continue
+		}
+		// Package path: first field, or second when the line starts with a
+		// test-result verb ("ok", "FAIL", "---").
+		fields := strings.Fields(line[:i])
+		if len(fields) == 0 {
+			continue
+		}
+		pkg := fields[0]
+		if pkg == "ok" || pkg == "FAIL" || pkg == "---" {
+			if len(fields) < 2 {
+				continue
+			}
+			pkg = fields[1]
+		}
+		rest := strings.Fields(line[i+len("coverage:"):])
+		if len(rest) == 0 || !strings.HasSuffix(rest[0], "%") {
+			continue // e.g. "coverage: [no statements]"
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(rest[0], "%"), 64)
+		if err != nil {
+			continue
+		}
+		out[pkg] = pct
+	}
+	return out, sc.Err()
+}
+
+// checkFloors compares measured coverage against the gating floors and
+// returns one message per violation, sorted by package.
+func checkFloors(floors, measured map[string]float64) []string {
+	var bad []string
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		floor := floors[pkg]
+		got, ok := measured[pkg]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("%s: no coverage reported (floor %.1f%%)", pkg, floor))
+		case got < floor:
+			bad = append(bad, fmt.Sprintf("%s: coverage %.1f%% below floor %.1f%%", pkg, got, floor))
+		}
+	}
+	return bad
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func main() {
+	ratchetPath := flag.String("ratchet", "COVERAGE.json", "ratchet file with gating floors")
+	reportPath := flag.String("report", "", "write the measured per-package report to this file")
+	update := flag.Bool("update", false, "rewrite the ratchet file's measured section")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*ratchetPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(2)
+	}
+	var ratchet Ratchet
+	if err := json.Unmarshal(raw, &ratchet); err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %s: %v\n", *ratchetPath, err)
+		os.Exit(2)
+	}
+
+	measured, err := parseCover(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: reading input: %v\n", err)
+		os.Exit(2)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: no coverage lines on stdin (pipe `go test -cover` output)")
+		os.Exit(2)
+	}
+
+	if *reportPath != "" {
+		if err := writeJSON(*reportPath, measured); err != nil {
+			fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *update {
+		ratchet.Measured = measured
+		if err := writeJSON(*ratchetPath, ratchet); err != nil {
+			fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if bad := checkFloors(ratchet.Floors, measured); len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintf(os.Stderr, "covercheck: %s\n", msg)
+		}
+		os.Exit(1)
+	}
+	for _, pkg := range sortedKeys(ratchet.Floors) {
+		fmt.Printf("covercheck: %s %.1f%% (floor %.1f%%)\n", pkg, measured[pkg], ratchet.Floors[pkg])
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

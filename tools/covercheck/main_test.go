@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `ok  	taskvine	1.007s	coverage: 78.1% of statements
+	taskvine/cmd/vine-sim		coverage: 0.0% of statements
+ok  	taskvine/internal/core	14.653s	coverage: 77.2% of statements
+ok  	taskvine/internal/sim	0.015s	coverage: 86.7% of statements
+?   	taskvine/examples/blast	[no test files]
+ok  	taskvine/internal/empty	0.002s	coverage: [no statements]
+FAIL	taskvine/internal/broken	0.1s	coverage: 12.5% of statements
+--- FAIL: TestSomething (0.00s)
+some random log line
+`
+
+func TestParseCover(t *testing.T) {
+	got, err := parseCover(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"taskvine":                 78.1,
+		"taskvine/cmd/vine-sim":    0.0,
+		"taskvine/internal/core":   77.2,
+		"taskvine/internal/sim":    86.7,
+		"taskvine/internal/broken": 12.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d packages, want %d: %v", len(got), len(want), got)
+	}
+	for pkg, pct := range want {
+		if got[pkg] != pct {
+			t.Errorf("%s = %.1f, want %.1f", pkg, got[pkg], pct)
+		}
+	}
+}
+
+func TestCheckFloorsPass(t *testing.T) {
+	floors := map[string]float64{"a": 70, "b": 80}
+	measured := map[string]float64{"a": 75.5, "b": 80.0, "c": 1}
+	if bad := checkFloors(floors, measured); len(bad) != 0 {
+		t.Fatalf("unexpected violations: %v", bad)
+	}
+}
+
+func TestCheckFloorsViolations(t *testing.T) {
+	floors := map[string]float64{"a": 70, "gone": 50}
+	measured := map[string]float64{"a": 69.9}
+	bad := checkFloors(floors, measured)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 violations, got %v", bad)
+	}
+	if !strings.Contains(bad[0], "a: coverage 69.9% below floor 70.0%") {
+		t.Errorf("bad[0] = %q", bad[0])
+	}
+	if !strings.Contains(bad[1], "gone: no coverage reported") {
+		t.Errorf("bad[1] = %q", bad[1])
+	}
+}
