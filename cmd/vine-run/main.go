@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vine-run [-workers N] [-listen ADDR] workflow.json
+//	vine-run [-workers N] [-shards N] [-listen ADDR] workflow.json
 //
 // The workflow document declares files and tasks:
 //
@@ -34,6 +34,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"taskvine"
@@ -63,6 +64,10 @@ type taskDecl struct {
 	Disk    int64             `json:"disk,omitempty"`
 	Retries int               `json:"retries,omitempty"`
 	Repeat  int               `json:"repeat,omitempty"`
+	// Workflow labels the task's DAG for shard-affinity routing; Tenant
+	// names its fair-share bucket. Both matter only with -shards > 1.
+	Workflow string `json:"workflow,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
 }
 
 type workflowDecl struct {
@@ -76,18 +81,20 @@ func main() {
 		listen  = flag.String("listen", "", "manager listen address (default loopback)")
 		verbose = flag.Bool("v", false, "log task results as they complete")
 		status  = flag.String("status", "", "also serve the monitoring endpoint on this address (e.g. 127.0.0.1:9123)")
+		shards  = flag.Int("shards", 1, "manager event-loop shards (parallel dispatch; workers spread round-robin)")
+		quota   = flag.Int("tenant-quota", 0, "per-tenant in-flight submission quota (0 = unlimited; needs -shards > 1)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *workers, *listen, *verbose, *status); err != nil {
+	if err := run(flag.Arg(0), *workers, *listen, *verbose, *status, *shards, *quota); err != nil {
 		log.Fatalf("vine-run: %v", err)
 	}
 }
 
-func run(path string, nworkers int, listen string, verbose bool, statusAddr string) error {
+func run(path string, nworkers int, listen string, verbose bool, statusAddr string, shards, quota int) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -97,12 +104,21 @@ func run(path string, nworkers int, listen string, verbose bool, statusAddr stri
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
 
-	m, err := taskvine.NewManager(taskvine.ManagerConfig{ListenAddr: listen})
+	m, err := taskvine.NewManager(taskvine.ManagerConfig{
+		ListenAddr:  listen,
+		Shards:      shards,
+		TenantQuota: quota,
+	})
 	if err != nil {
 		return err
 	}
 	defer m.Close()
-	fmt.Printf("manager listening on %s\n", m.Addr())
+	addrs := m.ShardAddrs()
+	if len(addrs) > 1 {
+		fmt.Printf("manager listening on %s (%d shards: %s)\n", m.Addr(), len(addrs), strings.Join(addrs, " "))
+	} else {
+		fmt.Printf("manager listening on %s\n", m.Addr())
+	}
 	if statusAddr != "" {
 		addr, err := m.ServeStatus(statusAddr)
 		if err != nil {
@@ -127,7 +143,7 @@ func run(path string, nworkers int, listen string, verbose bool, statusAddr stri
 	defer os.RemoveAll(tmp)
 	for i := 0; i < nworkers; i++ {
 		w, err := taskvine.NewWorker(taskvine.WorkerConfig{
-			ManagerAddr: m.Addr(),
+			ManagerAddr: addrs[i%len(addrs)],
 			WorkDir:     filepath.Join(tmp, fmt.Sprintf("w%d", i)),
 			Capacity:    taskvine.Resources{Cores: 4, Memory: 4 * taskvine.GB, Disk: taskvine.GB},
 			ID:          fmt.Sprintf("local-%d", i),
@@ -173,6 +189,12 @@ func run(path string, nworkers int, listen string, verbose bool, statusAddr stri
 			}
 			t.SetResources(taskvine.Resources{Cores: td.Cores, Memory: td.Memory, Disk: td.Disk})
 			t.SetRetries(td.Retries)
+			if td.Workflow != "" {
+				t.SetWorkflow(td.Workflow)
+			}
+			if td.Tenant != "" {
+				t.SetTenant(td.Tenant)
+			}
 			if _, err := m.Submit(t); err != nil {
 				return err
 			}

@@ -1,0 +1,127 @@
+package batch
+
+import (
+	"context"
+	"testing"
+
+	"taskvine/internal/metrics"
+)
+
+// nopRunner blocks until cancelled — a stand-in worker job that lets the
+// autoscaler tests observe pool sizes without real workers.
+type nopRunner struct{}
+
+func (nopRunner) Run(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func newIdlePool(t *testing.T) *Pool {
+	t.Helper()
+	p := NewPool(Config{
+		Size:    0,
+		Factory: func(i int) (Runner, error) { return nopRunner{}, nil },
+	})
+	t.Cleanup(p.Stop)
+	return p
+}
+
+// TestAutoscalerGrowsAndShrinks drives Step directly — a simulated clock
+// — and checks the Parsl-style policy: grow immediately with demand,
+// shrink only after sustained idleness, always within [Min, Max].
+func TestAutoscalerGrowsAndShrinks(t *testing.T) {
+	p := newIdlePool(t)
+	depth := 0
+	reg := metrics.NewRegistry()
+	a, err := NewAutoscaler(p, AutoscaleConfig{
+		Min: 1, Max: 4, TasksPerWorker: 2, ScaleDownAfter: 3,
+		QueueDepth: func() int { return depth },
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No demand: first step raises the pool to Min.
+	if got := a.Step(); got != 1 {
+		t.Fatalf("step at depth 0 = %d, want Min=1", got)
+	}
+
+	// Demand for 3 workers (depth 6, 2 tasks per worker): immediate grow.
+	depth = 6
+	if got := a.Step(); got != 3 {
+		t.Fatalf("step at depth 6 = %d, want 3", got)
+	}
+	if p.Live() != 3 {
+		t.Fatalf("pool live = %d, want 3", p.Live())
+	}
+
+	// Demand beyond Max clamps.
+	depth = 100
+	if got := a.Step(); got != 4 {
+		t.Fatalf("step at depth 100 = %d, want Max=4", got)
+	}
+
+	// Demand collapses: the pool must hold for ScaleDownAfter-1 probes...
+	depth = 0
+	if got := a.Step(); got != 4 {
+		t.Fatalf("first low probe resized to %d; want hysteresis hold at 4", got)
+	}
+	if got := a.Step(); got != 4 {
+		t.Fatalf("second low probe resized to %d; want hold at 4", got)
+	}
+	// ...and shrink to Min on the ScaleDownAfter-th.
+	if got := a.Step(); got != 1 {
+		t.Fatalf("third low probe = %d, want shrink to Min=1", got)
+	}
+	if p.Live() != 1 {
+		t.Fatalf("pool live after shrink = %d, want 1", p.Live())
+	}
+}
+
+// TestAutoscalerHysteresisResetsOnDemand checks that a demand spike
+// between low probes resets the shrink countdown.
+func TestAutoscalerHysteresisResetsOnDemand(t *testing.T) {
+	p := newIdlePool(t)
+	depth := 8
+	a, err := NewAutoscaler(p, AutoscaleConfig{
+		Min: 1, Max: 4, TasksPerWorker: 2, ScaleDownAfter: 2,
+		QueueDepth: func() int { return depth },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Step(); got != 4 {
+		t.Fatalf("grow = %d, want 4", got)
+	}
+	depth = 0
+	a.Step() // low probe 1 of 2: holds
+	depth = 8
+	if got := a.Step(); got != 4 {
+		t.Fatalf("demand returned, size = %d, want 4", got)
+	}
+	depth = 0
+	a.Step() // low probe 1 of 2 again: the earlier count must not carry over
+	if p.Live() != 4 {
+		t.Fatalf("pool shrank after a reset countdown: live = %d", p.Live())
+	}
+	if got := a.Step(); got != 1 {
+		t.Fatalf("second consecutive low probe = %d, want 1", got)
+	}
+}
+
+func TestAutoscalerValidation(t *testing.T) {
+	p := newIdlePool(t)
+	if _, err := NewAutoscaler(p, AutoscaleConfig{Min: 0, Max: 1}); err == nil {
+		t.Fatal("nil QueueDepth accepted")
+	}
+	if _, err := NewAutoscaler(p, AutoscaleConfig{Min: 3, Max: 1, QueueDepth: func() int { return 0 }}); err == nil {
+		t.Fatal("Max < Min accepted")
+	}
+	// Stop without Start must not hang.
+	a, err := NewAutoscaler(p, AutoscaleConfig{Min: 0, Max: 1, QueueDepth: func() int { return 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Stop()
+}

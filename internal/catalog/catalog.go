@@ -144,13 +144,19 @@ func (s *Server) List(name string) []Entry {
 
 // Client-side helpers.
 
+// client is the shared HTTP client for catalog traffic. The default
+// http.Client has no timeout at all, so a hung catalog would pin an
+// advertiser goroutine (and, with many shards, many of them) forever;
+// catalog exchanges are tiny, so a short overall deadline is safe.
+var client = &http.Client{Timeout: 5 * time.Second}
+
 // Update advertises an entry to the catalog at catalogAddr.
 func Update(catalogAddr string, e Entry) error {
 	body, err := json.Marshal(e)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post("http://"+catalogAddr+"/update", "application/json",
+	resp, err := client.Post("http://"+catalogAddr+"/update", "application/json",
 		bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("catalog: update: %w", err)
@@ -169,7 +175,7 @@ func Query(catalogAddr, name string) ([]Entry, error) {
 	if name != "" {
 		url += "?name=" + name
 	}
-	resp, err := http.Get(url)
+	resp, err := client.Get(url)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: query: %w", err)
 	}

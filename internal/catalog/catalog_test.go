@@ -116,6 +116,32 @@ func TestAdvertiser(t *testing.T) {
 	}
 }
 
+func TestListReturnsCopies(t *testing.T) {
+	s, err := NewServer("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	Update(s.Addr(), Entry{Name: "p", Addr: "a:1", Workers: 3})
+	got := s.List("")
+	if len(got) != 1 {
+		t.Fatalf("list = %+v", got)
+	}
+	// Mutating the returned slice must not leak into the catalog's state.
+	got[0].Workers = 99
+	got[0].Addr = "tampered"
+	again := s.List("")
+	if again[0].Workers != 3 || again[0].Addr != "a:1" {
+		t.Fatalf("List shares state with callers: %+v", again[0])
+	}
+}
+
+func TestClientHasTimeout(t *testing.T) {
+	if client.Timeout <= 0 {
+		t.Fatal("catalog client must bound request time")
+	}
+}
+
 func TestQueryDeadCatalog(t *testing.T) {
 	s, _ := NewServer("", 0)
 	addr := s.Addr()

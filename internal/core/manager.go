@@ -50,6 +50,12 @@ type Config struct {
 	// Head fetches URL naming metadata; required only when worker-lifetime
 	// URL files are declared.
 	Head files.HeadFunc
+	// Files, when non-nil, is the file registry this manager reads
+	// declarations from instead of allocating a private one. A sharded
+	// control plane (internal/shard) passes one registry to all shards so
+	// a file declared once is resolvable on whichever shard its tasks
+	// land; the registry is internally synchronized.
+	Files *files.Registry
 	// DefaultTaskResources fills unspecified task resource requests;
 	// defaults to one core.
 	DefaultTaskResources resources.R
@@ -193,6 +199,13 @@ type Manager struct {
 	// invariant surfaced through DebugReport.
 	eventsHandled int64
 	passes        int64
+	// needsBuf and needsSeen are fileNeedsScratch's reusable buffers, and
+	// sendMsg is the reusable outgoing message for event-loop-owned hot
+	// sends (dispatch): Send serializes synchronously, so the scratch may
+	// be overwritten as soon as the call returns. All event-loop-owned.
+	needsBuf  []policy.FileNeed
+	needsSeen map[string]bool
+	sendMsg   protocol.Message
 	// place is the lookahead placement engine; nil unless cfg.Placement is
 	// enabled. Event-loop-owned like everything above.
 	place *placementEngine
@@ -281,6 +294,7 @@ type event struct {
 	lib        *librarySpec
 	done       chan struct{}
 	workerID   string
+	addr       string
 	err        error
 	status     chan Status
 	debug      chan DebugReport
@@ -305,6 +319,7 @@ const (
 	evCategories
 	evInvoke
 	evCancel
+	evRedirect
 )
 
 type fetchResult struct {
@@ -421,9 +436,13 @@ func newManagerState(cfg Config) *Manager {
 	if cfg.Placement.Enabled {
 		place = newPlacementEngine(cfg.Placement)
 	}
+	reg := cfg.Files
+	if reg == nil {
+		reg = files.NewRegistry(cfg.Head)
+	}
 	return &Manager{
 		cfg:           cfg,
-		reg:           files.NewRegistry(cfg.Head),
+		reg:           reg,
 		events:        make(chan event, 1024),
 		results:       make(chan *Result, 4096),
 		tlog:          tlog,
@@ -480,6 +499,16 @@ func (m *Manager) logf(format string, args ...any) {
 	}
 }
 
+// replyPool recycles the buffered one-shot channels the public API uses
+// to rendezvous with the event loop. Submit and Invoke run at dispatch
+// rate, so a fresh channel per call is a measurable slice of the
+// dispatch hot-path allocations. A channel is recycled only after its
+// reply has been drained (or when the event was never delivered); a
+// channel whose event was accepted but left unanswered by an exiting
+// loop is abandoned to the collector rather than risk a stale reply
+// reaching a later borrower.
+var replyPool = sync.Pool{New: func() any { return make(chan int, 1) }}
+
 // Submit queues a task for execution and returns its ID. The spec's ID
 // field is assigned by the manager. Inputs must already be declared.
 func (m *Manager) Submit(spec *taskspec.Spec) (int, error) {
@@ -495,14 +524,16 @@ func (m *Manager) Submit(spec *taskspec.Spec) (int, error) {
 	if err := spec.Validate(); err != nil {
 		return 0, err
 	}
-	reply := make(chan int, 1)
+	reply := replyPool.Get().(chan int)
 	select {
 	case m.events <- event{kind: evSubmit, spec: spec, replyInt: reply}:
 	case <-m.loopDone:
+		replyPool.Put(reply)
 		return 0, fmt.Errorf("core: manager is shutting down")
 	}
 	select {
 	case id := <-reply:
+		replyPool.Put(reply)
 		if id < 0 {
 			return 0, fmt.Errorf("core: manager is shutting down")
 		}
@@ -512,6 +543,7 @@ func (m *Manager) Submit(spec *taskspec.Spec) (int, error) {
 		// answer over the shutdown error when both are ready.
 		select {
 		case id := <-reply:
+			replyPool.Put(reply)
 			if id > 0 {
 				return id, nil
 			}
@@ -537,14 +569,16 @@ func (m *Manager) Invoke(library, function string, args []byte) (int, error) {
 	if err := spec.Validate(); err != nil {
 		return 0, err
 	}
-	reply := make(chan int, 1)
+	reply := replyPool.Get().(chan int)
 	select {
 	case m.events <- event{kind: evInvoke, spec: spec, replyInt: reply}:
 	case <-m.loopDone:
+		replyPool.Put(reply)
 		return 0, fmt.Errorf("core: manager is shutting down")
 	}
 	select {
 	case id := <-reply:
+		replyPool.Put(reply)
 		if id < 0 {
 			return 0, fmt.Errorf("core: manager is shutting down")
 		}
@@ -594,14 +628,16 @@ func (m *Manager) invokeResident(library, function string, args []byte, argsFrom
 	if err := spec.Validate(); err != nil {
 		return 0, "", err
 	}
-	reply := make(chan int, 1)
+	reply := replyPool.Get().(chan int)
 	select {
 	case m.events <- event{kind: evInvoke, spec: spec, replyInt: reply}:
 	case <-m.loopDone:
+		replyPool.Put(reply)
 		return 0, "", fmt.Errorf("core: manager is shutting down")
 	}
 	select {
 	case id := <-reply:
+		replyPool.Put(reply)
 		if id < 0 {
 			return 0, "", fmt.Errorf("core: manager is shutting down")
 		}
@@ -774,6 +810,31 @@ func (m *Manager) ReplicateFile(fileID string, n int) error {
 		return fmt.Errorf("core: manager is shutting down")
 	}
 	return nil
+}
+
+// RedirectWorker leases a connected worker to another manager: the worker
+// is sent a redirect instruction naming addr and re-registers there through
+// its normal reconnect path, keeping its cache contents. The worker leaves
+// this manager as if its connection dropped (tasks it was running are
+// requeued), so callers should prefer redirecting idle workers. It is the
+// handoff hook the sharded control plane (internal/shard) uses to migrate
+// workers from an idle shard to a backlogged one.
+func (m *Manager) RedirectWorker(workerID, addr string) error {
+	reply := make(chan int, 1)
+	select {
+	case m.events <- event{kind: evRedirect, workerID: workerID, addr: addr, replyInt: reply}:
+	case <-m.loopDone:
+		return fmt.Errorf("core: manager is shutting down")
+	}
+	select {
+	case n := <-reply:
+		if n < 0 {
+			return fmt.Errorf("core: no connected worker %s", workerID)
+		}
+		return nil
+	case <-m.loopDone:
+		return fmt.Errorf("core: manager is shutting down")
+	}
 }
 
 // EndWorkflow concludes the current workflow: workers discard all
@@ -1050,8 +1111,28 @@ func (m *Manager) handleEvent(ev event) bool {
 		}
 	case evCategories:
 		ev.categories <- m.buildCategories()
+	case evRedirect:
+		m.redirectWorker(ev)
 	}
 	return false
+}
+
+// redirectWorker sends a TypeRedirect to a connected worker, leasing it to
+// the manager at ev.addr. Runs inside the event loop.
+func (m *Manager) redirectWorker(ev event) {
+	w, ok := m.workers[ev.workerID]
+	if !ok || w.gone {
+		ev.replyInt <- -1
+		return
+	}
+	if err := w.conn.Send(&protocol.Message{Type: protocol.TypeRedirect, URL: ev.addr}); err != nil {
+		// A failed send means the link is dying; the reader goroutine will
+		// report workerGone shortly. The lease still "succeeded" in the
+		// sense that the worker is leaving this shard.
+		m.logf("redirect send to %s failed: %v", ev.workerID, err)
+	}
+	m.tlog.Add(trace.Event{Time: m.now(), Kind: trace.WorkerRedirected, Worker: ev.workerID, Detail: ev.addr})
+	ev.replyInt <- 0
 }
 
 // Empty reports whether all submitted tasks have finished. Like the

@@ -196,7 +196,7 @@ func (m *Manager) tryAssign(id int, t *taskState) bool {
 	if len(candidates) == 0 {
 		return false
 	}
-	needs := m.fileNeeds(t.spec.Inputs)
+	needs := m.fileNeedsScratch(t.spec.Inputs)
 	pick := policy.BestWorker
 	if m.place != nil {
 		// Placement-aware dispatch: honor bytes the lookahead engine already
@@ -232,9 +232,28 @@ func (m *Manager) candidateWorkers(t *taskState) []policy.WorkerInfo {
 }
 
 // fileNeeds converts mounts to policy FileNeeds with their fixed sources.
+// The returned slice is freshly allocated and safe to retain (the placement
+// engine keeps it across a planning round); the dedup map is reused scratch.
 func (m *Manager) fileNeeds(mounts []taskspec.Mount) []policy.FileNeed {
-	var needs []policy.FileNeed
-	seen := map[string]bool{}
+	return m.fileNeedsInto(nil, mounts)
+}
+
+// fileNeedsScratch is fileNeeds appending into a manager-owned buffer: the
+// result is valid only until the next fileNeedsScratch call, which the
+// dispatch hot path (tryAssign, progressStaging) satisfies — each caller
+// finishes with the slice before any path calls back in. This keeps the
+// per-dispatch cost free of the needs-slice allocation.
+func (m *Manager) fileNeedsScratch(mounts []taskspec.Mount) []policy.FileNeed {
+	m.needsBuf = m.fileNeedsInto(m.needsBuf[:0], mounts)
+	return m.needsBuf
+}
+
+func (m *Manager) fileNeedsInto(needs []policy.FileNeed, mounts []taskspec.Mount) []policy.FileNeed {
+	if m.needsSeen == nil {
+		m.needsSeen = make(map[string]bool)
+	}
+	seen := m.needsSeen
+	clear(seen)
 	var add func(fileID string)
 	add = func(fileID string) {
 		if seen[fileID] {
@@ -281,7 +300,7 @@ func (m *Manager) progressStaging(id int, t *taskState) {
 		m.requeue(id, t, false)
 		return
 	}
-	needs := m.fileNeeds(t.spec.Inputs)
+	needs := m.fileNeedsScratch(t.spec.Inputs)
 	plan := policy.PlanTransfers(needs, w.id, m.cfg.Limits, view{m})
 	for _, tr := range plan.Transfers {
 		m.startTransfer(tr.File, tr.Source, w, "")
@@ -471,7 +490,11 @@ func (m *Manager) dispatch(id int, t *taskState, w *workerConn) {
 		Time: m.now(), Kind: trace.TaskStart, Worker: w.id, TaskID: id,
 		Detail: t.spec.Category,
 	})
-	if err := w.conn.Send(&protocol.Message{Type: protocol.TypeTask, TaskID: id, Spec: t.spec}); err != nil {
+	// The send message is manager-owned scratch: Send serializes it
+	// synchronously before returning, and dispatch only runs on the event
+	// loop, so reusing one Message avoids a per-dispatch allocation.
+	m.sendMsg = protocol.Message{Type: protocol.TypeTask, TaskID: id, Spec: t.spec}
+	if err := w.conn.Send(&m.sendMsg); err != nil {
 		m.logf("dispatching task %d to %s: %v", id, w.id, err)
 		m.requeue(id, t, false)
 	}

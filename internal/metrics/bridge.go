@@ -17,7 +17,7 @@ func BridgeTrace(log *trace.Log, v *VineMetrics) {
 
 // observe translates one trace event into counter increments.
 func (v *VineMetrics) observe(e trace.Event) {
-	v.TraceEvents.With(e.Kind.String()).Inc()
+	v.kindCounter(e.Kind).Inc()
 	switch e.Kind {
 	case trace.WorkerJoined:
 		v.WorkersJoined.Inc()
@@ -52,6 +52,8 @@ func (v *VineMetrics) observe(e trace.Event) {
 		v.ReplicasLost.Inc()
 	case trace.RecoveryStart:
 		v.Recoveries.Inc()
+	case trace.WorkerRedirected:
+		v.WorkerRedirects.Inc()
 	}
 }
 
@@ -91,6 +93,8 @@ func KindFamilies(k trace.Kind) []string {
 		return []string{"vine_replicas_lost_total"}
 	case trace.RecoveryStart:
 		return []string{"vine_recovery_reexecutions_total"}
+	case trace.WorkerRedirected:
+		return []string{"vine_worker_redirects_total"}
 	}
 	return nil
 }

@@ -1,6 +1,11 @@
 package metrics
 
-import "strings"
+import (
+	"strings"
+	"sync/atomic"
+
+	"taskvine/internal/trace"
+)
 
 // This file defines the instrument set shared by every TaskVine execution
 // substrate. The real manager (internal/core), the worker (internal/worker
@@ -34,6 +39,14 @@ type VineMetrics struct {
 	// increments it for each trace.Event, so this family can never disagree
 	// with the post-hoc event log.
 	TraceEvents *CounterVec // kind
+
+	// byKind lazily caches the TraceEvents child for each trace kind: the
+	// bridge's observe path runs once per recorded event, and resolving
+	// the child through With on every event pays a variadic-slice
+	// allocation in the dispatch hot path. Indexed by int(trace.Kind);
+	// sized by ForRegistry, entries filled on first observation so the
+	// exported label set is unchanged.
+	byKind []atomic.Pointer[Counter]
 
 	// Worker membership (core + sim).
 	WorkersJoined    *Counter
@@ -121,6 +134,18 @@ type VineMetrics struct {
 	BatchJobsLive    *Gauge
 	BatchSubmissions *Counter
 	BatchRestarts    *Counter
+	BatchResizes     *Counter
+
+	// Sharded control plane (internal/shard). The shard label is the
+	// shard's index within the router ("0".."N-1"), so cardinality is the
+	// shard count, not the task or worker population.
+	ShardSubmissions    *CounterVec // shard
+	ShardDispatches     *CounterVec // shard
+	ShardQueueDepth     *GaugeVec   // shard
+	ShardWorkers        *GaugeVec   // shard
+	ShardLeases         *Counter
+	ShardQuotaThrottles *Counter
+	WorkerRedirects     *Counter
 
 	// Fault injection (internal/chaos).
 	ChaosInjections *CounterVec // point, action
@@ -131,7 +156,7 @@ type VineMetrics struct {
 // workers, and a batch pool can all call ForRegistry on one shared registry
 // and increment the same underlying instruments.
 func ForRegistry(r *Registry) *VineMetrics {
-	return &VineMetrics{
+	v := &VineMetrics{
 		reg: r,
 
 		TraceEvents: r.CounterVec("vine_trace_events_total",
@@ -261,10 +286,45 @@ func ForRegistry(r *Registry) *VineMetrics {
 			"Batch worker jobs submitted."),
 		BatchRestarts: r.Counter("vine_batch_restarts_total",
 			"Batch worker jobs restarted after unexpected exits."),
+		BatchResizes: r.Counter("vine_batch_resizes_total",
+			"Autoscaler-initiated changes to the batch pool's target size."),
+
+		ShardSubmissions: r.CounterVec("vine_shard_submissions_total",
+			"Tasks routed to each manager shard, by shard index.", "shard"),
+		ShardDispatches: r.CounterVec("vine_shard_dispatches_total",
+			"Task results delivered from each manager shard, by shard index.", "shard"),
+		ShardQueueDepth: r.GaugeVec("vine_shard_queue_depth",
+			"Tasks waiting or staging on each manager shard, by shard index.", "shard"),
+		ShardWorkers: r.GaugeVec("vine_shard_workers",
+			"Workers currently registered with each manager shard, by shard index.", "shard"),
+		ShardLeases: r.Counter("vine_shard_leases_total",
+			"Worker leases moved between shards by the queue-depth balancer."),
+		ShardQuotaThrottles: r.Counter("vine_shard_quota_throttles_total",
+			"Submissions held back because their tenant was at its fair-share quota."),
+		WorkerRedirects: r.Counter("vine_worker_redirects_total",
+			"Workers told to re-register with another manager shard."),
 
 		ChaosInjections: r.CounterVec("vine_chaos_injections_total",
 			"Faults fired by the chaos injector, by point and action.", "point", "action"),
 	}
+	v.byKind = make([]atomic.Pointer[Counter], len(trace.AllKinds()))
+	return v
+}
+
+// kindCounter returns the TraceEvents child for k, caching the resolved
+// counter after the first lookup. With returns the same child for the
+// same label, so a racing double-resolution stores an identical pointer.
+func (v *VineMetrics) kindCounter(k trace.Kind) *Counter {
+	i := int(k)
+	if i < 0 || i >= len(v.byKind) {
+		return v.TraceEvents.With(k.String())
+	}
+	if c := v.byKind[i].Load(); c != nil {
+		return c
+	}
+	c := v.TraceEvents.With(k.String())
+	v.byKind[i].Store(c)
+	return c
 }
 
 // Registry returns the registry the instrument set is bound to.

@@ -116,6 +116,8 @@ const (
 	sCategory      = 13
 	sArgsFrom      = 14
 	sResident      = 15
+	sWorkflow      = 16
+	sTenant        = 17
 )
 
 const (
@@ -310,6 +312,8 @@ func appendSpec(b []byte, field int, s *taskspec.Spec) []byte {
 	if s.Resident {
 		v = appendVarintField(v, sResident, 1)
 	}
+	v = appendStringField(v, sWorkflow, s.Workflow)
+	v = appendStringField(v, sTenant, s.Tenant)
 	// A spec that encodes to nothing still marks presence with an empty
 	// nested field, so decode restores a non-nil *Spec.
 	b = appendTag(b, field, wireBytes)
@@ -590,6 +594,10 @@ func decodeSpec(b []byte) (*taskspec.Spec, error) {
 			var v int64
 			v, err = d.varint()
 			s.Resident = v != 0
+		case sWorkflow:
+			s.Workflow, err = d.str()
+		case sTenant:
+			s.Tenant, err = d.str()
 		default:
 			err = d.skip(wire)
 		}

@@ -73,6 +73,10 @@ const (
 	TypeHeartbeat = "heartbeat"
 	// TypeRelease (manager→worker) asks the worker to shut down cleanly.
 	TypeRelease = "release"
+	// TypeRedirect (manager→worker) leases the worker to another manager
+	// shard: the worker drops its current link and re-registers with the
+	// manager listening at URL, keeping its cache contents.
+	TypeRedirect = "redirect"
 	// TypeEndWorkflow (manager→worker) marks the conclusion of a workflow:
 	// the worker discards all task- and workflow-lifetime objects.
 	TypeEndWorkflow = "end-workflow"
@@ -167,6 +171,11 @@ type Conn struct {
 	raw net.Conn
 	r   *bufio.Reader
 	w   *bufio.Writer // guarded by wmu
+	// enc is the JSON encoder bound to w, reused across sends so the hot
+	// dispatch path does not re-marshal into a fresh byte slice per
+	// message (guarded by wmu). Encode appends the '\n' the line framing
+	// requires.
+	enc *json.Encoder
 	wmu sync.Mutex
 	// bin selects binary framing for outgoing messages (guarded by wmu).
 	// Incoming framing needs no state: every message self-identifies by
@@ -182,10 +191,12 @@ type Conn struct {
 
 // NewConn wraps an established network connection.
 func NewConn(c net.Conn) *Conn {
+	w := bufio.NewWriterSize(c, 1<<16)
 	return &Conn{
 		raw: c,
 		r:   bufio.NewReaderSize(c, 1<<16),
-		w:   bufio.NewWriterSize(c, 1<<16),
+		w:   w,
+		enc: json.NewEncoder(w),
 	}
 }
 
@@ -245,15 +256,10 @@ func (c *Conn) SendPayload(m *Message, payload io.Reader) error {
 			return err
 		}
 	} else {
-		b, err := json.Marshal(m)
-		if err != nil {
+		// Encode writes straight into the buffered writer and terminates
+		// the line, avoiding the per-send marshal allocation.
+		if err := c.enc.Encode(m); err != nil {
 			return fmt.Errorf("protocol: encoding %s: %w", m.Type, err)
-		}
-		if _, err := c.w.Write(b); err != nil {
-			return err
-		}
-		if err := c.w.WriteByte('\n'); err != nil {
-			return err
 		}
 	}
 	if payload != nil {

@@ -1,0 +1,96 @@
+package shard
+
+import "fmt"
+
+// affinity tracks the workflow-affinity contract: tasks coupled through
+// cluster-resident files (Temp and Handle inputs, any output) form a
+// workflow component, and every task of a component runs on one shard so
+// its dependency graph, replica table, and placement state stay
+// shard-local. The structure is a union-find over file IDs (plus a
+// pseudo-node per explicit workflow label) with a sticky shard binding
+// carried at each component root: the first submission binds the
+// component, and later submissions follow it. Joining two components
+// already bound to different shards is a contract violation surfaced at
+// Submit time.
+//
+// affinity is not self-locking; the router serializes access under its
+// own mutex.
+type affinity struct {
+	parent map[string]string
+	size   map[string]int
+	// bound maps a component root to its shard; roots absent from the map
+	// are unbound. Bindings migrate to the winning root on union.
+	bound map[string]int
+}
+
+func newAffinity() *affinity {
+	return &affinity{
+		parent: make(map[string]string),
+		size:   make(map[string]int),
+		bound:  make(map[string]int),
+	}
+}
+
+// find returns the component root of key, inserting a fresh singleton on
+// first sight, with path compression.
+func (a *affinity) find(key string) string {
+	p, ok := a.parent[key]
+	if !ok {
+		a.parent[key] = key
+		a.size[key] = 1
+		return key
+	}
+	if p == key {
+		return key
+	}
+	root := a.find(p)
+	a.parent[key] = root
+	return root
+}
+
+// union merges the components of x and y. When both components are bound
+// to different shards the merge is refused: the caller submitted a task
+// bridging two workflows already pinned to different shards.
+func (a *affinity) union(x, y string) error {
+	rx, ry := a.find(x), a.find(y)
+	if rx == ry {
+		return nil
+	}
+	sx, bx := a.bound[rx]
+	sy, by := a.bound[ry]
+	if bx && by && sx != sy {
+		return fmt.Errorf("shard: task joins workflows bound to different shards (%d and %d): label tasks with a common Workflow or keep their files disjoint", sx, sy)
+	}
+	if a.size[rx] < a.size[ry] {
+		rx, ry = ry, rx
+	}
+	a.parent[ry] = rx
+	a.size[rx] += a.size[ry]
+	delete(a.size, ry)
+	// Carry the absorbed root's binding to the survivor. A conflict was
+	// ruled out above, so at most one distinct shard is in play.
+	if s, ok := a.bound[ry]; ok {
+		delete(a.bound, ry)
+		a.bound[rx] = s
+	}
+	return nil
+}
+
+// shardOf returns the shard bound to key's component, if any.
+func (a *affinity) shardOf(key string) (int, bool) {
+	s, ok := a.bound[a.find(key)]
+	return s, ok
+}
+
+// bind pins key's component to shard. Binding an already-bound component
+// to a different shard is a programming error; callers look up first.
+func (a *affinity) bind(key string, shard int) {
+	a.bound[a.find(key)] = shard
+}
+
+// reset forgets all components and bindings — the end of a workflow.
+func (a *affinity) reset() {
+	a.parent = make(map[string]string)
+	a.size = make(map[string]int)
+	a.bound = make(map[string]int)
+}

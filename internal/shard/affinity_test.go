@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAffinityUnionAndBind(t *testing.T) {
+	a := newAffinity()
+	if _, ok := a.shardOf("f1"); ok {
+		t.Fatal("fresh key reported bound")
+	}
+	a.bind("f1", 2)
+	if s, ok := a.shardOf("f1"); !ok || s != 2 {
+		t.Fatalf("shardOf(f1) = %d,%v; want 2,true", s, ok)
+	}
+	// Joining an unbound key adopts the component binding.
+	if err := a.union("f1", "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := a.shardOf("f2"); !ok || s != 2 {
+		t.Fatalf("shardOf(f2) after union = %d,%v; want 2,true", s, ok)
+	}
+	// Transitively, through a chain.
+	if err := a.union("f2", "f3"); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := a.shardOf("f3"); !ok || s != 2 {
+		t.Fatalf("shardOf(f3) = %d,%v; want 2,true", s, ok)
+	}
+}
+
+// TestAffinityBindingSurvivesRootSwap is a regression test for union's
+// size-based root swap: whichever side is absorbed, an existing binding
+// must migrate to the surviving root.
+func TestAffinityBindingSurvivesRootSwap(t *testing.T) {
+	// Small bound component absorbed by a large unbound one.
+	a := newAffinity()
+	a.bind("small", 1)
+	for _, k := range []string{"b1", "b2", "b3"} {
+		if err := a.union("big", k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.union("small", "big"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"small", "big", "b1", "b2", "b3"} {
+		if s, ok := a.shardOf(k); !ok || s != 1 {
+			t.Fatalf("shardOf(%s) = %d,%v; want 1,true", k, s, ok)
+		}
+	}
+
+	// Large bound component absorbing a small unbound one.
+	a = newAffinity()
+	for _, k := range []string{"c1", "c2", "c3"} {
+		if err := a.union("big2", k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.bind("big2", 3)
+	if err := a.union("lone", "big2"); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := a.shardOf("lone"); !ok || s != 3 {
+		t.Fatalf("shardOf(lone) = %d,%v; want 3,true", s, ok)
+	}
+}
+
+func TestAffinityConflictRefused(t *testing.T) {
+	a := newAffinity()
+	a.bind("x", 0)
+	a.bind("y", 1)
+	err := a.union("x", "y")
+	if err == nil {
+		t.Fatal("union across differently bound components accepted")
+	}
+	if !strings.Contains(err.Error(), "different shards") {
+		t.Fatalf("conflict error = %v", err)
+	}
+	// The refused union must not have merged anything.
+	if s, _ := a.shardOf("x"); s != 0 {
+		t.Fatalf("x rebound to %d", s)
+	}
+	if s, _ := a.shardOf("y"); s != 1 {
+		t.Fatalf("y rebound to %d", s)
+	}
+	// Same-shard bindings merge fine.
+	a.bind("z", 0)
+	if err := a.union("x", "z"); err != nil {
+		t.Fatalf("same-shard union refused: %v", err)
+	}
+}
+
+func TestAffinityReset(t *testing.T) {
+	a := newAffinity()
+	a.bind("x", 1)
+	if err := a.union("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	a.reset()
+	if _, ok := a.shardOf("x"); ok {
+		t.Fatal("binding survived reset")
+	}
+	// Previously conflicting components can merge after a reset.
+	a.bind("x", 0)
+	if err := a.union("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := a.shardOf("y"); !ok || s != 0 {
+		t.Fatalf("shardOf(y) after reset = %d,%v; want 0,true", s, ok)
+	}
+}

@@ -1,0 +1,90 @@
+package shard
+
+import "time"
+
+// This file implements queue-depth-aware worker leasing: the router
+// periodically probes every shard's status and, when one shard is
+// backlogged while another sits idle, leases an idle worker to the
+// backlogged shard through the worker's redirect/reconnect path. The
+// worker keeps its cache across the move (it re-reports adopted contents
+// on re-registration), so leasing moves capacity, not data.
+
+// shardLoad is one probe's view of a shard.
+type shardLoad struct {
+	idx   int
+	depth int // waiting + staging tasks: work the shard has not started
+	// idle lists workers running nothing — the only safe lease victims.
+	idle    []string
+	workers int
+	running int
+}
+
+// balanceLoop drives the lease balancer. Like the manager event loop it
+// must never block on I/O: probes and redirects are bounded in-process
+// round-trips, and the loop is covered by the eventblock analyzer.
+func (r *Router) balanceLoop() {
+	defer r.bg.Done()
+	t := time.NewTicker(r.cfg.LeaseInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+			r.balanceOnce()
+		}
+	}
+}
+
+// balanceOnce probes all shards, publishes the per-shard gauges, and
+// performs at most one lease. Moving one worker per tick keeps the
+// balancer gentle: a migration changes both shards' loads, so re-probing
+// before the next move avoids thrashing.
+func (r *Router) balanceOnce() {
+	loads := make([]shardLoad, len(r.shards))
+	for i, sh := range r.shards {
+		st := sh.Status()
+		l := shardLoad{idx: i, depth: st.TasksWaiting + st.TasksStaging, workers: len(st.Workers), running: st.TasksRunning}
+		for _, w := range st.Workers {
+			if w.RunningTasks == 0 {
+				l.idle = append(l.idle, w.ID)
+			}
+		}
+		loads[i] = l
+		r.vm.ShardQueueDepth.With(shardLabel(i)).Set(float64(l.depth))
+		r.vm.ShardWorkers.With(shardLabel(i)).Set(float64(l.workers))
+	}
+
+	// The busiest shard is the lease's destination; the donor is an idle
+	// shard (no queued work, nothing running) with a spare worker.
+	busiest := -1
+	for _, l := range loads {
+		if l.depth >= r.cfg.LeaseThreshold && (busiest < 0 || l.depth > loads[busiest].depth) {
+			busiest = l.idx
+		}
+	}
+	if busiest < 0 {
+		return
+	}
+	donor := -1
+	for _, l := range loads {
+		if l.idx == busiest || l.depth > 0 || len(l.idle) == 0 {
+			continue
+		}
+		// Prefer the donor with the most spare workers.
+		if donor < 0 || len(l.idle) > len(loads[donor].idle) {
+			donor = l.idx
+		}
+	}
+	if donor < 0 {
+		return
+	}
+	workerID := loads[donor].idle[0]
+	dest := r.shards[busiest].Addr()
+	if err := r.shards[donor].RedirectWorker(workerID, dest); err != nil {
+		r.logf("lease %s: %v", workerID, err)
+		return
+	}
+	r.logf("leased worker %s: shard %d -> shard %d (depth %d)", workerID, donor, busiest, loads[busiest].depth)
+	r.vm.ShardLeases.Inc()
+}

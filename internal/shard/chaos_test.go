@@ -1,0 +1,101 @@
+package shard
+
+// Chaos: kill a shard's only worker while its tasks are running and while
+// the lease balancer is active. The shard requeues the lost tasks, the
+// balancer leases the surviving (idle) worker over from the other shard,
+// and every task's result is delivered exactly once.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"taskvine/internal/resources"
+	"taskvine/internal/trace"
+	"taskvine/internal/worker"
+)
+
+func TestChaosShardWorkerLoss(t *testing.T) {
+	h := newRouter(t, Config{
+		Shards:         2,
+		LeaseInterval:  20 * time.Millisecond,
+		LeaseThreshold: 1,
+	}, 0)
+
+	// Worker A on shard 0 (the victim), worker B on shard 1 (the rescuer),
+	// each with its own cancel so the test can kill A alone.
+	startOne := func(id, addr string) (context.CancelFunc, chan struct{}) {
+		w, err := worker.New(worker.Config{
+			ManagerAddr: addr,
+			WorkDir:     t.TempDir(),
+			Capacity:    resources.R{Cores: 4, Memory: 4 * resources.GB, Disk: resources.GB},
+			ID:          id,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			w.Run(ctx)
+		}()
+		t.Cleanup(func() { cancel(); <-done })
+		return cancel, done
+	}
+	cancelA, doneA := startOne("w-victim", h.r.Addrs()[0])
+	startOne("w-rescue", h.r.Addrs()[1])
+	waitShardWorkers(t, h.r, 0, 1)
+	waitShardWorkers(t, h.r, 1, 1)
+
+	// Pin slow tasks to shard 0 so they start on the victim. 4 cores, 6
+	// tasks: four run, two queue behind them.
+	label := labelForShard(t, h.r, 0)
+	var ids []int
+	for i := 0; i < 6; i++ {
+		s := command("sleep 0.3")
+		s.Workflow = label
+		id, err := h.r.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Wait for execution to begin on the victim, then kill it mid-run.
+	deadline := time.Now().Add(10 * time.Second)
+	started := func() int {
+		n := 0
+		for _, e := range h.r.Shard(0).Trace().Events() {
+			if e.Kind == trace.TaskStart {
+				n++
+			}
+		}
+		return n
+	}
+	for started() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no task ever started on the victim worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancelA()
+	<-doneA
+
+	// Shard 0 requeues the lost tasks; its backlog draws the rescuer over;
+	// all six results arrive exactly once, successfully.
+	drainOK(t, h.r, ids)
+	if !h.r.Empty() {
+		t.Fatal("router not empty after recovery")
+	}
+	// No late duplicates: the result stream must now be silent.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if res, err := h.r.Wait(ctx); err == nil {
+		t.Fatalf("duplicate result after drain: %+v", res)
+	}
+	// The rescue really was a lease, not a coincidence.
+	if v := h.r.vm.ShardLeases.Value(); v < 1 {
+		t.Fatalf("ShardLeases = %d, want >= 1", v)
+	}
+}

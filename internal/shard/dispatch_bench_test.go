@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"taskvine/internal/core"
+	"taskvine/internal/httpsource"
+	"taskvine/internal/resources"
+	"taskvine/internal/serverless"
+	"taskvine/internal/trace"
+	"taskvine/internal/worker"
+)
+
+// BenchmarkShardedDispatch measures aggregate dispatch throughput of the
+// sharded control plane at 1, 2, and 4 shards, each shard with its own
+// worker, driving the serverless invoke path (function calls carry their
+// arguments inline, so throughput is bounded by control-plane dispatch,
+// not by fork/exec). A window of in-flight invocations per shard keeps
+// every event loop busy. Reports tasks/second; the 4-shard figure is the
+// headline number bench-diff tracks against the single-manager
+// BenchmarkManagerDispatch baseline.
+func BenchmarkShardedDispatch(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedDispatch(b, shards)
+		})
+	}
+}
+
+func benchShardedDispatch(b *testing.B, shards int) {
+	r, err := New(Config{
+		Shards:        shards,
+		Manager:       core.Config{Head: httpsource.Head},
+		LeaseInterval: -1, // fixed worker placement; measure dispatch alone
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	libs := func() *serverless.Registry {
+		reg := serverless.NewRegistry()
+		reg.Register(&serverless.Library{
+			Name: "bench",
+			Functions: map[string]serverless.Function{
+				"echo": func(args []byte) ([]byte, error) { return args, nil },
+			},
+		})
+		return reg
+	}
+	for s, addr := range r.Addrs() {
+		w, err := worker.New(worker.Config{
+			ManagerAddr: addr,
+			WorkDir:     b.TempDir(),
+			Capacity:    resources.R{Cores: 8, Memory: resources.GB, Disk: resources.GB},
+			ID:          fmt.Sprintf("bench-w%d", s),
+			Libraries:   libs(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go w.Run(ctx)
+	}
+	r.InstallLibrary("bench", resources.R{Cores: 1})
+	for s := 0; s < shards; s++ {
+		waitLibraryReadyB(b, r, s)
+	}
+
+	// Keep a bounded window of invocations outstanding so every shard's
+	// event loop stays saturated without flooding queues.
+	window := 64 * shards
+	if window > b.N {
+		window = b.N
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	inflight := 0
+	submitted := 0
+	for submitted < window {
+		if _, err := r.Invoke("bench", "echo", []byte("x")); err != nil {
+			b.Fatal(err)
+		}
+		submitted++
+		inflight++
+	}
+	for done := 0; done < b.N; done++ {
+		wctx, wcancel := context.WithTimeout(ctx, 60*time.Second)
+		res, err := r.Wait(wctx)
+		wcancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatalf("invocation failed: %+v", res)
+		}
+		inflight--
+		if submitted < b.N {
+			if _, err := r.Invoke("bench", "echo", []byte("x")); err != nil {
+				b.Fatal(err)
+			}
+			submitted++
+			inflight++
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "tasks/s")
+}
+
+// waitLibraryReadyB polls shard s until its library instance is ready.
+func waitLibraryReadyB(b *testing.B, r *Router, s int) {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, e := range r.Shard(s).Trace().Events() {
+			if e.Kind == trace.LibraryReady {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b.Fatalf("library never became ready on shard %d", s)
+}

@@ -1,0 +1,160 @@
+package shard
+
+// Worker-leasing tests: the balancer must move idle workers toward
+// backlogged shards through the redirect/reconnect path, and move them
+// again when the load flips — capacity follows demand.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"taskvine/internal/files"
+	"taskvine/internal/trace"
+)
+
+// labelForShard finds a workflow label whose component the ring binds to
+// the wanted shard, so tests can pin work deterministically.
+func labelForShard(t *testing.T, r *Router, shard int) string {
+	t.Helper()
+	r.mu.Lock()
+	ring := r.ringLocked()
+	r.mu.Unlock()
+	for i := 0; i < 10000; i++ {
+		l := fmt.Sprintf("pin-%d", i)
+		if ring.lookup("workflow:"+l) == shard {
+			return l
+		}
+	}
+	t.Fatalf("no label hashes to shard %d", shard)
+	return ""
+}
+
+// submitPinned submits n trivial tasks pinned to a shard via a workflow
+// label and returns their global IDs.
+func submitPinned(t *testing.T, r *Router, label string, n int) []int {
+	t.Helper()
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s := command("true")
+		s.Workflow = label
+		id, err := r.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func drainOK(t *testing.T, r *Router, ids []int) {
+	t.Helper()
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	for range ids {
+		res := waitResult(t, r)
+		if !res.OK {
+			t.Fatalf("task %d failed: %+v", res.TaskID, res)
+		}
+		if !want[res.TaskID] {
+			t.Fatalf("unexpected or duplicate result %d", res.TaskID)
+		}
+		delete(want, res.TaskID)
+	}
+}
+
+// TestLeaseChurn: a single worker serves whichever shard is backlogged,
+// migrating back and forth as demand flips.
+func TestLeaseChurn(t *testing.T) {
+	h := newRouter(t, Config{
+		Shards:         2,
+		LeaseInterval:  20 * time.Millisecond,
+		LeaseThreshold: 2,
+	}, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The only worker registers at shard 1; shard 0 starts with nothing.
+	h.addWorker(t, ctx, "w-lease", h.r.Addrs()[1])
+	waitShardWorkers(t, h.r, 1, 1)
+
+	// Backlog shard 0: the balancer must lease the idle worker over.
+	ids := submitPinned(t, h.r, labelForShard(t, h.r, 0), 6)
+	drainOK(t, h.r, ids)
+	waitShardWorkers(t, h.r, 0, 1)
+	if v := h.r.vm.ShardLeases.Value(); v < 1 {
+		t.Fatalf("ShardLeases = %d after first migration, want >= 1", v)
+	}
+
+	// Flip the load: shard 1 backlogged, worker (now at shard 0) idle.
+	ids = submitPinned(t, h.r, labelForShard(t, h.r, 1), 6)
+	drainOK(t, h.r, ids)
+	waitShardWorkers(t, h.r, 1, 1)
+	if v := h.r.vm.ShardLeases.Value(); v < 2 {
+		t.Fatalf("ShardLeases = %d after churn, want >= 2", v)
+	}
+
+	// The donor shards logged the redirects.
+	redirects := 0
+	for s := 0; s < 2; s++ {
+		for _, e := range h.r.Shard(s).Trace().Events() {
+			if e.Kind == trace.WorkerRedirected {
+				redirects++
+			}
+		}
+	}
+	if redirects < 2 {
+		t.Fatalf("WorkerRedirected events = %d, want >= 2", redirects)
+	}
+	if !h.r.Empty() {
+		t.Fatal("router not empty after churn")
+	}
+}
+
+// TestLeaseKeepsCache: a leased worker carries its cache to the new
+// shard — the shared file registry plus the worker's re-reported contents
+// mean leasing moves capacity, not data.
+func TestLeaseKeepsCache(t *testing.T) {
+	h := newRouter(t, Config{
+		Shards:         2,
+		LeaseInterval:  20 * time.Millisecond,
+		LeaseThreshold: 1,
+	}, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.addWorker(t, ctx, "w-cache", h.r.Addrs()[1])
+	waitShardWorkers(t, h.r, 1, 1)
+
+	// Warm the worker's cache with an input served by shard 1.
+	buf, err := h.r.Files().DeclareBuffer([]byte("payload"), files.LifetimeWorkflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := command("cat in")
+	warm.Workflow = labelForShard(t, h.r, 1)
+	warm.AddInput(buf.ID, "in")
+	id, err := h.r.Submit(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainOK(t, h.r, []int{id})
+
+	// Backlog shard 0 so the worker is leased over, then check the shard-0
+	// view of the worker includes the cached file.
+	ids := submitPinned(t, h.r, labelForShard(t, h.r, 0), 4)
+	drainOK(t, h.r, ids)
+	waitShardWorkers(t, h.r, 0, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ws := h.r.Shard(0).Status().Workers
+		if len(ws) == 1 && ws[0].CachedFiles > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leased worker's cache not adopted at shard 0: %+v", ws)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

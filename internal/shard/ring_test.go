@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates a deterministic workload of workflow-affinity keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("file-temp-%04d", i)
+	}
+	return keys
+}
+
+// TestRingDistribution checks that keys spread roughly evenly: with 64
+// vnodes per shard no shard should own more than twice its fair share.
+func TestRingDistribution(t *testing.T) {
+	const shards, n = 4, 4000
+	r := newRing(shards, 0)
+	counts := make([]int, shards)
+	for _, k := range ringKeys(n) {
+		s := r.lookup(k)
+		if s < 0 || s >= shards {
+			t.Fatalf("lookup(%s) = %d, out of range", k, s)
+		}
+		counts[s]++
+	}
+	fair := n / shards
+	for s, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("shard %d owns %d of %d keys; want within [%d, %d] (counts %v)",
+				s, c, n, fair/2, fair*2, counts)
+		}
+	}
+}
+
+// TestRingDeterministic: two rings built with the same parameters must
+// agree on every key, since routing decisions have to be reproducible
+// across router restarts.
+func TestRingDeterministic(t *testing.T) {
+	a, b := newRing(3, 32), newRing(3, 32)
+	for _, k := range ringKeys(500) {
+		if a.lookup(k) != b.lookup(k) {
+			t.Fatalf("rings disagree on %s: %d vs %d", k, a.lookup(k), b.lookup(k))
+		}
+	}
+}
+
+// TestRingStabilityOnShardChange pins the consistent-hashing property the
+// router relies on: growing N shards to N+1 (or shrinking to N-1) moves
+// only about 1/(N+1) (resp. 1/N) of the key space, so most workflow
+// components keep their shard across a re-shard.
+func TestRingStabilityOnShardChange(t *testing.T) {
+	keys := ringKeys(4000)
+	cases := []struct {
+		name     string
+		from, to int
+		// maxMoved is a generous ceiling over the ideal moved fraction,
+		// leaving room for hash-placement variance at 64 vnodes.
+		maxMoved float64
+	}{
+		{"add 4->5", 4, 5, 0.35},    // ideal 1/5 = 0.20
+		{"remove 4->3", 4, 3, 0.45}, // ideal 1/4 = 0.25
+		{"add 2->3", 2, 3, 0.50},    // ideal 1/3 = 0.33
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before, after := newRing(tc.from, 0), newRing(tc.to, 0)
+			moved := 0
+			for _, k := range keys {
+				if before.lookup(k) != after.lookup(k) {
+					moved++
+				}
+			}
+			frac := float64(moved) / float64(len(keys))
+			if frac > tc.maxMoved {
+				t.Fatalf("%d of %d keys (%.2f) moved; want <= %.2f", moved, len(keys), frac, tc.maxMoved)
+			}
+			if moved == 0 {
+				t.Fatal("no keys moved at all; ring is ignoring the shard count")
+			}
+			// Keys that moved must only move to/from the affected shard set;
+			// in particular shrinking must not leave keys on removed shards.
+			for _, k := range keys {
+				if s := after.lookup(k); s >= tc.to {
+					t.Fatalf("lookup(%s) = %d after reshard to %d shards", k, s, tc.to)
+				}
+			}
+		})
+	}
+}

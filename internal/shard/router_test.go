@@ -1,0 +1,451 @@
+package shard
+
+// Router tests drive the real control plane: N manager shards over
+// loopback TCP, real workers, and the public Submit/Wait surface. The
+// white-box helpers below peek at routing state under the router's own
+// mutex, since the whole point of several tests is which shard a task
+// landed on.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"taskvine/internal/core"
+	"taskvine/internal/httpsource"
+	"taskvine/internal/resources"
+	"taskvine/internal/serverless"
+	"taskvine/internal/taskspec"
+	"taskvine/internal/trace"
+	"taskvine/internal/worker"
+)
+
+func doubleLibrary() *serverless.Registry {
+	libs := serverless.NewRegistry()
+	libs.Register(&serverless.Library{
+		Name: "math",
+		Functions: map[string]serverless.Function{
+			"double": func(args []byte) ([]byte, error) {
+				return append(args, args...), nil
+			},
+		},
+	})
+	return libs
+}
+
+// waitLibraryReady polls a shard's trace until a library instance reports
+// ready there.
+func waitLibraryReady(t *testing.T, m *core.Manager) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, e := range m.Trace().Events() {
+			if e.Kind == trace.LibraryReady {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("library instance never became ready")
+}
+
+type rtHarness struct {
+	r      *Router
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// newRouter starts a router with the given config; workersPerShard workers
+// are attached to each shard's own listener (the balancer may move them
+// later).
+func newRouter(t *testing.T, cfg Config, workersPerShard int) *rtHarness {
+	t.Helper()
+	if cfg.Manager.Head == nil {
+		cfg.Manager.Head = httpsource.Head
+	}
+	if cfg.LeaseInterval == 0 {
+		cfg.LeaseInterval = -1 // most tests want deterministic placement
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &rtHarness{r: r}
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	for s, addr := range r.Addrs() {
+		for i := 0; i < workersPerShard; i++ {
+			h.addWorker(t, ctx, fmt.Sprintf("w-s%d-%d", s, i), addr)
+		}
+	}
+	t.Cleanup(func() {
+		r.Close()
+		cancel()
+		h.wg.Wait()
+	})
+	return h
+}
+
+func (h *rtHarness) addWorker(t *testing.T, ctx context.Context, id, addr string) *worker.Worker {
+	t.Helper()
+	w, err := worker.New(worker.Config{
+		ManagerAddr: addr,
+		WorkDir:     t.TempDir(),
+		Capacity:    resources.R{Cores: 4, Memory: 4 * resources.GB, Disk: resources.GB},
+		ID:          id,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		w.Run(ctx)
+	}()
+	return w
+}
+
+func command(cmd string) *taskspec.Spec {
+	return &taskspec.Spec{Kind: taskspec.KindCommand, Command: cmd}
+}
+
+func waitResult(t *testing.T, r *Router) *core.Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := r.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// taskShard reports which shard a not-yet-finished global task is routed to.
+func taskShard(t *testing.T, r *Router, gid int) int {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt, ok := r.rts[gid]
+	if !ok {
+		t.Fatalf("no route for task %d", gid)
+	}
+	return rt.shard
+}
+
+// waitShardWorkers polls until shard s reports n registered workers.
+func waitShardWorkers(t *testing.T, r *Router, s, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(r.Shard(s).Status().Workers) == n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("shard %d never reached %d workers (have %d)", s, n, len(r.Shard(s).Status().Workers))
+}
+
+func TestRouterRunsTasksAcrossShards(t *testing.T) {
+	h := newRouter(t, Config{Shards: 2}, 1)
+	const n = 8
+	want := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		id, err := h.r.Submit(command("true"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[id] {
+			t.Fatalf("duplicate global id %d", id)
+		}
+		want[id] = true
+	}
+	for i := 0; i < n; i++ {
+		res := waitResult(t, h.r)
+		if !res.OK {
+			t.Fatalf("task %d failed: %+v", res.TaskID, res)
+		}
+		if !want[res.TaskID] {
+			t.Fatalf("unexpected or duplicate result id %d", res.TaskID)
+		}
+		delete(want, res.TaskID)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing results for %v", want)
+	}
+	if !h.r.Empty() {
+		t.Fatal("router not empty after all results")
+	}
+	// Round-robin over 2 shards with 8 unaffiliated tasks: both shards
+	// must have dispatched work.
+	for s := 0; s < 2; s++ {
+		if done := h.r.Shard(s).Status().TasksDone; done == 0 {
+			t.Fatalf("shard %d dispatched nothing; parallel dispatch is not happening", s)
+		}
+	}
+}
+
+// TestWorkflowAffinityPinsComponent: tasks coupled through cluster-resident
+// files must all route to one shard, whichever it is.
+func TestWorkflowAffinityPinsComponent(t *testing.T) {
+	h := newRouter(t, Config{Shards: 4}, 0)
+	reg := h.r.Files()
+	f1 := reg.DeclareTemp()
+	f2 := reg.DeclareTemp()
+
+	producer := command("echo a > out")
+	producer.AddOutput(f1.ID, "out")
+	gidP, err := h.r.Submit(producer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := taskShard(t, h.r, gidP)
+
+	middle := command("cp in out")
+	middle.AddInput(f1.ID, "in")
+	middle.AddOutput(f2.ID, "out")
+	gidM, err := h.r.Submit(middle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumer := command("cat in")
+	consumer.AddInput(f2.ID, "in")
+	gidC, err := h.r.Submit(consumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gid := range []int{gidM, gidC} {
+		if s := taskShard(t, h.r, gid); s != home {
+			t.Fatalf("task %d routed to shard %d; component home is %d", gid, s, home)
+		}
+	}
+
+	// An explicit workflow label pins unrelated tasks the same way.
+	a := command("true")
+	a.Workflow = "wf-label"
+	gidA, err := h.r.Submit(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := command("false")
+	b.Workflow = "wf-label"
+	gidB, err := h.r.Submit(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := taskShard(t, h.r, gidA), taskShard(t, h.r, gidB); sa != sb {
+		t.Fatalf("same workflow label split across shards %d and %d", sa, sb)
+	}
+}
+
+// TestCrossShardJoinRefused pins the workflow-affinity contract error: a
+// task bridging two components already bound to different shards is
+// refused at Submit.
+func TestCrossShardJoinRefused(t *testing.T) {
+	h := newRouter(t, Config{Shards: 4}, 0)
+	reg := h.r.Files()
+
+	// Find two workflow labels the ring sends to different shards, then
+	// bind a component (with one temp file each) under each label.
+	h.r.mu.Lock()
+	ring := h.r.ringLocked()
+	h.r.mu.Unlock()
+	labelA := "wf-a"
+	sA := ring.lookup("workflow:" + labelA)
+	labelB := ""
+	for i := 0; i < 100; i++ {
+		cand := fmt.Sprintf("wf-b%d", i)
+		if ring.lookup("workflow:"+cand) != sA {
+			labelB = cand
+			break
+		}
+	}
+	if labelB == "" {
+		t.Fatal("could not find labels hashing to different shards")
+	}
+
+	fa, fb := reg.DeclareTemp(), reg.DeclareTemp()
+	ta := command("echo a > out")
+	ta.Workflow = labelA
+	ta.AddOutput(fa.ID, "out")
+	if _, err := h.r.Submit(ta); err != nil {
+		t.Fatal(err)
+	}
+	tb := command("echo b > out")
+	tb.Workflow = labelB
+	tb.AddOutput(fb.ID, "out")
+	if _, err := h.r.Submit(tb); err != nil {
+		t.Fatal(err)
+	}
+
+	bridge := command("cat x y")
+	bridge.AddInput(fa.ID, "x")
+	bridge.AddInput(fb.ID, "y")
+	_, err := h.r.Submit(bridge)
+	if err == nil {
+		t.Fatal("task joining two shard-bound workflows accepted")
+	}
+	if !strings.Contains(err.Error(), "different shards") {
+		t.Fatalf("contract error = %v", err)
+	}
+
+	// EndWorkflow clears the bindings; the same bridge then routes fine.
+	h.r.EndWorkflow()
+	if _, err := h.r.Submit(bridge); err != nil {
+		t.Fatalf("bridge refused after EndWorkflow: %v", err)
+	}
+}
+
+// TestRouterCancel covers cancellation of a shard-submitted waiting task
+// through the global ID space.
+func TestRouterCancel(t *testing.T) {
+	h := newRouter(t, Config{Shards: 2}, 0) // no workers: tasks stay waiting
+	id, err := h.r.Submit(command("echo never"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.r.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, h.r)
+	if res.TaskID != id || res.OK || res.Error != "cancelled" {
+		t.Fatalf("cancel result = %+v", res)
+	}
+	if err := h.r.Cancel(id); err == nil {
+		t.Fatal("second cancel of a finished task succeeded")
+	}
+	if !h.r.Empty() {
+		t.Fatal("router not empty after cancellation")
+	}
+}
+
+// TestTenantQuotaFairShare is the fair-share acceptance test: a tenant
+// saturating its quota cannot push another tenant's work out, and its
+// held tasks are released as its own tasks finish.
+func TestTenantQuotaFairShare(t *testing.T) {
+	h := newRouter(t, Config{Shards: 1, TenantQuota: 2}, 0)
+
+	// Tenant A floods: 5 submissions against a quota of 2.
+	var aIDs []int
+	for i := 0; i < 5; i++ {
+		s := command("true")
+		s.Tenant = "A"
+		id, err := h.r.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aIDs = append(aIDs, id)
+	}
+	// Only A's quota-worth of tasks may have reached the shard; the rest
+	// wait at the router.
+	if got := h.r.Shard(0).Status().TasksWaiting; got != 2 {
+		t.Fatalf("shard saw %d of tenant A's tasks, want quota 2", got)
+	}
+	// The aggregate view still counts the held ones as waiting work.
+	if got := h.r.Status().TasksWaiting; got != 5 {
+		t.Fatalf("router status waiting = %d, want 5 (2 dispatched + 3 held)", got)
+	}
+
+	// Tenant B submits while A is saturated: B's tasks go straight to the
+	// shard — A's backlog does not delay B beyond B's own quota.
+	for i := 0; i < 2; i++ {
+		s := command("true")
+		s.Tenant = "B"
+		if _, err := h.r.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.r.Shard(0).Status().TasksWaiting; got != 4 {
+		t.Fatalf("shard waiting = %d after tenant B, want 4 (2 from A + 2 from B)", got)
+	}
+
+	// A held task can be cancelled before it ever reaches a shard.
+	if err := h.r.Cancel(aIDs[4]); err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, h.r)
+	if res.TaskID != aIDs[4] || res.OK || res.Error != "cancelled" {
+		t.Fatalf("held-cancel result = %+v", res)
+	}
+
+	// A worker arrives; as A's in-flight tasks finish, the held ones are
+	// released, and everything drains.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.addWorker(t, ctx, "w-quota", h.r.Addr())
+	seen := make(map[int]bool)
+	for i := 0; i < 6; i++ { // 4 remaining from A + 2 from B
+		res := waitResult(t, h.r)
+		if !res.OK {
+			t.Fatalf("task %d failed: %+v", res.TaskID, res)
+		}
+		if seen[res.TaskID] {
+			t.Fatalf("duplicate result for %d", res.TaskID)
+		}
+		seen[res.TaskID] = true
+	}
+	if !h.r.Empty() {
+		t.Fatal("router not empty after drain")
+	}
+	// The quota throttle metric must have recorded the holds.
+	if v := h.r.vm.ShardQuotaThrottles.Value(); v < 3 {
+		t.Fatalf("ShardQuotaThrottles = %d, want >= 3", v)
+	}
+}
+
+// TestInvokeAcrossShards runs the serverless fast path through the router:
+// libraries install on every shard and invocations round-robin.
+func TestInvokeAcrossShards(t *testing.T) {
+	h := newRouter(t, Config{Shards: 2}, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for s, addr := range h.r.Addrs() {
+		w, err := worker.New(worker.Config{
+			ManagerAddr: addr,
+			WorkDir:     t.TempDir(),
+			Capacity:    resources.R{Cores: 4, Memory: 4 * resources.GB, Disk: resources.GB},
+			ID:          fmt.Sprintf("w-lib%d", s),
+			Libraries:   doubleLibrary(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	h.r.InstallLibrary("math", resources.R{Cores: 1})
+	for s := range h.r.Addrs() {
+		waitLibraryReady(t, h.r.Shard(s))
+	}
+
+	const n = 6
+	want := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		id, err := h.r.Invoke("math", "double", []byte("ab"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = true
+	}
+	for i := 0; i < n; i++ {
+		res := waitResult(t, h.r)
+		if !res.OK || string(res.Output) != "abab" {
+			t.Fatalf("invoke result = %+v output=%q", res, res.Output)
+		}
+		if !want[res.TaskID] {
+			t.Fatalf("unexpected result id %d", res.TaskID)
+		}
+		delete(want, res.TaskID)
+	}
+	// Round-robin must have exercised both shards.
+	for s := 0; s < 2; s++ {
+		if h.r.Shard(s).Status().TasksDone == 0 {
+			t.Fatalf("shard %d served no invocations", s)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"taskvine/internal/core"
+	"taskvine/internal/metrics"
+)
+
+// Status returns an aggregate snapshot across all shards: worker rows are
+// concatenated, task counts summed (including router-held submissions,
+// which are waiting work the shards have not seen yet). FilesDeclared
+// comes from the shared registry, so it is taken once, not summed.
+func (r *Router) Status() core.Status {
+	sts := r.ShardStatuses()
+	agg := core.Status{}
+	for i, st := range sts {
+		if i == 0 {
+			agg.Addr = st.Addr
+			agg.FilesDeclared = st.FilesDeclared
+			agg.UptimeSeconds = st.UptimeSeconds
+		}
+		agg.Workers = append(agg.Workers, st.Workers...)
+		agg.TasksWaiting += st.TasksWaiting
+		agg.TasksStaging += st.TasksStaging
+		agg.TasksRunning += st.TasksRunning
+		agg.TasksDone += st.TasksDone
+		agg.TasksFailed += st.TasksFailed
+		agg.TransfersInFlight += st.TransfersInFlight
+	}
+	r.mu.Lock()
+	for _, ten := range r.tenants {
+		agg.TasksWaiting += len(ten.held)
+	}
+	r.mu.Unlock()
+	return agg
+}
+
+// ShardStatuses returns each shard's own status snapshot, in shard order.
+func (r *Router) ShardStatuses() []core.Status {
+	out := make([]core.Status, len(r.shards))
+	for i, sh := range r.shards {
+		out[i] = sh.Status()
+	}
+	return out
+}
+
+// ServeStatus exposes the router's monitoring surface over HTTP:
+//
+//	GET /status       -> aggregate status, single-manager shape (JSON)
+//	GET /shards       -> per-shard status array (JSON)
+//	GET /metrics      -> shared instrument registry, Prometheus text
+//	GET /metrics.json -> shared instrument registry, JSON snapshot
+//	GET /debug/vine   -> merged scheduling-state dump (JSON)
+//
+// It returns the bound address; the server stops when the router closes.
+func (r *Router) ServeStatus(addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Status())
+	})
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.ShardStatuses())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w, r.Metrics())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(metrics.TakeSnapshot(r.Metrics()))
+	})
+	mux.HandleFunc("/debug/vine", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Debug())
+	})
+	srv := &http.Server{Handler: mux}
+	r.bg.Add(1)
+	go func() {
+		defer r.bg.Done()
+		_ = srv.Serve(ln)
+	}()
+	r.bg.Add(1)
+	go func() {
+		defer r.bg.Done()
+		<-r.done
+		_ = srv.Close()
+	}()
+	return ln.Addr().String(), nil
+}

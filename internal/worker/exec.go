@@ -9,6 +9,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -212,19 +214,51 @@ func (w *Worker) extractOutputs(sb *sandbox.Sandbox, spec *taskspec.Spec) ([]pro
 }
 
 // dirBytes measures the residual size of a sandbox, the task's observed
-// disk consumption.
+// disk consumption. Direct recursion over ReadDir rather than WalkDir:
+// this runs once per task on the dispatch path, and WalkDir's per-walk
+// root DirEntry and per-entry path joins are overhead a size sum does
+// not need.
 func dirBytes(dir string) int64 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
 	var used int64
-	filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
-			return nil
+	for _, ent := range ents {
+		if ent.IsDir() {
+			used += dirBytes(filepath.Join(dir, ent.Name()))
+			continue
 		}
-		if fi, err := d.Info(); err == nil {
+		if fi, err := ent.Info(); err == nil {
 			used += fi.Size()
 		}
-		return nil
-	})
+	}
 	return used
+}
+
+// taskSysProcAttr is shared by every task exec: os/exec only reads it,
+// and allocating a fresh copy per task is avoidable dispatch-path churn.
+var taskSysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+
+// baseEnv snapshots the worker's process environment once. A busy worker
+// execs a task every few milliseconds and its environment never changes
+// underneath it, so re-reading (and re-allocating) the whole environ per
+// task is pure churn. Per-task variables are appended onto a copy.
+var baseEnv = sync.OnceValue(os.Environ)
+
+// taskEnv builds the task's private environment: the worker environment
+// plus the TaskVine task variables and the spec's own Env overlay.
+func taskEnv(spec *taskspec.Spec) []string {
+	base := baseEnv()
+	env := make([]string, len(base), len(base)+2+len(spec.Env))
+	copy(env, base)
+	env = append(env,
+		"VINE_TASK_ID="+strconv.Itoa(spec.ID),
+		"CORES="+strconv.Itoa(spec.Resources.Cores))
+	for k, v := range spec.Env {
+		env = append(env, k+"="+v)
+	}
+	return env
 }
 
 // runCommand executes the task command under /bin/sh in dir with the task's
@@ -240,7 +274,7 @@ func runCommand(ctx context.Context, spec *taskspec.Spec, dir string) (exit int,
 	cmd.Dir = dir
 	// Tasks may spawn children; a kill must take down the whole process
 	// group, and Wait must not linger on pipes held open by orphans.
-	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	cmd.SysProcAttr = taskSysProcAttr
 	cmd.Cancel = func() error {
 		if cmd.Process != nil {
 			return syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
@@ -248,14 +282,7 @@ func runCommand(ctx context.Context, spec *taskspec.Spec, dir string) (exit int,
 		return nil
 	}
 	cmd.WaitDelay = 5 * time.Second
-	env := os.Environ()
-	env = append(env,
-		fmt.Sprintf("VINE_TASK_ID=%d", spec.ID),
-		fmt.Sprintf("CORES=%d", spec.Resources.Cores))
-	for k, v := range spec.Env {
-		env = append(env, k+"="+v)
-	}
-	cmd.Env = env
+	cmd.Env = taskEnv(spec)
 	var out bytes.Buffer
 	cmd.Stdout = &limitedWriter{w: &out, n: resultLimit}
 	cmd.Stderr = cmd.Stdout
@@ -263,14 +290,20 @@ func runCommand(ctx context.Context, spec *taskspec.Spec, dir string) (exit int,
 		return 1, out.Bytes(), 0, err
 	}
 	// Memory enforcement (§2.1): poll the task's process group RSS and
-	// kill it the moment it exceeds the declared allocation.
-	memExceeded := make(chan int64, 1)
-	var peak peakTracker
-	monCtx, monCancel := context.WithCancel(ctx)
-	defer monCancel()
+	// kill it the moment it exceeds the declared allocation. The tracker,
+	// signal channel, and monitor context exist only when a limit is
+	// declared — a nil memExceeded is simply never ready in the select
+	// below, and unmonitored tasks (the common dispatch-bound case) skip
+	// the allocations entirely.
+	var memExceeded chan int64
+	var peak *peakTracker
 	if spec.Resources.Memory > 0 {
+		memExceeded = make(chan int64, 1)
+		peak = new(peakTracker)
+		monCtx, monCancel := context.WithCancel(ctx)
+		defer monCancel()
 		pgid := cmd.Process.Pid
-		go monitorMemoryPeak(monCtx, pgid, spec.Resources.Memory, &peak, func(observed int64) {
+		go monitorMemoryPeak(monCtx, pgid, spec.Resources.Memory, peak, func(observed int64) {
 			select {
 			case memExceeded <- observed:
 			default:
@@ -279,8 +312,9 @@ func runCommand(ctx context.Context, spec *taskspec.Spec, dir string) (exit int,
 		})
 	}
 	werr := cmd.Wait()
-	monCancel()
-	peakMemory = peak.get()
+	if peak != nil {
+		peakMemory = peak.get()
+	}
 	select {
 	case observed := <-memExceeded:
 		return 1, out.Bytes(), observed, fmt.Errorf(

@@ -14,6 +14,7 @@ import (
 	"context"
 	"crypto/md5"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,19 +113,33 @@ type Worker struct {
 	instances map[string]*serverless.Instance // guarded by mu
 	running   map[int]context.CancelFunc      // guarded by mu
 	libTasks  map[string]int                  // guarded by mu; library name -> deploying task ID
+	// redirect is the manager address a TypeRedirect told this worker to
+	// re-register with; consumed by Run between sessions. guarded by mu
+	redirect string
 
 	// sandboxSeq disambiguates sandbox directories: distinct executions
 	// may share a task ID (identical MiniTask specs), but never a sandbox.
 	sandboxSeq atomic.Int64
 
+	// wg tracks per-session helper goroutines (transfers, invocations);
+	// it is drained between manager sessions so no helper outlives the
+	// connection it writes to. peerWg tracks the peer transfer service,
+	// which spans sessions and is drained only when Run returns.
 	wg     sync.WaitGroup
+	peerWg sync.WaitGroup
 	closed chan struct{}
 }
 
 // sandboxName returns a unique sandbox directory name for one execution of
-// the given task ID.
+// the given task ID. Built with AppendInt rather than Sprintf: one name is
+// minted per task execution, on the dispatch path.
 func (w *Worker) sandboxName(taskID int) string {
-	return fmt.Sprintf("t.%d.%d", taskID, w.sandboxSeq.Add(1))
+	buf := make([]byte, 0, 24)
+	buf = append(buf, "t."...)
+	buf = strconv.AppendInt(buf, int64(taskID), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendInt(buf, w.sandboxSeq.Add(1), 10)
+	return string(buf)
 }
 
 // New prepares a worker but does not connect. The cache directory is
@@ -219,8 +235,14 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
+// errRedirect is the readLoop's signal that the manager leased this worker
+// to another shard: Run tears the session down and re-registers there.
+var errRedirect = errors.New("worker: redirected to another manager")
+
 // Run connects to the manager and serves until the context is cancelled,
-// the manager releases the worker, or the connection drops.
+// the manager releases the worker, or the connection drops. A redirect
+// message instead re-enters the loop against the new manager address,
+// keeping the cache and peer transfer service alive across the move.
 func (w *Worker) Run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -228,11 +250,49 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	w.peerLn = ln
 	w.peerAddr = ln.Addr().String()
-	defer ln.Close()
-	w.wg.Add(1)
+	w.peerWg.Add(1)
 	go w.servePeers()
+	runDone := make(chan struct{})
+	defer func() {
+		// Shutdown order: stop accepting peers, then wait for the accept
+		// loop and any in-flight peer serves to drain.
+		close(runDone)
+		_ = ln.Close() // double-close with the watcher goroutine is benign
+		w.peerWg.Wait()
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-w.closed:
+		case <-runDone:
+		}
+		// Closing unblocks the peer accept loop; its error is the signal.
+		_ = ln.Close()
+	}()
 
-	conn, err := protocol.Dial(w.cfg.ManagerAddr, 10*time.Second)
+	addr := w.cfg.ManagerAddr
+	for {
+		err := w.serveManager(ctx, addr)
+		if err == errRedirect {
+			w.mu.Lock()
+			addr = w.redirect
+			w.redirect = ""
+			w.mu.Unlock()
+			if addr != "" {
+				continue
+			}
+		}
+		return err
+	}
+}
+
+// serveManager runs one registration session against the manager at addr:
+// dial, register, re-report adopted cache contents, then serve the read
+// loop until release, redirect, cancellation, or connection loss. All
+// session-scoped goroutines are drained before it returns so nothing
+// writes to a dead connection across a redirect.
+func (w *Worker) serveManager(ctx context.Context, addr string) error {
+	conn, err := protocol.Dial(addr, 10*time.Second)
 	if err != nil {
 		return err
 	}
@@ -256,7 +316,8 @@ func (w *Worker) Run(ctx context.Context) error {
 		return err
 	}
 	// Report adopted cache contents so the manager's replica table learns
-	// about persistent objects from previous workflows.
+	// about persistent objects from previous workflows (or, after a
+	// redirect, from the previous shard).
 	for _, e := range w.cache.List() {
 		if e.State == cache.StateReady {
 			conn.Send(&protocol.Message{
@@ -269,20 +330,22 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 	}
 
-	ctx, cancel := context.WithCancel(ctx)
+	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	serveDone := make(chan struct{})
 	go func() {
 		select {
-		case <-ctx.Done():
+		case <-sctx.Done():
 		case <-w.closed:
+		case <-serveDone:
 		}
-		// Shutdown path: closing unblocks the read loop and peer accept
-		// loop; their errors are the signal, not these.
+		// Shutdown path: closing unblocks the read loop; its error is the
+		// signal, not this one.
 		_ = conn.Close()
-		_ = ln.Close()
 	}()
 
-	err = w.readLoop(ctx)
+	err = w.readLoop(sctx)
+	close(serveDone)
 	cancel()
 	w.stopInstances()
 	w.wg.Wait()
@@ -290,6 +353,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	case <-w.closed:
 		return nil // clean release
 	default:
+	}
+	if err == errRedirect {
+		return err
 	}
 	if ctx.Err() != nil {
 		return nil
@@ -348,6 +414,14 @@ func (w *Worker) readLoop(ctx context.Context) error {
 			w.stopInstances()
 		case protocol.TypeHeartbeat:
 			w.conn.Send(&protocol.Message{Type: protocol.TypeHeartbeat, WorkerID: w.cfg.ID})
+		case protocol.TypeRedirect:
+			// The manager leased this worker to another shard. Remember the
+			// target and unwind the session; Run re-registers there with the
+			// cache intact.
+			w.mu.Lock()
+			w.redirect = m.URL
+			w.mu.Unlock()
+			return errRedirect
 		case protocol.TypeRelease:
 			close(w.closed)
 			return nil
@@ -908,15 +982,15 @@ func (w *Worker) fetchRange(addr, name string, off, length, total int64, dst io.
 // connection carries a deadline so a stalled requester cannot pin a serving
 // goroutine (and its wg slot) past shutdown.
 func (w *Worker) servePeers() {
-	defer w.wg.Done()
+	defer w.peerWg.Done()
 	for {
 		nc, err := w.peerLn.Accept()
 		if err != nil {
 			return
 		}
-		w.wg.Add(1)
+		w.peerWg.Add(1)
 		go func() {
-			defer w.wg.Done()
+			defer w.peerWg.Done()
 			defer nc.Close()
 			nc.SetDeadline(time.Now().Add(w.cfg.PeerIOTimeout))
 			conn := protocol.NewConn(nc)

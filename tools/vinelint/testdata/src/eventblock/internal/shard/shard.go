@@ -1,0 +1,77 @@
+// Package shard is the fixture router side for the eventblock analyzer:
+// pump and balanceLoop are loop roots. The pump drains shard results and
+// releases tenant quota, so any synchronous blocking there stalls every
+// tenant on the shard; the balancer probes load on a ticker and must stay
+// a bounded in-process round-trip.
+package shard
+
+import (
+	"os"
+	"time"
+)
+
+// Router mirrors the real router's result plumbing shape.
+type Router struct {
+	results chan int
+	resSig  chan struct{}
+	resQ    []int
+	done    chan struct{}
+}
+
+// pump is a loop root; it must never block.
+func (r *Router) pump(i int) {
+	r.remap(i) // pure bookkeeping: fine
+	r.journal(i)
+	r.queueResult(i)
+	r.results <- i // want:eventblock "channel send in pump may block the pump loop"
+	go r.deliverLoop()
+}
+
+// remap is pure in-memory bookkeeping, reachable and clean.
+func (r *Router) remap(i int) {
+	r.resQ = append(r.resQ, i)
+}
+
+// journal is one hop below the root; its file I/O is still on the hot
+// path.
+func (r *Router) journal(i int) {
+	_ = os.WriteFile("journal", nil, 0o644) // want:eventblock "os.WriteFile in journal is synchronously reachable from the pump loop"
+}
+
+// queueResult is the sanctioned shape: append under the caller's lock and
+// wake the deliverer with a non-blocking send.
+func (r *Router) queueResult(i int) {
+	r.resQ = append(r.resQ, i)
+	select {
+	case r.resSig <- struct{}{}:
+	default:
+	}
+}
+
+// deliverLoop is reached only through a go statement; its blocking send
+// is the other goroutine's business.
+func (r *Router) deliverLoop() {
+	for _, v := range r.resQ {
+		r.results <- v
+	}
+}
+
+// balanceLoop is the second loop root: a ticker-driven probe cycle.
+func (r *Router) balanceLoop() {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+			r.balanceOnce()
+		}
+	}
+}
+
+// balanceOnce is reachable from balanceLoop; pacing the probe with a
+// sleep would hold up shutdown and the next probe alike.
+func (r *Router) balanceOnce() {
+	time.Sleep(time.Millisecond) // want:eventblock "time.Sleep in balanceOnce is synchronously reachable from the balanceLoop loop"
+}
